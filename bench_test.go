@@ -1,0 +1,141 @@
+package wstrust_test
+
+// The benchmark harness regenerates every figure and qualitative claim of
+// the paper (DESIGN.md §3): one benchmark per artifact. Each iteration
+// runs the full seeded experiment; the key measured quantities are
+// attached as custom benchmark metrics so `go test -bench=. -benchmem`
+// doubles as the reproduction record (see EXPERIMENTS.md).
+//
+// Absolute wall-clock numbers are not the point — the *shape* metrics
+// (regret orderings, cost ratios, crossovers) are, and every benchmark
+// fails if its experiment's measured shape stops matching the paper.
+
+import (
+	"testing"
+
+	"wstrust/internal/experiment"
+)
+
+const benchSeed = 42
+
+func runExperiment(b *testing.B, id string, metrics ...string) {
+	b.Helper()
+	r, err := experiment.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var rep experiment.Report
+	for i := 0; i < b.N; i++ {
+		rep, err = r.Run(benchSeed)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if !rep.Pass {
+		b.Fatalf("%s mismatched the paper's shape: %s", id, rep.Shape)
+	}
+	for _, m := range metrics {
+		if v, ok := rep.Data[m]; ok {
+			b.ReportMetric(v, m)
+		}
+	}
+}
+
+// BenchmarkFig1Scenarios regenerates Figure 1: direct vs mediated
+// selection, and where the trust must attach in each.
+func BenchmarkFig1Scenarios(b *testing.B) {
+	runExperiment(b, "F1", "direct_regret", "mediated_ws_only_regret", "mediated_satisfaction_reg")
+}
+
+// BenchmarkFig2Activities regenerates Figure 2: the five QoS information
+// flows and their cost/accuracy trade-offs.
+func BenchmarkFig2Activities(b *testing.B) {
+	runExperiment(b, "F2", "random_regret", "advertised_regret", "feedback_regret", "sensors_cost")
+}
+
+// BenchmarkFig3MultiFaceted regenerates Figure 3: the QoS taxonomy plus
+// the multi-faceted-trust experiment.
+func BenchmarkFig3MultiFaceted(b *testing.B) {
+	runExperiment(b, "F3", "overall_regret", "faceted_regret")
+}
+
+// BenchmarkFig4Matrix regenerates Figure 4: the classification tree and
+// the all-mechanism comparison matrix.
+func BenchmarkFig4Matrix(b *testing.B) {
+	runExperiment(b, "F4", "random_regret", "ebay_regret", "eigentrust_regret", "vu-qos_messages")
+}
+
+// BenchmarkClaimAdvertisedQoS regenerates claim C1.
+func BenchmarkClaimAdvertisedQoS(b *testing.B) {
+	runExperiment(b, "C1", "advertised_steady", "reputation_steady")
+}
+
+// BenchmarkClaimMonitoringCost regenerates claim C2.
+func BenchmarkClaimMonitoringCost(b *testing.B) {
+	runExperiment(b, "C2", "sensor_cost_1000", "feedback_msgs_1000")
+}
+
+// BenchmarkClaimDynamics regenerates claim C3.
+func BenchmarkClaimDynamics(b *testing.B) {
+	runExperiment(b, "C3", "stale_error", "fresh_error")
+}
+
+// BenchmarkClaimPersonalization regenerates claim C4.
+func BenchmarkClaimPersonalization(b *testing.B) {
+	runExperiment(b, "C4", "global_1", "personal_1")
+}
+
+// BenchmarkClaimUnfairRatings regenerates claim C5.
+func BenchmarkClaimUnfairRatings(b *testing.B) {
+	runExperiment(b, "C5")
+}
+
+// BenchmarkClaimDecentralizedCost regenerates claim C6.
+func BenchmarkClaimDecentralizedCost(b *testing.B) {
+	runExperiment(b, "C6")
+}
+
+// BenchmarkClaimProviderReputation regenerates claim C7.
+func BenchmarkClaimProviderReputation(b *testing.B) {
+	runExperiment(b, "C7", "share_with_bootstrap", "share_without_bootstrap")
+}
+
+// BenchmarkClaimTransitivity regenerates claim C8.
+func BenchmarkClaimTransitivity(b *testing.B) {
+	runExperiment(b, "C8", "expectation_1", "expectation_6")
+}
+
+// BenchmarkClaimExplorerAgents regenerates claim C9.
+func BenchmarkClaimExplorerAgents(b *testing.B) {
+	runExperiment(b, "C9", "with_explorer", "without_explorer")
+}
+
+// BenchmarkAblationDecay sweeps decay half-lives (A1).
+func BenchmarkAblationDecay(b *testing.B) {
+	runExperiment(b, "A1", "flip_none", "flip_1r")
+}
+
+// BenchmarkAblationPreTrusted sweeps EigenTrust anchors vs collusion (A2).
+func BenchmarkAblationPreTrusted(b *testing.B) {
+	runExperiment(b, "A2", "clique_0", "clique_5")
+}
+
+// BenchmarkAblationWhitewash compares newcomer policies (A3).
+func BenchmarkAblationWhitewash(b *testing.B) {
+	runExperiment(b, "A3", "beta", "sporas")
+}
+
+// BenchmarkAblationChurn measures P-Grid replication vs churn (A4).
+func BenchmarkAblationChurn(b *testing.B) {
+	runExperiment(b, "A4")
+}
+
+// BenchmarkAblationGridConstruction compares P-Grid constructions (A5).
+func BenchmarkAblationGridConstruction(b *testing.B) {
+	runExperiment(b, "A5", "central_construction", "boot_construction")
+}
+
+// BenchmarkClaimRuntimeSelection regenerates claim C10.
+func BenchmarkClaimRuntimeSelection(b *testing.B) {
+	runExperiment(b, "C10", "dynamic_hardcoded", "dynamic_adaptive")
+}

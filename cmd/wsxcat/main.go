@@ -1,0 +1,54 @@
+// Command wsxcat prints the paper's two structural figures as implemented
+// data: the W3C QoS metric taxonomy (Figure 3) and the three-criterion
+// classification tree of trust and reputation systems (Figure 4), plus the
+// coverage matrix over the 2×2×2 design space and the mechanism inventory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"sort"
+
+	"wstrust/internal/qos"
+	"wstrust/internal/typology"
+)
+
+func main() {
+	var (
+		showQoS  = flag.Bool("qos", true, "print the Figure-3 QoS taxonomy")
+		showTree = flag.Bool("tree", true, "print the Figure-4 classification tree")
+		showCov  = flag.Bool("coverage", true, "print the design-space coverage matrix")
+	)
+	flag.Parse()
+
+	if *showQoS {
+		fmt.Println("--- Figure 3: QoS metrics for web services ---")
+		fmt.Println(qos.RenderTaxonomy())
+	}
+	reg := typology.Builtin()
+	if *showTree {
+		fmt.Println("--- Figure 4: trust and reputation system classification ---")
+		fmt.Println(reg.RenderTree())
+	}
+	if *showCov {
+		fmt.Println("--- design-space coverage (systems per corner) ---")
+		cov := reg.CoverageMatrix()
+		corners := make([]string, 0, len(cov))
+		for c := range cov {
+			corners = append(corners, c)
+		}
+		sort.Strings(corners)
+		for _, c := range corners {
+			fmt.Printf("%-55s %d\n", c, cov[c])
+		}
+		fmt.Println()
+		fmt.Println("--- mechanism inventory ---")
+		for _, e := range reg.Entries() {
+			ws := ""
+			if e.ForWebServices {
+				ws = "  [web services]"
+			}
+			fmt.Printf("%-16s %-10s %-55s %s%s\n", e.Name, e.Cite, e.Coordinates, e.Module, ws)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+// Command wsxsim runs the wstrust experiment suite: every figure and
+// qualitative claim of "A Review on Trust and Reputation for Web Service
+// Selection" (Wang & Vassileva, 2007), regenerated in simulation.
+//
+// Usage:
+//
+//	wsxsim                      # run everything
+//	wsxsim -experiment F4       # one experiment (F1..F4, C1..C9)
+//	wsxsim -seed 7              # change the simulation seed
+//	wsxsim -list                # list experiments
+//	wsxsim -json                # machine-readable output
+//
+// The process exits non-zero if any executed experiment's measured shape
+// mismatches the paper's claim, so the suite doubles as a regression gate.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"wstrust/internal/experiment"
+)
+
+func main() {
+	var (
+		id     = flag.String("experiment", "all", "experiment id (F1..F4, C1..C9) or 'all'")
+		seed   = flag.Int64("seed", 42, "simulation seed")
+		list   = flag.Bool("list", false, "list experiments and exit")
+		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of text reports")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, r := range experiment.All() {
+			fmt.Printf("%-3s %s\n", r.ID, r.Desc)
+		}
+		return
+	}
+
+	runners := experiment.All()
+	if *id != "all" {
+		r, err := experiment.ByID(*id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		runners = []experiment.Runner{r}
+	}
+
+	failures := 0
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	for _, r := range runners {
+		rep, err := r.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+			failures++
+			continue
+		}
+		if *asJSON {
+			if err := enc.Encode(struct {
+				ID    string             `json:"id"`
+				Title string             `json:"title"`
+				Claim string             `json:"paper_claim"`
+				Shape string             `json:"measured_shape"`
+				Pass  bool               `json:"pass"`
+				Data  map[string]float64 `json:"data,omitempty"`
+			}{rep.ID, rep.Title, rep.PaperClaim, rep.Shape, rep.Pass, rep.Data}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		} else {
+			fmt.Println(rep)
+		}
+		if !rep.Pass {
+			failures++
+		}
+	}
+	if failures > 0 {
+		fmt.Fprintf(os.Stderr, "%d experiment(s) mismatched the paper's shape\n", failures)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,127 @@
+// Attacklab stages a coordinated unfair-rating campaign — a clique
+// badmouthing a good service while ballot-stuffing a bad one — and shows
+// round by round how the surveyed defenses (majority opinion, Dellarocas
+// cluster filtering, Zhang & Cohen advisor trust) hold the line where the
+// undefended mean collapses.
+//
+//	go run ./examples/attacklab
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"wstrust/internal/attack"
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+	"wstrust/internal/soa"
+	"wstrust/internal/trust/filtering"
+	"wstrust/internal/workload"
+)
+
+func main() {
+	const seed = 23
+	clock := simclock.NewVirtual()
+	fabric := soa.NewFabric(clock, simclock.Stream(seed, "fabric"), soa.NewUDDI())
+	specs := workload.GenerateServices(simclock.Stream(seed, "services"),
+		workload.ServiceOptions{N: 10, Category: "payments", GoodFrac: 0.3, BadFrac: 0.3})
+	for _, s := range specs {
+		if err := fabric.Register(s.Desc, s.Behavior); err != nil {
+			log.Fatal(err)
+		}
+	}
+	victim := specs[0].Desc.Service // good tier
+	shill := specs[3].Desc.Service  // bad tier
+	fmt.Printf("victim (genuinely good): %s   shilled (genuinely bad): %s\n\n", victim, shill)
+
+	consumers := workload.GenerateConsumers(simclock.Stream(seed, "consumers"), 20, 0)
+	ids := make([]core.ConsumerID, len(consumers))
+	for i, c := range consumers {
+		ids[i] = c.ID
+	}
+	// 30% of the population colludes: pump the shill, trash the victim.
+	liars := attack.Assign(ids, 0.3, attack.Collusion{
+		Allies: map[core.EntityID]bool{shill: true},
+	})
+	fmt.Printf("%d of %d consumers collude\n\n", liars.LiarCount(), len(consumers))
+
+	mechs := map[string]*filtering.Mechanism{
+		"none":        filtering.New(filtering.None),
+		"majority":    filtering.New(filtering.Majority),
+		"cluster":     filtering.New(filtering.Cluster),
+		"zhang-cohen": filtering.New(filtering.ZhangCohen),
+	}
+	order := []string{"none", "majority", "cluster", "zhang-cohen"}
+
+	trueU := map[core.ServiceID]float64{}
+	for _, s := range specs {
+		trueU[s.Desc.Service] = workload.TrueUtility(s, workload.BasePreferences())
+	}
+
+	fmt.Printf("%-6s | victim score per defense (truth %.2f)        | shill score per defense (truth %.2f)\n",
+		"round", trueU[victim], trueU[shill])
+	fmt.Printf("%-6s | %-10s %-10s %-10s %-11s | %-10s %-10s %-10s %s\n",
+		"", "none", "majority", "cluster", "zhang-cohen", "none", "majority", "cluster", "zhang-cohen")
+
+	for round := 1; round <= 12; round++ {
+		for _, c := range consumers {
+			// Every consumer tries both contested services each round.
+			for _, target := range []core.ServiceID{victim, shill} {
+				res, err := fabric.Invoke(c.ID, target, "Execute")
+				if err != nil {
+					log.Fatal(err)
+				}
+				honest := workload.Grade(res.Observation, c.Prefs)
+				ratings := map[core.Facet]float64{}
+				for f, v := range honest {
+					ratings[f] = liars.Distort(c.ID, target, v)
+				}
+				for _, m := range mechs {
+					if err := m.Submit(core.Feedback{
+						Consumer: c.ID, Service: target, Context: "payments",
+						Observed: res.Observation, Ratings: ratings, At: clock.Now(),
+					}); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+		}
+		clock.Advance(time.Hour)
+		if round%3 != 0 {
+			continue
+		}
+		line := fmt.Sprintf("%-6d |", round)
+		for _, svc := range []core.ServiceID{victim, shill} {
+			for _, name := range order {
+				tv, _ := mechs[name].Score(core.Query{
+					Perspective: ids[len(ids)-1], // an honest consumer's view
+					Subject:     svc, Context: "payments", Facet: core.FacetOverall,
+				})
+				width := 10
+				if name == "zhang-cohen" && svc == victim {
+					width = 11
+				}
+				line += fmt.Sprintf(" %-*.2f", width, tv.Score)
+			}
+			if svc == victim {
+				line += " |"
+			}
+		}
+		fmt.Println(line)
+	}
+
+	fmt.Println("\nfinal error vs ground truth (lower is better):")
+	for _, name := range order {
+		var errSum float64
+		for _, svc := range []core.ServiceID{victim, shill} {
+			tv, _ := mechs[name].Score(core.Query{
+				Perspective: ids[len(ids)-1],
+				Subject:     svc, Context: "payments", Facet: core.FacetOverall,
+			})
+			errSum += math.Abs(tv.Score - trueU[svc])
+		}
+		fmt.Printf("  %-12s %.3f\n", name, errSum/2)
+	}
+}

@@ -1,0 +1,125 @@
+// Coldstart demonstrates the paper's Section-5 research direction —
+// provider-level reputation — through the public API: a marketplace learns
+// a provider's track record, its reputation history is persisted and
+// replayed into a fresh marketplace, and a brand-new service from the
+// reputable provider is preferred immediately, before a single rating.
+//
+//	go run ./examples/coldstart
+package main
+
+import (
+	"bytes"
+	"fmt"
+	"log"
+
+	"wstrust"
+)
+
+func main() {
+	market, err := wstrust.NewMarketplace(
+		wstrust.WithSeed(31),
+		wstrust.WithExploration(0.15),
+		wstrust.WithProviderBootstrap(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = market.RegisterConsumer("alice", wstrust.Preferences{
+		wstrust.ResponseTime: 1, wstrust.Accuracy: 1, wstrust.Cost: 1,
+	})
+
+	// Two providers with opposite track records, three services each.
+	publish := func(provider wstrust.ProviderID, idx int, rt, acc, avail float64) wstrust.ServiceID {
+		id := wstrust.ServiceID(fmt.Sprintf("%s-svc-%d", provider, idx))
+		d := wstrust.ServiceDescription{
+			Service:    id,
+			Provider:   provider,
+			Name:       string(id),
+			Category:   "payments",
+			Operations: []wstrust.ServiceOperation{{Name: "Execute"}},
+			Advertised: wstrust.QoSVector{wstrust.ResponseTime: rt},
+		}
+		b := wstrust.ServiceBehavior{True: wstrust.QoSVector{
+			wstrust.ResponseTime: rt, wstrust.Accuracy: acc,
+			wstrust.Availability: avail, wstrust.Cost: 5,
+		}, Jitter: 0.05}
+		if err := market.PublishService(d, b); err != nil {
+			log.Fatal(err)
+		}
+		return id
+	}
+	for i := 0; i < 3; i++ {
+		publish("acme", i, 90, 0.95, 0.99)   // consistently excellent
+		publish("shoddy", i, 430, 0.2, 0.65) // consistently awful
+	}
+
+	// Phase 1: alice learns the market.
+	for i := 0; i < 60; i++ {
+		if _, err := market.Use("alice", "payments"); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Persist the reputation history...
+	var history bytes.Buffer
+	if err := market.ExportHistory(&history); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("phase 1 complete: %d bytes of feedback history exported\n\n", history.Len())
+
+	// ...and replay it into a brand-new marketplace (a restarted node).
+	restarted, err := wstrust.NewMarketplace(
+		wstrust.WithSeed(32),
+		wstrust.WithProviderBootstrap(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	_ = restarted.RegisterConsumer("alice", wstrust.Preferences{
+		wstrust.ResponseTime: 1, wstrust.Accuracy: 1, wstrust.Cost: 1,
+	})
+	n, err := restarted.ImportHistory(&history)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("restarted marketplace replayed %d feedback records\n\n", n)
+
+	// Phase 2: each provider launches a NEW service, identical on paper.
+	launch := func(m *wstrust.Marketplace, provider wstrust.ProviderID) wstrust.ServiceID {
+		id := wstrust.ServiceID(string(provider) + "-launch")
+		d := wstrust.ServiceDescription{
+			Service:    id,
+			Provider:   provider,
+			Name:       string(id),
+			Category:   "launches",
+			Operations: []wstrust.ServiceOperation{{Name: "Execute"}},
+			Advertised: wstrust.QoSVector{wstrust.ResponseTime: 120},
+		}
+		b := wstrust.ServiceBehavior{True: wstrust.QoSVector{
+			wstrust.ResponseTime: 120, wstrust.Accuracy: 0.9, wstrust.Availability: 0.99,
+		}}
+		if err := m.PublishService(d, b); err != nil {
+			log.Fatal(err)
+		}
+		return id
+	}
+	launch(restarted, "acme")
+	launch(restarted, "shoddy")
+
+	fmt.Println("first 10 selections among the two unrated newcomers:")
+	picks := map[wstrust.ServiceID]int{}
+	for i := 0; i < 10; i++ {
+		sel, err := restarted.Use("alice", "launches")
+		if err != nil {
+			log.Fatal(err)
+		}
+		picks[sel.Service]++
+	}
+	for svc, n := range picks {
+		fmt.Printf("  %-16s %d×\n", svc, n)
+	}
+	fmt.Println()
+	fmt.Println("\"If a provider has a good reputation for providing good quality services,")
+	fmt.Println(" it is easy for a consumer to believe that a new service offered by this")
+	fmt.Println(" provider has a good quality too.\" — Section 4")
+}

@@ -1,0 +1,136 @@
+// Flightbooking demonstrates the paper's Figure 1B mediated-selection
+// scenario: consumers use flight-booking web services (intermediaries,
+// like Expedia) to obtain flights from airlines (the "general services",
+// like Air Canada). The quality that matters is mostly the airline's, so a
+// trust mechanism keyed to the booking site's own snappiness picks badly,
+// while one rating end-to-end satisfaction picks well.
+//
+//	go run ./examples/flightbooking
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/simclock"
+	"wstrust/internal/soa"
+	"wstrust/internal/trust/beta"
+)
+
+type booking struct {
+	desc    soa.Description
+	airline string
+	// airlineQ is the general service's quality; siteSpeed the
+	// intermediary's own virtue. The flashiest sites front the worst
+	// airlines, as in any good cautionary tale.
+	airlineQ  float64
+	siteSpeed float64
+}
+
+func main() {
+	clock := simclock.NewVirtual()
+	rng := simclock.NewRand(7)
+	fabric := soa.NewFabric(clock, simclock.Stream(7, "fabric"), soa.NewUDDI())
+
+	airlines := map[string]float64{
+		"aurora-air": 0.95, "maple-jet": 0.75, "prairie-wings": 0.45, "budget-bird": 0.15,
+	}
+	names := []string{"aurora-air", "maple-jet", "prairie-wings", "budget-bird"}
+	var bookings []booking
+	for i := 0; i < 12; i++ {
+		airline := names[i%len(names)]
+		q := airlines[airline]
+		rt := 80 + q*300 // worse airline ⇒ faster site
+		d := soa.Description{
+			Service:    core.NewServiceID(i + 1),
+			Provider:   core.NewProviderID(i + 1),
+			Name:       fmt.Sprintf("book-%s-%d", airline, i+1),
+			Category:   "flight-booking",
+			Operations: []soa.Operation{{Name: "Book", Input: "itinerary", Output: "ticket"}},
+			Advertised: qos.Vector{qos.ResponseTime: rt},
+		}
+		if err := fabric.Register(d, soa.Behavior{
+			True:   qos.Vector{qos.ResponseTime: rt, qos.Availability: 0.99},
+			Jitter: 0.05,
+		}); err != nil {
+			log.Fatal(err)
+		}
+		bookings = append(bookings, booking{
+			desc: d, airline: airline, airlineQ: q, siteSpeed: 1 - (rt-80)/320,
+		})
+	}
+	byID := map[core.ServiceID]booking{}
+	var cands []core.Candidate
+	for _, b := range bookings {
+		byID[b.desc.Service] = b
+		cands = append(cands, b.desc.Candidate())
+	}
+
+	run := func(rateEndToEnd bool) (core.ServiceID, float64) {
+		mech := beta.New()
+		engine := core.NewEngine(mech, simclock.Stream(7, fmt.Sprintf("engine-%v", rateEndToEnd)),
+			core.WithPolicy(core.PolicyEpsilonGreedy), core.WithEpsilon(0.1))
+		var totalQ float64
+		var n int
+		for round := 0; round < 40; round++ {
+			for c := 1; c <= 10; c++ {
+				consumer := core.NewConsumerID(c)
+				chosen, _, err := engine.Select(consumer, nil, cands)
+				if err != nil {
+					log.Fatal(err)
+				}
+				b := byID[chosen.Service]
+				if _, err := fabric.Invoke(consumer, chosen.Service, "Book"); err != nil {
+					log.Fatal(err)
+				}
+				totalQ += b.airlineQ
+				n++
+				var verdict float64
+				if rateEndToEnd {
+					// The whole journey: mostly the flight, a bit the site.
+					verdict = 0.8*b.airlineQ + 0.2*b.siteSpeed + (rng.Float64()-0.5)*0.08
+				} else {
+					// Only the booking site's snappiness.
+					verdict = b.siteSpeed
+				}
+				verdict = math.Max(0, math.Min(1, verdict))
+				if err := mech.Submit(core.Feedback{
+					Consumer: consumer, Service: chosen.Service, Provider: b.desc.Provider,
+					Context: "flight-booking",
+					Ratings: map[core.Facet]float64{core.FacetOverall: verdict},
+					At:      clock.Now(),
+				}); err != nil {
+					log.Fatal(err)
+				}
+			}
+			clock.Advance(time.Hour)
+		}
+		// Most-trusted service at the end.
+		bestID, bestScore := core.ServiceID(""), -1.0
+		for _, b := range bookings {
+			tv, ok := mech.Score(core.Query{Subject: b.desc.Service, Context: "flight-booking", Facet: core.FacetOverall})
+			if ok && tv.Score > bestScore {
+				bestID, bestScore = b.desc.Service, tv.Score
+			}
+		}
+		return bestID, totalQ / float64(n)
+	}
+
+	siteID, siteMeanQ := run(false)
+	e2eID, e2eMeanQ := run(true)
+
+	fmt.Println("Figure 1B — mediated selection through booking intermediaries")
+	fmt.Println()
+	fmt.Printf("%-34s %-22s %s\n", "trust keyed to", "most-trusted service", "mean flight quality experienced")
+	fmt.Printf("%-34s %-22s %.2f  (fronts %s)\n",
+		"booking site's own speed", siteID, siteMeanQ, byID[siteID].airline)
+	fmt.Printf("%-34s %-22s %.2f  (fronts %s)\n",
+		"end-to-end journey satisfaction", e2eID, e2eMeanQ, byID[e2eID].airline)
+	fmt.Println()
+	fmt.Println("The paper's point: \"the major part of selecting a web service is decided")
+	fmt.Println("by the general service properties\" — rate the journey, not the website.")
+}

@@ -1,0 +1,3 @@
+module wstrust
+
+go 1.22

@@ -1,0 +1,229 @@
+// Package attack models the dishonest-feedback behaviours the paper's
+// Section 3.1 worries about ("some users may provide false feedback to
+// badmouth or raise the reputation of a service on purpose") plus the
+// classic identity attacks of the cited literature: badmouthing, ballot
+// stuffing, collusion cliques, random lying, complementary lying, and
+// whitewashing (identity reset).
+//
+// A Liar transforms the honest rating a consumer *would* give into the
+// rating it actually reports; the experiment harness assigns liars to a
+// configurable fraction of the consumer population.
+package attack
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+)
+
+// Liar distorts honest ratings.
+type Liar interface {
+	// Name identifies the attack for reports.
+	Name() string
+	// Distort maps the honest rating to the reported rating.
+	Distort(rater core.ConsumerID, subject core.EntityID, honest float64) float64
+}
+
+// Honest reports truthfully; the null attack.
+type Honest struct{}
+
+// Name implements Liar.
+func (Honest) Name() string { return "honest" }
+
+// Distort implements Liar.
+func (Honest) Distort(_ core.ConsumerID, _ core.EntityID, honest float64) float64 { return honest }
+
+// Badmouth reports the minimum rating about its targets (all subjects when
+// Targets is nil) and truthfully about everything else — the attack on a
+// competitor's reputation.
+type Badmouth struct {
+	Targets map[core.EntityID]bool
+}
+
+// Name implements Liar.
+func (Badmouth) Name() string { return "badmouth" }
+
+// Distort implements Liar.
+func (b Badmouth) Distort(_ core.ConsumerID, subject core.EntityID, honest float64) float64 {
+	if b.Targets == nil || b.Targets[subject] {
+		return 0.02
+	}
+	return honest
+}
+
+// BallotStuff reports the maximum rating about its allies (all subjects
+// when Allies is nil) — the self-promotion attack.
+type BallotStuff struct {
+	Allies map[core.EntityID]bool
+}
+
+// Name implements Liar.
+func (BallotStuff) Name() string { return "ballot-stuff" }
+
+// Distort implements Liar.
+func (b BallotStuff) Distort(_ core.ConsumerID, subject core.EntityID, honest float64) float64 {
+	if b.Allies == nil || b.Allies[subject] {
+		return 0.98
+	}
+	return honest
+}
+
+// Collusion is the combined clique attack: pump the allies, trash everyone
+// else.
+type Collusion struct {
+	Allies map[core.EntityID]bool
+}
+
+// Name implements Liar.
+func (Collusion) Name() string { return "collusion" }
+
+// Distort implements Liar.
+func (c Collusion) Distort(_ core.ConsumerID, subject core.EntityID, _ float64) float64 {
+	if c.Allies[subject] {
+		return 0.98
+	}
+	return 0.02
+}
+
+// Complementary inverts the honest rating — the strongest consistent liar,
+// used by Zhang & Cohen's evaluations.
+type Complementary struct{}
+
+// Name implements Liar.
+func (Complementary) Name() string { return "complementary" }
+
+// Distort implements Liar.
+func (Complementary) Distort(_ core.ConsumerID, _ core.EntityID, honest float64) float64 {
+	return math.Max(0, math.Min(1, 1-honest))
+}
+
+// Random reports uniform noise — the incoherent liar, hardest to detect by
+// consistency but least damaging.
+type Random struct {
+	Rng *rand.Rand
+}
+
+// Name implements Liar.
+func (Random) Name() string { return "random" }
+
+// Distort implements Liar.
+func (r Random) Distort(_ core.ConsumerID, _ core.EntityID, _ float64) float64 {
+	return r.Rng.Float64()
+}
+
+// Whitewasher cycles through fresh identities every Period reports,
+// defeating mechanisms without newcomer suspicion. It wraps rating
+// behaviour (honest or another Liar) and rewrites the rater identity.
+type Whitewasher struct {
+	Inner  Liar
+	Period int
+	seen   map[core.ConsumerID]int
+}
+
+// NewWhitewasher wraps inner, resetting identity every period reports.
+func NewWhitewasher(inner Liar, period int) *Whitewasher {
+	if inner == nil {
+		inner = Honest{}
+	}
+	if period <= 0 {
+		period = 5
+	}
+	return &Whitewasher{Inner: inner, Period: period, seen: map[core.ConsumerID]int{}}
+}
+
+// Name implements Liar.
+func (w *Whitewasher) Name() string { return "whitewash+" + w.Inner.Name() }
+
+// Distort implements Liar.
+func (w *Whitewasher) Distort(rater core.ConsumerID, subject core.EntityID, honest float64) float64 {
+	return w.Inner.Distort(rater, subject, honest)
+}
+
+// IdentityOf returns the identity the whitewasher currently reports under
+// and advances its interaction counter.
+func (w *Whitewasher) IdentityOf(rater core.ConsumerID) core.ConsumerID {
+	n := w.seen[rater]
+	w.seen[rater]++
+	gen := n / w.Period
+	if gen == 0 {
+		return rater
+	}
+	return core.ConsumerID(fmt.Sprintf("%s-w%d", rater, gen))
+}
+
+// FabricateObservation forges the measured QoS values to back up a lied
+// rating — the paper's dishonest reports carry fake QoS data, which is
+// exactly what Vu et al.'s monitor comparison detects. The forged values
+// shift every metric in the direction of the lie, proportionally to how
+// far the reported verdict sits from the honest one.
+func FabricateObservation(obs qos.Observation, honestOverall, reportedOverall float64) qos.Observation {
+	gap := reportedOverall - honestOverall
+	if math.Abs(gap) < 0.1 || !obs.Success {
+		return obs
+	}
+	// gap < 0: badmouthing — make everything look worse; gap > 0: the
+	// reverse. Factor 1+3|gap| moves metrics up to 4× in the lie's favor.
+	factor := 1 + 3*math.Abs(gap)
+	forged := qos.Observation{At: obs.At, Success: obs.Success, Values: qos.Vector{}}
+	for _, id := range obs.Values.IDs() {
+		v := obs.Values[id]
+		worse := qos.PolarityOf(id) == qos.LowerBetter // higher raw = worse
+		switch {
+		case gap < 0 && worse:
+			v *= factor
+		case gap < 0 && !worse:
+			v /= factor
+		case gap > 0 && worse:
+			v /= factor
+		default:
+			v *= factor
+		}
+		if m, ok := qos.Lookup(id); ok && (m.Unit == "ratio" || m.Unit == "score") {
+			v = math.Min(1, v)
+		}
+		forged.Values[id] = v
+	}
+	return forged
+}
+
+// Assignment maps consumers to their attack behaviour; consumers absent
+// from the map are honest.
+type Assignment map[core.ConsumerID]Liar
+
+// Assign marks the first ⌈fraction·len(consumers)⌉ consumers (in the given
+// order) as liars with the supplied behaviour. Deterministic by
+// construction: the experiment seeds decide consumer order.
+func Assign(consumers []core.ConsumerID, fraction float64, liar Liar) Assignment {
+	out := Assignment{}
+	if liar == nil || fraction <= 0 {
+		return out
+	}
+	n := int(math.Ceil(fraction * float64(len(consumers))))
+	if n > len(consumers) {
+		n = len(consumers)
+	}
+	for _, c := range consumers[:n] {
+		out[c] = liar
+	}
+	return out
+}
+
+// Distort applies the consumer's assigned behaviour (honest by default).
+func (a Assignment) Distort(rater core.ConsumerID, subject core.EntityID, honest float64) float64 {
+	if liar, ok := a[rater]; ok {
+		return liar.Distort(rater, subject, honest)
+	}
+	return honest
+}
+
+// IsLiar reports whether the consumer has an assigned attack.
+func (a Assignment) IsLiar(c core.ConsumerID) bool {
+	_, ok := a[c]
+	return ok
+}
+
+// LiarCount reports the number of assigned liars.
+func (a Assignment) LiarCount() int { return len(a) }

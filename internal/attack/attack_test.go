@@ -1,0 +1,196 @@
+package attack
+
+import (
+	"math"
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/simclock"
+)
+
+func TestHonest(t *testing.T) {
+	if got := (Honest{}).Distort("c", "s", 0.7); got != 0.7 {
+		t.Fatalf("honest distorted: %g", got)
+	}
+}
+
+func TestBadmouth(t *testing.T) {
+	all := Badmouth{}
+	if got := all.Distort("c", "s", 0.9); got > 0.1 {
+		t.Fatalf("badmouth-all = %g", got)
+	}
+	targeted := Badmouth{Targets: map[core.EntityID]bool{"s-victim": true}}
+	if got := targeted.Distort("c", "s-victim", 0.9); got > 0.1 {
+		t.Fatalf("targeted badmouth = %g", got)
+	}
+	if got := targeted.Distort("c", "s-other", 0.9); got != 0.9 {
+		t.Fatalf("non-target distorted: %g", got)
+	}
+}
+
+func TestBallotStuff(t *testing.T) {
+	b := BallotStuff{Allies: map[core.EntityID]bool{"s-ally": true}}
+	if got := b.Distort("c", "s-ally", 0.1); got < 0.9 {
+		t.Fatalf("ally not pumped: %g", got)
+	}
+	if got := b.Distort("c", "s-other", 0.1); got != 0.1 {
+		t.Fatalf("non-ally distorted: %g", got)
+	}
+}
+
+func TestCollusion(t *testing.T) {
+	c := Collusion{Allies: map[core.EntityID]bool{"s-ally": true}}
+	if got := c.Distort("c", "s-ally", 0.5); got < 0.9 {
+		t.Fatalf("ally = %g", got)
+	}
+	if got := c.Distort("c", "s-rival", 0.5); got > 0.1 {
+		t.Fatalf("rival = %g", got)
+	}
+}
+
+func TestComplementary(t *testing.T) {
+	if got := (Complementary{}).Distort("c", "s", 0.8); math.Abs(got-0.2) > 1e-9 {
+		t.Fatalf("complementary = %g", got)
+	}
+}
+
+func TestRandomInRange(t *testing.T) {
+	r := Random{Rng: simclock.NewRand(1)}
+	for i := 0; i < 100; i++ {
+		if got := r.Distort("c", "s", 0.5); got < 0 || got > 1 {
+			t.Fatalf("random out of range: %g", got)
+		}
+	}
+}
+
+func TestWhitewasherIdentityCycles(t *testing.T) {
+	w := NewWhitewasher(Honest{}, 3)
+	var ids []core.ConsumerID
+	for i := 0; i < 7; i++ {
+		ids = append(ids, w.IdentityOf("c001"))
+	}
+	// First 3 under the original identity, next 3 under -w1, then -w2.
+	if ids[0] != "c001" || ids[2] != "c001" {
+		t.Fatalf("generation 0 ids = %v", ids[:3])
+	}
+	if ids[3] != "c001-w1" || ids[5] != "c001-w1" {
+		t.Fatalf("generation 1 ids = %v", ids[3:6])
+	}
+	if ids[6] != "c001-w2" {
+		t.Fatalf("generation 2 id = %v", ids[6])
+	}
+	if w.Name() != "whitewash+honest" {
+		t.Fatalf("name = %q", w.Name())
+	}
+}
+
+func TestWhitewasherDefaults(t *testing.T) {
+	w := NewWhitewasher(nil, 0)
+	if w.Period != 5 {
+		t.Fatalf("default period = %d", w.Period)
+	}
+	if got := w.Distort("c", "s", 0.6); got != 0.6 {
+		t.Fatalf("default inner distorted: %g", got)
+	}
+}
+
+func TestAssign(t *testing.T) {
+	consumers := []core.ConsumerID{"c1", "c2", "c3", "c4"}
+	a := Assign(consumers, 0.5, Badmouth{})
+	if a.LiarCount() != 2 {
+		t.Fatalf("liar count = %d", a.LiarCount())
+	}
+	if !a.IsLiar("c1") || !a.IsLiar("c2") || a.IsLiar("c3") {
+		t.Fatalf("assignment = %v", a)
+	}
+	if got := a.Distort("c1", "s", 0.9); got > 0.1 {
+		t.Fatalf("assigned liar honest: %g", got)
+	}
+	if got := a.Distort("c3", "s", 0.9); got != 0.9 {
+		t.Fatalf("honest consumer distorted: %g", got)
+	}
+	// Edge cases.
+	if Assign(consumers, 0, Badmouth{}).LiarCount() != 0 {
+		t.Fatal("zero fraction assigned liars")
+	}
+	if Assign(consumers, 2, Badmouth{}).LiarCount() != 4 {
+		t.Fatal("overflow fraction not clamped")
+	}
+	if Assign(consumers, 0.5, nil).LiarCount() != 0 {
+		t.Fatal("nil liar assigned")
+	}
+}
+
+func TestFabricateObservationBadmouthing(t *testing.T) {
+	obs := qos.Observation{
+		Success: true,
+		Values: qos.Vector{
+			qos.ResponseTime: 100, qos.Throughput: 80, qos.Accuracy: 0.9,
+		},
+	}
+	forged := FabricateObservation(obs, 0.8, 0.1) // lies downward
+	if forged.Values[qos.ResponseTime] <= 100 {
+		t.Fatalf("badmouth forgery did not worsen response time: %g", forged.Values[qos.ResponseTime])
+	}
+	if forged.Values[qos.Throughput] >= 80 {
+		t.Fatalf("badmouth forgery did not worsen throughput: %g", forged.Values[qos.Throughput])
+	}
+	if forged.Values[qos.Accuracy] >= 0.9 {
+		t.Fatalf("badmouth forgery did not worsen accuracy: %g", forged.Values[qos.Accuracy])
+	}
+	// Original untouched.
+	if obs.Values[qos.ResponseTime] != 100 {
+		t.Fatal("forgery mutated the original observation")
+	}
+}
+
+func TestFabricateObservationBallotStuffing(t *testing.T) {
+	obs := qos.Observation{
+		Success: true,
+		Values:  qos.Vector{qos.ResponseTime: 400, qos.Accuracy: 0.3},
+	}
+	forged := FabricateObservation(obs, 0.2, 0.95) // lies upward
+	if forged.Values[qos.ResponseTime] >= 400 {
+		t.Fatalf("stuffing forgery did not improve response time: %g", forged.Values[qos.ResponseTime])
+	}
+	if forged.Values[qos.Accuracy] <= 0.3 {
+		t.Fatalf("stuffing forgery did not improve accuracy: %g", forged.Values[qos.Accuracy])
+	}
+	if forged.Values[qos.Accuracy] > 1 {
+		t.Fatalf("score metric exceeded 1: %g", forged.Values[qos.Accuracy])
+	}
+}
+
+func TestFabricateObservationNoOpCases(t *testing.T) {
+	obs := qos.Observation{Success: true, Values: qos.Vector{qos.ResponseTime: 100}}
+	// Honest verdict (gap below threshold): untouched.
+	same := FabricateObservation(obs, 0.8, 0.82)
+	if same.Values[qos.ResponseTime] != 100 {
+		t.Fatal("near-honest report forged")
+	}
+	// Failed invocations carry nothing to forge.
+	failed := qos.Observation{Success: false}
+	if got := FabricateObservation(failed, 0.8, 0.1); got.Success {
+		t.Fatal("failure flag changed")
+	}
+}
+
+func TestLiarNames(t *testing.T) {
+	tests := []struct {
+		liar Liar
+		want string
+	}{
+		{Honest{}, "honest"},
+		{Badmouth{}, "badmouth"},
+		{BallotStuff{}, "ballot-stuff"},
+		{Collusion{}, "collusion"},
+		{Complementary{}, "complementary"},
+		{Random{Rng: simclock.NewRand(1)}, "random"},
+	}
+	for _, tc := range tests {
+		if got := tc.liar.Name(); got != tc.want {
+			t.Errorf("Name() = %q, want %q", got, tc.want)
+		}
+	}
+}

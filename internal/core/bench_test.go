@@ -1,0 +1,51 @@
+package core
+
+import (
+	"testing"
+
+	"wstrust/internal/qos"
+	"wstrust/internal/simclock"
+)
+
+type benchMech struct{ scores map[EntityID]TrustValue }
+
+func (benchMech) Name() string          { return "bench" }
+func (benchMech) Submit(Feedback) error { return nil }
+func (m benchMech) Score(q Query) (TrustValue, bool) {
+	tv, ok := m.scores[q.Subject]
+	return tv, ok
+}
+
+// BenchmarkEngineRank measures ranking over candidate sets of the size the
+// experiments use.
+func BenchmarkEngineRank(b *testing.B) {
+	for _, n := range []int{10, 50, 200} {
+		n := n
+		b.Run(map[int]string{10: "10", 50: "50", 200: "200"}[n], func(b *testing.B) {
+			mech := benchMech{scores: map[EntityID]TrustValue{}}
+			cands := make([]Candidate, n)
+			for i := range cands {
+				id := NewServiceID(i)
+				cands[i] = Candidate{
+					Service: id, Provider: NewProviderID(i),
+					Advertised: qos.Vector{qos.ResponseTime: float64(100 + i)},
+				}
+				mech.scores[id] = TrustValue{Score: float64(i%10) / 10, Confidence: 0.8}
+			}
+			e := NewEngine(mech, simclock.NewRand(1))
+			prefs := qos.NewUniformPreferences(qos.ResponseTime)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = e.Rank("c001", prefs, cands)
+			}
+		})
+	}
+}
+
+func BenchmarkBlend(b *testing.B) {
+	x := TrustValue{Score: 0.7, Confidence: 0.4}
+	y := TrustValue{Score: 0.3, Confidence: 0.8}
+	for i := 0; i < b.N; i++ {
+		_ = Blend(x, y)
+	}
+}

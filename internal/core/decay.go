@@ -1,0 +1,74 @@
+package core
+
+import (
+	"math"
+	"time"
+)
+
+// The paper's third shared characteristic of trust and reputation is that
+// they are dynamic: they "increase or decrease with further experiences"
+// and "decay with time. New experiences are more important than old ones
+// since old experiences may become obsolete or irrelevant with time passing
+// by." This file provides the two standard devices mechanisms use to honor
+// that: exponential time decay and geometric recency weighting.
+
+// DecayFunc maps the age of an experience to a weight in [0,1].
+type DecayFunc func(age time.Duration) float64
+
+// NoDecay weights every experience fully regardless of age.
+func NoDecay(time.Duration) float64 { return 1 }
+
+// ExpDecay returns an exponential decay with the given half-life: an
+// experience halfLife old weighs 0.5, twice that 0.25, and so on.
+// ExpDecay panics for a non-positive half-life.
+func ExpDecay(halfLife time.Duration) DecayFunc {
+	if halfLife <= 0 {
+		panic("core: ExpDecay requires positive half-life")
+	}
+	hl := halfLife.Seconds()
+	return func(age time.Duration) float64 {
+		if age <= 0 {
+			return 1
+		}
+		return math.Exp2(-age.Seconds() / hl)
+	}
+}
+
+// RecencyWeights returns geometric weights for n experiences ordered oldest
+// to newest: weight(i) ∝ factor^(n−1−i) with factor in (0,1]. factor=1
+// weighs all equally; smaller factors emphasize recent experiences, the
+// forgetting-factor idiom used by Sporas-style iterative updates.
+// RecencyWeights panics for factor outside (0,1].
+func RecencyWeights(n int, factor float64) []float64 {
+	if factor <= 0 || factor > 1 {
+		panic("core: RecencyWeights factor must be in (0,1]")
+	}
+	if n <= 0 {
+		return nil
+	}
+	w := make([]float64, n)
+	cur := 1.0
+	for i := n - 1; i >= 0; i-- {
+		w[i] = cur
+		cur *= factor
+	}
+	return w
+}
+
+// WeightedMean returns the mean of values with the given weights, plus the
+// total weight. Mismatched lengths panic; zero total weight returns
+// (0.5, 0) — the neutral no-evidence answer used throughout wstrust.
+func WeightedMean(values, weights []float64) (mean, totalWeight float64) {
+	if len(values) != len(weights) {
+		panic("core: WeightedMean length mismatch")
+	}
+	var num, den float64
+	for i, v := range values {
+		num += v * weights[i]
+		den += weights[i]
+	}
+	if den == 0 {
+		return 0.5, 0
+	}
+	return num / den, den
+}

@@ -1,0 +1,80 @@
+// Package core is the trust-and-reputation framework that every surveyed
+// mechanism in wstrust plugs into. It defines the entity model (consumers,
+// providers, services), the context-specific and multi-faceted trust value
+// model of the paper's Section 3, rating and feedback records, trust
+// dynamics (experience updates and time decay), the Mechanism contract, and
+// the selection engine that ranks candidate services for a consumer.
+package core
+
+import (
+	"fmt"
+
+	"wstrust/internal/qos"
+)
+
+// EntityKind distinguishes the two foci of the paper's second typology
+// criterion: person/agent systems model the reputation of people or agents;
+// resource systems model the reputation of products or services.
+type EntityKind int
+
+const (
+	// KindPerson marks consumers, providers, and agents acting for them.
+	KindPerson EntityKind = iota + 1
+	// KindResource marks web services and the "general services" behind
+	// mediated selection (Figure 1B).
+	KindResource
+)
+
+// String implements fmt.Stringer.
+func (k EntityKind) String() string {
+	switch k {
+	case KindPerson:
+		return "person/agent"
+	case KindResource:
+		return "resource"
+	default:
+		return fmt.Sprintf("EntityKind(%d)", int(k))
+	}
+}
+
+// EntityID identifies any participant: consumer, provider, service, or
+// general service. IDs carry a kind-discriminating prefix assigned by the
+// constructors below so logs stay readable, but code must rely only on
+// equality, never parse them.
+type EntityID string
+
+// ConsumerID identifies a service consumer (a person/agent entity).
+type ConsumerID = EntityID
+
+// ProviderID identifies a service provider (a person/agent entity).
+type ProviderID = EntityID
+
+// ServiceID identifies a web service (a resource entity).
+type ServiceID = EntityID
+
+// NewConsumerID, NewProviderID and NewServiceID build readable IDs.
+func NewConsumerID(n int) ConsumerID { return EntityID(fmt.Sprintf("c%03d", n)) }
+
+// NewProviderID builds a provider entity ID.
+func NewProviderID(n int) ProviderID { return EntityID(fmt.Sprintf("p%03d", n)) }
+
+// NewServiceID builds a service entity ID.
+func NewServiceID(n int) ServiceID { return EntityID(fmt.Sprintf("s%03d", n)) }
+
+// Context names the situation in which trust applies — the paper's first
+// shared characteristic of trust and reputation ("Mike trusts John as his
+// doctor, but not as a mechanic"). For web services the context is
+// typically the service category ("weather", "flight-booking").
+type Context string
+
+// ContextAny is the wildcard used by mechanisms that do not distinguish
+// contexts (e.g. eBay's single marketplace score).
+const ContextAny Context = "*"
+
+// Facet names one aspect of a service on which differentiated trust is
+// built — the paper's "multi-faceted" characteristic. Facets are exactly
+// QoS metric identifiers, plus FacetOverall for the combined judgment.
+type Facet = qos.MetricID
+
+// FacetOverall is the facet carrying the combined, all-aspects rating.
+const FacetOverall Facet = "overall"

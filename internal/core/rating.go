@@ -1,0 +1,151 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wstrust/internal/qos"
+)
+
+// Rating is one scalar judgment in [0,1] by a rater about a subject, on one
+// facet, in one context, at one instant. 1 is fully satisfied, 0 fully
+// dissatisfied. Binary mechanisms (eBay's +1/−1) map onto {0,1}.
+type Rating struct {
+	Rater   ConsumerID
+	Subject EntityID
+	Context Context
+	Facet   Facet
+	Value   float64
+	At      time.Time
+}
+
+// Validate reports an error if the rating value lies outside [0,1] or
+// required identifiers are empty.
+func (r Rating) Validate() error {
+	if r.Rater == "" || r.Subject == "" {
+		return fmt.Errorf("core: rating missing rater (%q) or subject (%q)", r.Rater, r.Subject)
+	}
+	if math.IsNaN(r.Value) || r.Value < 0 || r.Value > 1 {
+		return fmt.Errorf("core: rating value %g outside [0,1]", r.Value)
+	}
+	return nil
+}
+
+// Feedback is what a consumer reports to a trust and reputation mechanism
+// after consuming a service. Per the paper's Section 2 it carries two kinds
+// of information: objective quality data "collected from actual execution
+// monitoring, such as response time and execution time", and subjective
+// ratings "about the quality of the service, especially the QoS aspects
+// like accuracy that can not be acquired through execution monitoring".
+type Feedback struct {
+	Consumer ConsumerID
+	Service  ServiceID
+	// Provider is the publisher of the service, so mechanisms can maintain
+	// provider-level reputation (the Section-5 research direction).
+	Provider ProviderID
+	Context  Context
+
+	// Observed is the objective, monitored QoS outcome (raw units).
+	Observed qos.Observation
+	// Ratings are the subjective per-facet judgments in [0,1]. A
+	// FacetOverall entry, when present, is the consumer's combined verdict.
+	Ratings map[Facet]float64
+
+	At time.Time
+}
+
+// Validate checks value ranges on all facet ratings.
+func (f Feedback) Validate() error {
+	if f.Consumer == "" || f.Service == "" {
+		return fmt.Errorf("core: feedback missing consumer (%q) or service (%q)", f.Consumer, f.Service)
+	}
+	for facet, v := range f.Ratings {
+		if math.IsNaN(v) || v < 0 || v > 1 {
+			return fmt.Errorf("core: feedback rating %g for facet %s outside [0,1]", v, facet)
+		}
+	}
+	return nil
+}
+
+// Overall returns the consumer's combined verdict: the FacetOverall rating
+// if present, otherwise the unweighted mean of the facet ratings, otherwise
+// 1/0 by invocation success.
+func (f Feedback) Overall() float64 {
+	if v, ok := f.Ratings[FacetOverall]; ok {
+		return v
+	}
+	if len(f.Ratings) > 0 {
+		// Sum in sorted facet order: map-order floating-point accumulation
+		// would make the overall rating process-dependent.
+		facets := make([]Facet, 0, len(f.Ratings))
+		for facet := range f.Ratings {
+			facets = append(facets, facet)
+		}
+		sum := 0.0
+		for _, facet := range qos.SortIDs(facets) {
+			sum += f.Ratings[facet]
+		}
+		return sum / float64(len(f.Ratings))
+	}
+	if f.Observed.Success {
+		return 1
+	}
+	return 0
+}
+
+// RatingsOf flattens the feedback into per-facet Rating records about the
+// service, for mechanisms that consume plain ratings.
+func (f Feedback) RatingsOf() []Rating {
+	facets := make([]Facet, 0, len(f.Ratings))
+	for facet := range f.Ratings {
+		facets = append(facets, facet)
+	}
+	out := make([]Rating, 0, len(facets))
+	for _, facet := range qos.SortIDs(facets) {
+		out = append(out, Rating{
+			Rater:   f.Consumer,
+			Subject: f.Service,
+			Context: f.Context,
+			Facet:   facet,
+			Value:   f.Ratings[facet],
+			At:      f.At,
+		})
+	}
+	return out
+}
+
+// TrustValue is the output of a trust or reputation computation: a score in
+// [0,1] plus a confidence in [0,1] reflecting how much evidence backs it.
+// Confidence lets the selection engine discount barely-known services and
+// drives exploration.
+type TrustValue struct {
+	Score      float64
+	Confidence float64
+}
+
+// Clamp returns the value with both fields forced into [0,1]; mechanisms
+// use it defensively before returning scores assembled from arithmetic.
+func (t TrustValue) Clamp() TrustValue {
+	c := func(x float64) float64 {
+		if math.IsNaN(x) {
+			return 0
+		}
+		return math.Max(0, math.Min(1, x))
+	}
+	return TrustValue{Score: c(t.Score), Confidence: c(t.Confidence)}
+}
+
+// Blend linearly combines two trust values weighting each by its
+// confidence; it is the framework's standard way to merge direct trust with
+// reputation, or service trust with provider reputation.
+func Blend(a, b TrustValue) TrustValue {
+	den := a.Confidence + b.Confidence
+	if den == 0 {
+		return TrustValue{Score: 0.5, Confidence: 0}
+	}
+	return TrustValue{
+		Score:      (a.Score*a.Confidence + b.Score*b.Confidence) / den,
+		Confidence: math.Max(a.Confidence, b.Confidence),
+	}
+}

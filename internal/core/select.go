@@ -1,0 +1,250 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"wstrust/internal/qos"
+)
+
+// Candidate is one service competing for selection: the functional match
+// set a consumer gets back from the registry ("a bunch of services offering
+// the same function", Section 1).
+type Candidate struct {
+	Service  ServiceID
+	Provider ProviderID
+	Context  Context
+	// Advertised is the provider-published QoS description. It may be
+	// exaggerated; that is the point of the paper.
+	Advertised qos.Vector
+}
+
+// Ranked is a candidate with the score the engine assigned it.
+type Ranked struct {
+	Candidate
+	Trust   TrustValue
+	Utility float64
+	// Score is the final ranking key combining trust, utility and the
+	// provider-reputation bootstrap.
+	Score float64
+}
+
+// Policy controls how the engine turns scores into a choice.
+type Policy int
+
+const (
+	// PolicyGreedy always picks the top-scored candidate.
+	PolicyGreedy Policy = iota + 1
+	// PolicyEpsilonGreedy picks the top candidate with probability 1−ε and
+	// a uniformly random candidate otherwise, so unknown services keep
+	// getting a chance — the engine-side counterpart of the explorer-agent
+	// idea in Maximilien & Singh [19].
+	PolicyEpsilonGreedy
+	// PolicySoftmax samples proportionally to exp(score/τ).
+	PolicySoftmax
+	// PolicyUCB picks the candidate maximizing score + c·(1−confidence):
+	// optimism under uncertainty, so poorly-known services get structured
+	// (rather than random) exploration. c is set via WithUCBWidth.
+	PolicyUCB
+)
+
+// EngineOption configures an Engine.
+type EngineOption func(*Engine)
+
+// WithPolicy sets the selection policy (default PolicyGreedy).
+func WithPolicy(p Policy) EngineOption { return func(e *Engine) { e.policy = p } }
+
+// WithEpsilon sets the exploration rate for PolicyEpsilonGreedy (default 0.1).
+func WithEpsilon(eps float64) EngineOption { return func(e *Engine) { e.epsilon = eps } }
+
+// WithTemperature sets the softmax temperature (default 0.1).
+func WithTemperature(tau float64) EngineOption { return func(e *Engine) { e.tau = tau } }
+
+// WithUCBWidth sets the exploration bonus weight for PolicyUCB
+// (default 0.3).
+func WithUCBWidth(c float64) EngineOption {
+	return func(e *Engine) {
+		if c >= 0 {
+			e.ucbWidth = c
+		}
+	}
+}
+
+// WithProviderBootstrap enables blending a service's trust with its
+// provider's reputation when service evidence is thin — the Section-5
+// cold-start direction ("if a provider has a good reputation for providing
+// good quality services, a consumer would like to believe that its new
+// service has good quality too"). It takes effect only when the mechanism
+// implements ProviderScorer.
+func WithProviderBootstrap(enabled bool) EngineOption {
+	return func(e *Engine) { e.providerBootstrap = enabled }
+}
+
+// WithAdvertisedFallback controls whether candidates unknown to the
+// mechanism are scored by their advertised QoS utility (the pre-reputation
+// status quo the paper criticizes) instead of the neutral prior.
+func WithAdvertisedFallback(enabled bool) EngineOption {
+	return func(e *Engine) { e.advertisedFallback = enabled }
+}
+
+// Engine ranks candidate services for a consumer by combining mechanism
+// trust scores with the consumer's QoS preference utility, and picks one
+// according to its policy.
+type Engine struct {
+	mech     Mechanism
+	rng      *rand.Rand
+	policy   Policy
+	epsilon  float64
+	tau      float64
+	ucbWidth float64
+
+	providerBootstrap  bool
+	advertisedFallback bool
+}
+
+// NewEngine builds a selection engine over mech. rng drives the stochastic
+// policies and must not be nil.
+func NewEngine(mech Mechanism, rng *rand.Rand, opts ...EngineOption) *Engine {
+	if mech == nil {
+		panic("core: NewEngine with nil mechanism")
+	}
+	if rng == nil {
+		panic("core: NewEngine with nil rng")
+	}
+	e := &Engine{mech: mech, rng: rng, policy: PolicyGreedy, epsilon: 0.1, tau: 0.1, ucbWidth: 0.3}
+	for _, opt := range opts {
+		opt(e)
+	}
+	return e
+}
+
+// Mechanism returns the mechanism the engine ranks with.
+func (e *Engine) Mechanism() Mechanism { return e.mech }
+
+// Rank scores every candidate for the consumer and returns them sorted
+// best-first. Ties break lexicographically by service ID for determinism.
+func (e *Engine) Rank(consumer ConsumerID, prefs qos.Preferences, cands []Candidate) []Ranked {
+	if len(cands) == 0 {
+		return nil
+	}
+	// Normalize advertised QoS across the candidate set (Liu-Ngu-Zeng).
+	pop := make([]qos.Vector, 0, len(cands))
+	for _, c := range cands {
+		pop = append(pop, c.Advertised)
+	}
+	norm := qos.NewNormalizer(pop)
+
+	out := make([]Ranked, 0, len(cands))
+	for _, c := range cands {
+		tv, known := e.mech.Score(Query{
+			Perspective: consumer,
+			Subject:     c.Service,
+			Context:     c.Context,
+			Facet:       FacetOverall,
+		})
+		if !known {
+			tv = TrustValue{Score: 0.5, Confidence: 0}
+		}
+		if e.providerBootstrap && tv.Confidence < 0.5 && c.Provider != "" {
+			if ps, ok := e.mech.(ProviderScorer); ok {
+				if pv, pok := ps.ScoreProvider(Query{
+					Perspective: consumer,
+					Subject:     c.Provider,
+					Context:     c.Context,
+					Facet:       FacetOverall,
+				}); pok {
+					tv = Blend(tv, pv)
+					// Provider history is evidence: a brand-new service from
+					// a known provider is not an unknown quantity — that is
+					// the whole point of the Section-5 cold-start direction.
+					known = true
+				}
+			}
+		}
+		util := prefs.Utility(norm.NormalizeVector(c.Advertised))
+		score := e.combine(tv, util, known)
+		out = append(out, Ranked{Candidate: c, Trust: tv.Clamp(), Utility: util, Score: score})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Service < out[j].Service
+	})
+	return out
+}
+
+// combine merges trust and advertised utility. Trust dominates as evidence
+// accumulates; with no evidence the engine either falls back to the
+// advertised utility (if configured) or stays neutral.
+func (e *Engine) combine(tv TrustValue, util float64, known bool) float64 {
+	conf := tv.Confidence
+	base := 0.5
+	if e.advertisedFallback {
+		base = util
+	}
+	if !known {
+		return base
+	}
+	return conf*tv.Score + (1-conf)*base
+}
+
+// Select ranks the candidates and applies the policy to choose one. It
+// returns the chosen candidate and the full ranking. Select fails only on
+// an empty candidate set.
+func (e *Engine) Select(consumer ConsumerID, prefs qos.Preferences, cands []Candidate) (Ranked, []Ranked, error) {
+	ranked := e.Rank(consumer, prefs, cands)
+	if len(ranked) == 0 {
+		return Ranked{}, nil, fmt.Errorf("core: no candidates to select from")
+	}
+	switch e.policy {
+	case PolicyEpsilonGreedy:
+		if e.rng.Float64() < e.epsilon {
+			return ranked[e.rng.Intn(len(ranked))], ranked, nil
+		}
+		return ranked[0], ranked, nil
+	case PolicySoftmax:
+		return ranked[e.softmaxPick(ranked)], ranked, nil
+	case PolicyUCB:
+		return ranked[e.ucbPick(ranked)], ranked, nil
+	default:
+		return ranked[0], ranked, nil
+	}
+}
+
+// ucbPick maximizes score plus an uncertainty bonus; ties break toward
+// the earlier (already best-sorted) candidate.
+func (e *Engine) ucbPick(ranked []Ranked) int {
+	best, bestVal := 0, math.Inf(-1)
+	for i, r := range ranked {
+		v := r.Score + e.ucbWidth*(1-r.Trust.Confidence)
+		if v > bestVal {
+			best, bestVal = i, v
+		}
+	}
+	return best
+}
+
+func (e *Engine) softmaxPick(ranked []Ranked) int {
+	tau := e.tau
+	if tau <= 0 {
+		tau = 1e-6
+	}
+	weights := make([]float64, len(ranked))
+	maxScore := ranked[0].Score
+	total := 0.0
+	for i, r := range ranked {
+		weights[i] = math.Exp((r.Score - maxScore) / tau)
+		total += weights[i]
+	}
+	x := e.rng.Float64() * total
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return i
+		}
+	}
+	return len(ranked) - 1
+}

@@ -1,0 +1,45 @@
+package experiment
+
+import "fmt"
+
+// Runner is one experiment entry point.
+type Runner struct {
+	ID   string
+	Run  func(seed int64) (Report, error)
+	Desc string
+}
+
+// All returns every experiment in DESIGN.md's index, in order.
+func All() []Runner {
+	return []Runner{
+		{"F1", F1, "Figure 1: direct vs mediated selection scenarios"},
+		{"F2", F2, "Figure 2: activities model — the five QoS information flows"},
+		{"F3", F3, "Figure 3: QoS taxonomy and multi-faceted trust"},
+		{"F4", F4, "Figure 4: classification tree + all-mechanism benchmark"},
+		{"C1", C1, "advertised QoS is exploitable; reputation is not"},
+		{"C2", C2, "monitoring cost scales with #services, feedback with usage"},
+		{"C3", C3, "trust dynamics: decay and context specificity"},
+		{"C4", C4, "global vs personalized under preference heterogeneity"},
+		{"C5", C5, "unfair-rating defenses under attack"},
+		{"C6", C6, "decentralized accuracy at a communication premium"},
+		{"C7", C7, "provider reputation bootstraps new services"},
+		{"C8", C8, "trust transitivity with per-hop discounting"},
+		{"C9", C9, "explorer agents rehabilitate improved services"},
+		{"C10", C10, "design-time vs run-time selection in dynamic environments"},
+		{"A1", A1, "ablation: decay half-life (tracking vs stability)"},
+		{"A2", A2, "ablation: EigenTrust pre-trusted peers vs collusion"},
+		{"A3", A3, "ablation: newcomer policy vs whitewashing"},
+		{"A4", A4, "ablation: P-Grid replication vs churn"},
+		{"A5", A5, "ablation: P-Grid construction — central vs pairwise bootstrap"},
+	}
+}
+
+// ByID returns the runner with the given ID.
+func ByID(id string) (Runner, error) {
+	for _, r := range All() {
+		if r.ID == id {
+			return r, nil
+		}
+	}
+	return Runner{}, fmt.Errorf("experiment: unknown id %q", id)
+}

@@ -1,0 +1,264 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"wstrust/internal/core"
+	"wstrust/internal/monitor"
+	"wstrust/internal/qos"
+	"wstrust/internal/registry"
+	"wstrust/internal/simclock"
+	"wstrust/internal/soa"
+	"wstrust/internal/trust/beta"
+	"wstrust/internal/workload"
+)
+
+// C1 validates the Section-2 claim that provider-advertised QoS is
+// exploitable while feedback-based reputation identifies good services: in
+// a market where the worst 30% of providers exaggerate heavily, the
+// advertised-QoS selector keeps falling for them while the reputation
+// selector's regret collapses after a few rounds.
+func C1(seed int64) (Report, error) {
+	run := func(tag string, mech core.Mechanism, opts []core.EngineOption) (RunResult, error) {
+		env, err := NewEnv(EnvConfig{
+			Seed: seed,
+			Services: workload.ServiceOptions{
+				N: 24, Category: "compute", ExaggerateFrac: 0.3, Exaggeration: 1.0,
+			},
+			Consumers: 20,
+		})
+		if err != nil {
+			return RunResult{}, err
+		}
+		return env.Run(mech, RunOptions{Rounds: 30, Category: "compute", EngineOpts: opts})
+	}
+	random, err := run("random", nullMechanism{},
+		[]core.EngineOption{core.WithPolicy(core.PolicyEpsilonGreedy), core.WithEpsilon(1)})
+	if err != nil {
+		return Report{}, err
+	}
+	advertised, err := run("advertised", nullMechanism{},
+		[]core.EngineOption{core.WithAdvertisedFallback(true)})
+	if err != nil {
+		return Report{}, err
+	}
+	reputation, err := run("reputation", beta.New(),
+		[]core.EngineOption{core.WithPolicy(core.PolicyEpsilonGreedy), core.WithEpsilon(0.1)})
+	if err != nil {
+		return Report{}, err
+	}
+
+	body := Table([][]string{
+		{"selector", "mean regret", "final-5-round regret", "hit rate"},
+		{"random", F(random.MeanRegret), F(mean(random.RegretSeries[25:])), F(random.HitRate)},
+		{"advertised QoS", F(advertised.MeanRegret), F(mean(advertised.RegretSeries[25:])), F(advertised.HitRate)},
+		{"reputation (beta)", F(reputation.MeanRegret), F(mean(reputation.RegretSeries[25:])), F(reputation.HitRate)},
+	}) + "reputation regret per round: " + Sparkline(reputation.RegretSeries) + "\n"
+
+	finalRep := mean(reputation.RegretSeries[25:])
+	finalAdv := mean(advertised.RegretSeries[25:])
+	pass := finalRep < finalAdv && advertised.MeanRegret < random.MeanRegret
+	return Report{
+		ID:    "C1",
+		Title: "Advertised QoS is exploitable; reputation is not",
+		PaperClaim: "a provider may exaggerate its QoS to attract consumers; a consumer is vulnerable to " +
+			"inaccurate QoS information, while feedback mechanisms identify good services",
+		Body:  body,
+		Shape: fmt.Sprintf("steady-state regret: reputation %.3f < advertised %.3f; advertised < random %.3f", finalRep, finalAdv, random.MeanRegret),
+		Pass:  pass,
+		Data: map[string]float64{
+			"random_regret":         random.MeanRegret,
+			"advertised_regret":     advertised.MeanRegret,
+			"reputation_regret":     reputation.MeanRegret,
+			"reputation_steady":     finalRep,
+			"advertised_steady":     finalAdv,
+			"reputation_conv_round": float64(reputation.ConvergenceRound),
+		},
+	}, nil
+}
+
+// C2 validates the Section-2 cost claim: sensor/active monitoring cost
+// scales with the number of services ("the cost will be huge ... it puts
+// too much burden on the central node"), while consumer feedback scales
+// with usage, independent of how many services exist.
+func C2(seed int64) (Report, error) {
+	const rounds = 10
+	const consumersN = 20
+	sizes := []int{10, 50, 100, 500, 1000}
+	rows := [][]string{{"services N", "sensor cost", "feedback msgs", "sensor/feedback ratio"}}
+	data := map[string]float64{}
+	var ratios []float64
+	for _, n := range sizes {
+		clock := simclock.NewVirtual()
+		fabric := soa.NewFabric(clock, simclock.Stream(seed, fmt.Sprintf("c2-%d", n)), soa.NewUDDI())
+		specs := workload.GenerateServices(simclock.Stream(seed, fmt.Sprintf("c2s-%d", n)), workload.ServiceOptions{N: n})
+		for _, s := range specs {
+			if err := fabric.Register(s.Desc, s.Behavior); err != nil {
+				return Report{}, err
+			}
+		}
+		// Sensor regime: one probe per service per round.
+		tp := monitor.NewThirdParty(fabric)
+		for _, s := range specs {
+			if err := tp.Deploy(s.Desc.Service); err != nil {
+				return Report{}, err
+			}
+		}
+		for r := 0; r < rounds; r++ {
+			tp.ProbeAll()
+		}
+		// Feedback regime: messages = submissions = consumers × rounds,
+		// regardless of N.
+		store := registry.NewStore()
+		consumers := workload.GenerateConsumers(simclock.Stream(seed, "c2c"), consumersN, 0)
+		for r := 0; r < rounds; r++ {
+			for _, c := range consumers {
+				target := specs[(r*consumersN+len(c.ID))%len(specs)]
+				res, err := fabric.Invoke(c.ID, target.Desc.Service, "Execute")
+				if err != nil {
+					return Report{}, err
+				}
+				if err := store.Submit(core.Feedback{
+					Consumer: c.ID, Service: target.Desc.Service, Provider: target.Desc.Provider,
+					Observed: res.Observation,
+					Ratings:  workload.Grade(res.Observation, c.Prefs),
+					At:       clock.Now(),
+				}); err != nil {
+					return Report{}, err
+				}
+			}
+			clock.Advance(time.Hour)
+		}
+		ratio := tp.Cost() / float64(store.MessageCount())
+		ratios = append(ratios, ratio)
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", n), F(tp.Cost()), FI(store.MessageCount()), F(ratio),
+		})
+		data[fmt.Sprintf("sensor_cost_%d", n)] = tp.Cost()
+		data[fmt.Sprintf("feedback_msgs_%d", n)] = float64(store.MessageCount())
+	}
+	// Sensor cost must grow ~linearly with N while feedback stays flat:
+	// the ratio at N=1000 should be ~100× the ratio at N=10.
+	growth := ratios[len(ratios)-1] / ratios[0]
+	pass := growth > 50 &&
+		data["feedback_msgs_10"] == data["feedback_msgs_1000"]
+	return Report{
+		ID:    "C2",
+		Title: "Monitoring cost scales with #services; feedback with usage",
+		PaperClaim: "deploying a sensor per web service is very costly and unsuitable for large systems; " +
+			"collecting consumer feedback greatly lowers the burden of the central node",
+		Body:  Table(rows),
+		Shape: fmt.Sprintf("sensor/feedback cost ratio grows %.0f× from N=10 to N=1000; feedback messages constant", growth),
+		Pass:  pass,
+		Data:  data,
+	}, nil
+}
+
+// C3 validates the Section-3 dynamics characteristics: trust decays with
+// time and new experiences outweigh old ones (an oscillating provider is
+// tracked only with decay), and trust is context-specific (evidence in one
+// context does not leak into another).
+func C3(seed int64) (Report, error) {
+	// One service in continuous use flips from good to bad at round 15; we
+	// track how far the mechanism's score lags behind the new reality.
+	trackingError := func(withDecay bool) (float64, error) {
+		clock := simclock.NewVirtual()
+		fabric := soa.NewFabric(clock, simclock.Stream(seed, fmt.Sprintf("c3-%v", withDecay)), soa.NewUDDI())
+		good := qos.Vector{
+			qos.ResponseTime: 100, qos.Availability: 0.99,
+			qos.Accuracy: 0.9, qos.Throughput: 90, qos.Cost: 5,
+		}
+		bad := qos.Vector{
+			qos.ResponseTime: 450, qos.Availability: 0.55,
+			qos.Accuracy: 0.2, qos.Throughput: 15, qos.Cost: 5,
+		}
+		desc := soa.Description{
+			Service: "s-flip", Provider: "p001", Name: "flipper", Category: "compute",
+			Operations: []soa.Operation{{Name: "Execute"}}, Advertised: good,
+		}
+		behavior := soa.Behavior{
+			True: good, Alt: bad, Dynamics: soa.Oscillating,
+			Period: 15 * RoundDuration, Jitter: 0.05,
+		}
+		if err := fabric.Register(desc, behavior); err != nil {
+			return 0, err
+		}
+		var mech core.Mechanism
+		if withDecay {
+			mech = beta.New(beta.WithHalfLife(2 * RoundDuration))
+		} else {
+			mech = beta.New()
+		}
+		consumers := workload.GenerateConsumers(simclock.Stream(seed, "c3c"), 5, 0)
+		var lateErr float64
+		var lateN int
+		for round := 0; round < 30; round++ {
+			for _, c := range consumers {
+				res, err := fabric.Invoke(c.ID, "s-flip", "Execute")
+				if err != nil {
+					return 0, err
+				}
+				if err := mech.Submit(core.Feedback{
+					Consumer: c.ID, Service: "s-flip", Provider: "p001", Context: "compute",
+					Observed: res.Observation,
+					Ratings:  workload.Grade(res.Observation, c.Prefs),
+					At:       clock.Now(),
+				}); err != nil {
+					return 0, err
+				}
+			}
+			if round >= 20 { // well after the flip
+				tv, _ := mech.Score(core.Query{Subject: "s-flip", Context: "compute", Facet: core.FacetOverall})
+				truth := workload.TrueUtility(workload.ServiceSpec{
+					Behavior: soa.Behavior{True: behavior.TrueAt(clock.Now())},
+				}, workload.BasePreferences())
+				lateErr += math.Abs(tv.Score - truth)
+				lateN++
+			}
+			clock.Advance(RoundDuration)
+		}
+		return lateErr / float64(lateN), nil
+	}
+
+	stale, err := trackingError(false)
+	if err != nil {
+		return Report{}, err
+	}
+	fresh, err := trackingError(true)
+	if err != nil {
+		return Report{}, err
+	}
+
+	// Context specificity, directly on the mechanism.
+	ctxMech := beta.New()
+	for i := 0; i < 10; i++ {
+		_ = ctxMech.Submit(core.Feedback{
+			Consumer: "c001", Service: "s-ctx", Context: "weather",
+			Ratings: map[core.Facet]float64{core.FacetOverall: 1}, At: simclock.Epoch,
+		})
+	}
+	_, knownOther := ctxMech.Score(core.Query{Subject: "s-ctx", Context: "mechanic", Facet: core.FacetOverall})
+
+	body := Table([][]string{
+		{"variant", "post-flip score tracking error"},
+		{"no decay (old experiences keep weight)", F(stale)},
+		{"half-life 2 rounds (new experiences dominate)", F(fresh)},
+	})
+	pass := fresh < stale && !knownOther
+	return Report{
+		ID:    "C3",
+		Title: "Trust is dynamic (decay) and context-specific",
+		PaperClaim: "trust decays with time; new experiences are more important than old ones; " +
+			"trust in one context says nothing about another",
+		Body: body,
+		Shape: fmt.Sprintf("post-flip tracking error: decayed %.3f < undecayed %.3f; cross-context leak: %v",
+			fresh, stale, knownOther),
+		Pass: pass,
+		Data: map[string]float64{
+			"stale_error": stale,
+			"fresh_error": fresh,
+		},
+	}, nil
+}

@@ -1,0 +1,297 @@
+package experiment
+
+import (
+	"fmt"
+
+	"wstrust/internal/core"
+	"wstrust/internal/monitor"
+	"wstrust/internal/qos"
+	"wstrust/internal/simclock"
+	"wstrust/internal/soa"
+	"wstrust/internal/trust/beta"
+	"wstrust/internal/trust/subjective"
+	"wstrust/internal/workload"
+)
+
+// C7 validates the Section-5 direction "trust and reputation mechanisms
+// for web service providers rather than just for web services": after a
+// market with provider portfolios has been learned, a brand-new service
+// from a reputable provider should be preferred over an equally unknown
+// service from a disreputable one — but only when the engine bootstraps
+// from provider reputation.
+func C7(seed int64) (Report, error) {
+	result := map[bool]float64{} // bootstrap → share of picks on good-provider newcomer
+	var rankedFirst map[bool]bool = map[bool]bool{}
+	for _, bootstrap := range []bool{false, true} {
+		env, err := NewEnv(EnvConfig{
+			Seed: seed,
+			Services: workload.ServiceOptions{
+				N: 16, Category: "compute", PortfolioSize: 4,
+			},
+			Consumers: 20,
+		})
+		if err != nil {
+			return Report{}, err
+		}
+		mech := beta.New()
+		opts := []core.EngineOption{core.WithPolicy(core.PolicyEpsilonGreedy), core.WithEpsilon(0.1)}
+		if bootstrap {
+			opts = append(opts, core.WithProviderBootstrap(true))
+		}
+		// Phase 1: learn the market (providers p001/p002 good-tier
+		// portfolios, p003/p004 bad-tier, by generation order).
+		if _, err := env.Run(mech, RunOptions{Rounds: 20, Category: "compute", EngineOpts: opts}); err != nil {
+			return Report{}, err
+		}
+		// Phase 2: two identical-truth newcomers, one per provider
+		// reputation extreme. Identical truth isolates the provider signal.
+		truth := qos.Vector{
+			qos.ResponseTime: 120, qos.Availability: 0.97,
+			qos.Accuracy: 0.9, qos.Throughput: 80, qos.Cost: 5,
+		}
+		mk := func(id core.ServiceID, provider core.ProviderID) workload.ServiceSpec {
+			return workload.ServiceSpec{
+				Desc: soa.Description{
+					Service: id, Provider: provider, Name: string(id), Category: "compute",
+					Operations: []soa.Operation{{Name: "Execute"}},
+					Advertised: truth.Clone(),
+				},
+				Behavior: soa.Behavior{True: truth.Clone(), Jitter: 0.05},
+				Tier:     workload.Good,
+			}
+		}
+		// Identify the best and worst providers by portfolio oracle utility.
+		provSum, provN := map[core.ProviderID]float64{}, map[core.ProviderID]float64{}
+		for _, s := range env.Specs {
+			provSum[s.Desc.Provider] += workload.TrueUtility(s, workload.BasePreferences())
+			provN[s.Desc.Provider]++
+		}
+		var goodProv, badProv core.ProviderID
+		bestU, worstU := -1.0, 2.0
+		for _, s := range env.Specs {
+			p := s.Desc.Provider
+			u := provSum[p] / provN[p]
+			if u > bestU {
+				bestU, goodProv = u, p
+			}
+			if u < worstU {
+				worstU, badProv = u, p
+			}
+		}
+		newGood := mk("s-new-good", goodProv)
+		newBad := mk("s-new-bad", badProv)
+		for _, s := range []workload.ServiceSpec{newGood, newBad} {
+			if err := env.Fabric.Register(s.Desc, s.Behavior); err != nil {
+				return Report{}, err
+			}
+			env.Specs = append(env.Specs, s)
+			env.specByID[s.Desc.Service] = s
+		}
+		// Immediate ranking of just the two newcomers.
+		engine := core.NewEngine(mech, simclock.Stream(seed, fmt.Sprintf("c7-%v", bootstrap)), opts...)
+		ranked := engine.Rank(env.Consumers[0].ID, env.Consumers[0].Prefs,
+			[]core.Candidate{newGood.Desc.Candidate(), newBad.Desc.Candidate()})
+		rankedFirst[bootstrap] = ranked[0].Service == "s-new-good" && ranked[0].Score > ranked[1].Score
+
+		// Short follow-up phase: count picks among the two newcomers.
+		picks := map[core.ServiceID]int{}
+		for round := 0; round < 5; round++ {
+			for _, c := range env.Consumers {
+				chosen, _, err := engine.Select(c.ID, c.Prefs,
+					[]core.Candidate{newGood.Desc.Candidate(), newBad.Desc.Candidate()})
+				if err != nil {
+					return Report{}, err
+				}
+				picks[chosen.Service]++
+				res, err := env.Fabric.Invoke(c.ID, chosen.Service, "Execute")
+				if err != nil {
+					return Report{}, err
+				}
+				spec, _ := env.Spec(chosen.Service)
+				if err := mech.Submit(core.Feedback{
+					Consumer: c.ID, Service: chosen.Service, Provider: spec.Desc.Provider,
+					Context: "compute", Observed: res.Observation,
+					Ratings: workload.Grade(res.Observation, c.Prefs), At: env.Clock.Now(),
+				}); err != nil {
+					return Report{}, err
+				}
+			}
+			env.Clock.Advance(RoundDuration)
+		}
+		result[bootstrap] = float64(picks["s-new-good"]) / float64(picks["s-new-good"]+picks["s-new-bad"])
+	}
+
+	body := Table([][]string{
+		{"provider bootstrap", "newcomer from good provider ranked first", "share of picks"},
+		{"off", fmt.Sprintf("%v", rankedFirst[false]), F(result[false])},
+		{"on", fmt.Sprintf("%v", rankedFirst[true]), F(result[true])},
+	})
+	pass := rankedFirst[true] && !rankedFirst[false] && result[true] > result[false]
+	return Report{
+		ID:    "C7",
+		Title: "Provider reputation bootstraps new services (cold start)",
+		PaperClaim: "for a new service, the provider's reputation accumulated from its other services can " +
+			"be used: a good provider's new service is believed to be good too",
+		Body: body,
+		Shape: fmt.Sprintf("with bootstrap the reputable provider's newcomer is preferred (%.0f%% of picks vs %.0f%% without)",
+			100*result[true], 100*result[false]),
+		Pass: pass,
+		Data: map[string]float64{
+			"share_with_bootstrap":    result[true],
+			"share_without_bootstrap": result[false],
+		},
+	}, nil
+}
+
+// C8 validates the Section-3 transitivity claim via Jøsang's operators:
+// trust propagates along referral chains (Alice → doctor → specialist) but
+// each hop through an imperfect advisor discounts certainty, so usable
+// trust decays with chain length.
+func C8(seed int64) (Report, error) {
+	// Advisors are trusted from 10 positive / 1 negative interactions; the
+	// final advisor holds strong positive evidence about the subject.
+	link := subjective.FromEvidence(10, 1)
+	subjectOpinion := subjective.FromEvidence(18, 2)
+	rows := [][]string{{"chain depth", "derived expectation", "uncertainty", "confidence"}}
+	data := map[string]float64{}
+	prevU := -1.0
+	monotone := true
+	var expectations []float64
+	for depth := 1; depth <= 6; depth++ {
+		chain := make([]subjective.Opinion, depth)
+		for i := 0; i < depth-1; i++ {
+			chain[i] = link
+		}
+		chain[depth-1] = subjectOpinion
+		derived := subjective.ChainDiscount(chain...)
+		tv := derived.TrustValue()
+		rows = append(rows, []string{
+			fmt.Sprintf("%d", depth), F(derived.Expectation()), F(derived.U), F(tv.Confidence),
+		})
+		data[fmt.Sprintf("expectation_%d", depth)] = derived.Expectation()
+		data[fmt.Sprintf("uncertainty_%d", depth)] = derived.U
+		if derived.U < prevU {
+			monotone = false
+		}
+		prevU = derived.U
+		expectations = append(expectations, derived.Expectation())
+	}
+	// Trust transits: even at depth 3 the expectation stays clearly above
+	// the 0.5 prior; but certainty decays monotonically.
+	pass := monotone && expectations[2] > 0.6 && expectations[0] > expectations[5]
+	return Report{
+		ID:    "C8",
+		Title: "Trust transitivity with per-hop discounting",
+		PaperClaim: "trust can be transitive: Alice trusts her doctor, the doctor trusts a specialist, " +
+			"so Alice can trust the specialist — with diminishing force along the chain",
+		Body: Table(rows),
+		Shape: fmt.Sprintf("expectation %.3f at depth 1 → %.3f at depth 6; uncertainty rises monotonically",
+			expectations[0], expectations[5]),
+		Pass: pass,
+		Data: data,
+	}, nil
+}
+
+// C9 validates the explorer-agent story of Section 2 (Maximilien & Singh
+// [19]): a service that earned a bad reputation and then improved is never
+// re-tried by greedy reputation-guided consumers — unless explorer agents
+// keep probing negative-reputation services and refresh their records.
+func C9(seed int64) (Report, error) {
+	run := func(withExplorer bool) (float64, error) {
+		env, err := NewEnv(EnvConfig{
+			Seed:      seed,
+			Services:  workload.ServiceOptions{N: 12, Category: "compute"},
+			Consumers: 15,
+		})
+		if err != nil {
+			return 0, err
+		}
+		// s-phoenix starts bad and becomes the best service after 8 rounds.
+		bad := qos.Vector{
+			qos.ResponseTime: 460, qos.Availability: 0.55,
+			qos.Accuracy: 0.2, qos.Throughput: 15, qos.Cost: 5,
+		}
+		great := qos.Vector{
+			qos.ResponseTime: 60, qos.Availability: 0.995,
+			qos.Accuracy: 0.97, qos.Throughput: 95, qos.Cost: 5,
+		}
+		phoenix := workload.ServiceSpec{
+			Desc: soa.Description{
+				Service: "s-phoenix", Provider: "p-phx", Name: "phoenix", Category: "compute",
+				Operations: []soa.Operation{{Name: "Execute"}}, Advertised: bad.Clone(),
+			},
+			Behavior: soa.Behavior{
+				True: great, Alt: bad, Dynamics: soa.Improving,
+				Ramp: 8 * RoundDuration, Jitter: 0.05,
+			},
+			Tier: workload.Good,
+		}
+		if err := env.Fabric.Register(phoenix.Desc, phoenix.Behavior); err != nil {
+			return 0, err
+		}
+		env.Specs = append(env.Specs, phoenix)
+		env.specByID[phoenix.Desc.Service] = phoenix
+
+		mech := beta.New(beta.WithHalfLife(3 * RoundDuration))
+		var explorer *monitor.Explorer
+		if withExplorer {
+			explorer = monitor.NewExplorer(env.Fabric, mech, 0.75,
+				func(_ core.ServiceID, obs qos.Observation) map[core.Facet]float64 {
+					return workload.Grade(obs, workload.BasePreferences())
+				})
+			explorer.SetProbeUnknown(true)
+		}
+		phoenixPicks, latePicks := 0, 0
+		_, err = env.Run(mech, RunOptions{
+			Rounds: 35, Category: "compute",
+			// Greedy: no consumer-side exploration, isolating the
+			// explorer's contribution.
+			EngineOpts: []core.EngineOption{core.WithPolicy(core.PolicyGreedy)},
+			OnRound: func(round int) {
+				if explorer != nil {
+					if _, err := explorer.Sweep(); err != nil {
+						panic(err)
+					}
+				}
+				if round >= 25 {
+					tv, known := mech.Score(core.Query{Subject: "s-phoenix", Context: "compute", Facet: core.FacetOverall})
+					latePicks++
+					if known && tv.Score > 0.6 {
+						phoenixPicks++
+					}
+				}
+			},
+		})
+		if err != nil {
+			return 0, err
+		}
+		return float64(phoenixPicks) / float64(latePicks), nil
+	}
+	without, err := run(false)
+	if err != nil {
+		return Report{}, err
+	}
+	with, err := run(true)
+	if err != nil {
+		return Report{}, err
+	}
+	body := Table([][]string{
+		{"explorer agents", "late-phase rounds crediting the improved service"},
+		{"off", F(without)},
+		{"on", F(with)},
+	})
+	pass := with > 0.8 && without < 0.2
+	return Report{
+		ID:    "C9",
+		Title: "Explorer agents rehabilitate improved services",
+		PaperClaim: "explorer agents consume services with a negative reputation; once quality has improved " +
+			"they help the services gain positive reputation and a chance to be selected again",
+		Body:  body,
+		Shape: fmt.Sprintf("improved service re-credited in %.0f%% of late rounds with explorers vs %.0f%% without", 100*with, 100*without),
+		Pass:  pass,
+		Data: map[string]float64{
+			"with_explorer":    with,
+			"without_explorer": without,
+		},
+	}, nil
+}

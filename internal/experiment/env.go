@@ -1,0 +1,112 @@
+// Package experiment is the harness that regenerates every figure and
+// claim of the paper (see DESIGN.md §3): it wires complete marketplaces —
+// fabric, registries, overlays, consumer populations, attack assignments —
+// runs selection/feedback loops over any core.Mechanism, computes the
+// quality metrics (regret, hit rate, reputation error, convergence,
+// message and monitoring cost), and renders the aligned text tables and
+// series the experiments report.
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"wstrust/internal/attack"
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+	"wstrust/internal/soa"
+	"wstrust/internal/workload"
+)
+
+// RoundDuration is the simulated time between selection rounds.
+const RoundDuration = time.Hour
+
+// Env is one complete simulated marketplace.
+type Env struct {
+	Clock     *simclock.Virtual
+	Rng       *rand.Rand
+	Fabric    *soa.Fabric
+	Specs     []workload.ServiceSpec
+	Consumers []workload.ConsumerSpec
+	Liars     attack.Assignment
+
+	specByID map[core.ServiceID]workload.ServiceSpec
+}
+
+// EnvConfig parameterizes environment construction.
+type EnvConfig struct {
+	Seed          int64
+	Services      workload.ServiceOptions
+	Consumers     int
+	Heterogeneity float64
+	// LiarFraction of consumers run Attack; nil Attack means honest.
+	LiarFraction float64
+	Attack       attack.Liar
+	// CustomServices overrides generation with a prebuilt population
+	// (specialist markets, mediated scenarios).
+	CustomServices []workload.ServiceSpec
+}
+
+// NewEnv builds the marketplace: generates the populations, publishes
+// every service on a fabric, and assigns attackers.
+func NewEnv(cfg EnvConfig) (*Env, error) {
+	clock := simclock.NewVirtual()
+	rng := simclock.NewRand(cfg.Seed)
+	fabric := soa.NewFabric(clock, simclock.Stream(cfg.Seed, "fabric"), soa.NewUDDI())
+
+	specs := cfg.CustomServices
+	if specs == nil {
+		specs = workload.GenerateServices(simclock.Stream(cfg.Seed, "services"), cfg.Services)
+	}
+	for _, s := range specs {
+		if err := fabric.Register(s.Desc, s.Behavior); err != nil {
+			return nil, fmt.Errorf("experiment: register %s: %w", s.Desc.Service, err)
+		}
+	}
+	consumers := workload.GenerateConsumers(simclock.Stream(cfg.Seed, "consumers"), cfg.Consumers, cfg.Heterogeneity)
+	ids := make([]core.ConsumerID, len(consumers))
+	for i, c := range consumers {
+		ids[i] = c.ID
+	}
+	env := &Env{
+		Clock:     clock,
+		Rng:       rng,
+		Fabric:    fabric,
+		Specs:     specs,
+		Consumers: consumers,
+		Liars:     attack.Assign(ids, cfg.LiarFraction, cfg.Attack),
+		specByID:  map[core.ServiceID]workload.ServiceSpec{},
+	}
+	for _, s := range specs {
+		env.specByID[s.Desc.Service] = s
+	}
+	return env, nil
+}
+
+// Spec returns the generated spec for a service.
+func (e *Env) Spec(id core.ServiceID) (workload.ServiceSpec, bool) {
+	s, ok := e.specByID[id]
+	return s, ok
+}
+
+// Candidates returns the selection candidates (every published service in
+// the category; empty category = all).
+func (e *Env) Candidates(category string) []core.Candidate {
+	var out []core.Candidate
+	for _, d := range e.Fabric.UDDI().All() {
+		if category == "" || d.Category == category {
+			out = append(out, d.Candidate())
+		}
+	}
+	return out
+}
+
+// ConsumerIDs lists the consumer ids in population order.
+func (e *Env) ConsumerIDs() []core.ConsumerID {
+	out := make([]core.ConsumerID, len(e.Consumers))
+	for i, c := range e.Consumers {
+		out[i] = c.ID
+	}
+	return out
+}

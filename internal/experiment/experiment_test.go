@@ -1,0 +1,203 @@
+package experiment
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"wstrust/internal/attack"
+	"wstrust/internal/core"
+	"wstrust/internal/trust/beta"
+	"wstrust/internal/workload"
+)
+
+func TestNewEnvDeterministic(t *testing.T) {
+	mk := func() *Env {
+		env, err := NewEnv(EnvConfig{
+			Seed:      7,
+			Services:  workload.ServiceOptions{N: 10, Category: "compute"},
+			Consumers: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return env
+	}
+	a, b := mk(), mk()
+	for i := range a.Specs {
+		if a.Specs[i].Desc.Service != b.Specs[i].Desc.Service ||
+			a.Specs[i].Tier != b.Specs[i].Tier {
+			t.Fatal("environment generation not deterministic")
+		}
+	}
+	if len(a.Candidates("compute")) != 10 {
+		t.Fatalf("candidates = %d", len(a.Candidates("compute")))
+	}
+	if len(a.Candidates("nope")) != 0 {
+		t.Fatal("category filter broken")
+	}
+}
+
+func TestEnvLiarAssignment(t *testing.T) {
+	env, err := NewEnv(EnvConfig{
+		Seed:         1,
+		Services:     workload.ServiceOptions{N: 6},
+		Consumers:    10,
+		LiarFraction: 0.3,
+		Attack:       attack.Complementary{},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Liars.LiarCount() != 3 {
+		t.Fatalf("liar count = %d", env.Liars.LiarCount())
+	}
+}
+
+func TestRunProducesSaneMetrics(t *testing.T) {
+	env, err := NewEnv(EnvConfig{
+		Seed:      3,
+		Services:  workload.ServiceOptions{N: 12, Category: "compute"},
+		Consumers: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.Run(beta.New(), RunOptions{
+		Rounds: 10, Category: "compute",
+		EngineOpts: []core.EngineOption{core.WithPolicy(core.PolicyEpsilonGreedy)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.RegretSeries) != 10 {
+		t.Fatalf("series length = %d", len(res.RegretSeries))
+	}
+	if res.MeanRegret < 0 || res.MeanRegret > 1 {
+		t.Fatalf("regret = %g", res.MeanRegret)
+	}
+	if res.HitRate < 0 || res.HitRate > 1 {
+		t.Fatalf("hit rate = %g", res.HitRate)
+	}
+	if res.Invocations != 80 {
+		t.Fatalf("invocations = %d, want 8 consumers × 10 rounds", res.Invocations)
+	}
+	if math.IsNaN(res.MAE) {
+		t.Fatal("MAE is NaN after a full run")
+	}
+}
+
+func TestRunLearningReducesRegret(t *testing.T) {
+	env, err := NewEnv(EnvConfig{
+		Seed:      5,
+		Services:  workload.ServiceOptions{N: 15, Category: "compute"},
+		Consumers: 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := env.Run(beta.New(), RunOptions{
+		Rounds: 30, Category: "compute",
+		EngineOpts: []core.EngineOption{core.WithPolicy(core.PolicyEpsilonGreedy), core.WithEpsilon(0.1)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	early := mean(res.RegretSeries[:5])
+	late := mean(res.RegretSeries[25:])
+	if late >= early {
+		t.Fatalf("no learning: early %g, late %g", early, late)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	out := Table([][]string{{"a", "bb"}, {"1", "2"}})
+	if !strings.Contains(out, "a") || !strings.Contains(out, "--") {
+		t.Fatalf("table = %q", out)
+	}
+}
+
+func TestSparkline(t *testing.T) {
+	if Sparkline(nil) != "" {
+		t.Fatal("empty sparkline not empty")
+	}
+	out := Sparkline([]float64{0, 0.5, 1})
+	if !strings.Contains(out, "min 0.000") || !strings.Contains(out, "max 1.000") {
+		t.Fatalf("sparkline = %q", out)
+	}
+	flat := Sparkline([]float64{0.4, 0.4})
+	if flat == "" {
+		t.Fatal("flat series broke sparkline")
+	}
+}
+
+func TestFFormat(t *testing.T) {
+	if F(math.NaN()) != "n/a" {
+		t.Fatal("NaN format")
+	}
+	if F(0.5) != "0.500" {
+		t.Fatalf("F(0.5) = %q", F(0.5))
+	}
+}
+
+func TestConvergenceRound(t *testing.T) {
+	series := []float64{0.9, 0.7, 0.3, 0.1, 0.1, 0.1, 0.1, 0.1}
+	got := convergenceRound(series)
+	if got < 2 || got > 3 {
+		t.Fatalf("convergenceRound = %d", got)
+	}
+	if convergenceRound([]float64{1}) != -1 {
+		t.Fatal("short series should not converge")
+	}
+}
+
+func TestByID(t *testing.T) {
+	if _, err := ByID("F1"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ByID("nope"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+	if len(All()) != 19 {
+		t.Fatalf("experiment count = %d, want 19", len(All()))
+	}
+}
+
+// TestReportString covers the rendering contract every experiment uses.
+func TestReportString(t *testing.T) {
+	r := Report{ID: "X", Title: "t", PaperClaim: "c", Body: "b", Shape: "s", Pass: true}
+	out := r.String()
+	for _, want := range []string{"== X: t ==", "paper: c", "b", "measured: s", "MATCH"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("report missing %q in %q", want, out)
+		}
+	}
+	r.Pass = false
+	if !strings.Contains(r.String(), "MISMATCH") {
+		t.Fatal("fail verdict missing")
+	}
+}
+
+// End-to-end: every experiment runs and matches the paper's shape at the
+// default seed. ~30s total; skipped under -short.
+func TestExperimentsMatchPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the full experiment suite takes ~30s")
+	}
+	for _, r := range All() {
+		r := r
+		t.Run(r.ID, func(t *testing.T) {
+			t.Parallel()
+			rep, err := r.Run(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !rep.Pass {
+				t.Fatalf("%s did not match the paper's shape: %s", r.ID, rep.Shape)
+			}
+			if rep.Body == "" || rep.Shape == "" || rep.ID != r.ID {
+				t.Fatalf("malformed report: %+v", rep)
+			}
+		})
+	}
+}

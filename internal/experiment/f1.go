@@ -1,0 +1,185 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/simclock"
+	"wstrust/internal/soa"
+	"wstrust/internal/trust/beta"
+	"wstrust/internal/workload"
+)
+
+// F1 reproduces Figure 1's two usage scenarios. Scenario A (direct
+// selection): the web service's own properties decide quality, and trust
+// built on the web service works. Scenario B (mediated selection): an
+// intermediary (flight-booking) web service fronts a general service (the
+// airline); "the major part of selecting a web service is decided by the
+// general service properties" — so a trust mechanism keyed to the
+// intermediary's intrinsic QoS (its response time) picks badly, while one
+// rating overall satisfaction (dominated by the general service) picks
+// well.
+func F1(seed int64) (Report, error) {
+	direct, err := f1Direct(seed)
+	if err != nil {
+		return Report{}, err
+	}
+	wsOnly, satisfaction, err := f1Mediated(seed)
+	if err != nil {
+		return Report{}, err
+	}
+
+	body := Table([][]string{
+		{"scenario", "trust keyed to", "mean regret", "hit rate"},
+		{"A direct", "web service QoS", F(direct.MeanRegret), F(direct.HitRate)},
+		{"B mediated", "intermediary's own QoS", F(wsOnly), ""},
+		{"B mediated", "general-service satisfaction", F(satisfaction), ""},
+	})
+	pass := satisfaction < wsOnly && direct.MeanRegret < 0.15
+	return Report{
+		ID:    "F1",
+		Title: "Two web service usage scenarios (Figure 1)",
+		PaperClaim: "direct selection is decided by the web service's own properties; " +
+			"mediated selection is decided by the general service behind it",
+		Body:  body,
+		Shape: fmt.Sprintf("mediated: satisfaction-trust regret %.3f < intermediary-QoS regret %.3f", satisfaction, wsOnly),
+		Pass:  pass,
+		Data: map[string]float64{
+			"direct_regret":             direct.MeanRegret,
+			"mediated_ws_only_regret":   wsOnly,
+			"mediated_satisfaction_reg": satisfaction,
+		},
+	}, nil
+}
+
+// f1Direct: the standard marketplace where observable WS QoS IS the
+// quality — reputation selection converges.
+func f1Direct(seed int64) (RunResult, error) {
+	env, err := NewEnv(EnvConfig{
+		Seed:      seed,
+		Services:  workload.ServiceOptions{N: 20, Category: "weather"},
+		Consumers: 20,
+	})
+	if err != nil {
+		return RunResult{}, err
+	}
+	mech := beta.New()
+	return env.Run(mech, RunOptions{
+		Rounds:     30,
+		Category:   "weather",
+		EngineOpts: []core.EngineOption{core.WithPolicy(core.PolicyEpsilonGreedy), core.WithEpsilon(0.1)},
+	})
+}
+
+// mediatedSpec pairs an intermediary web service with its general service.
+type mediatedSpec struct {
+	desc      soa.Description
+	behavior  soa.Behavior // intrinsic WS behaviour (response time etc.)
+	generalQ  float64      // quality of the general service in [0,1]
+	trueUtil  float64      // combined true utility
+	wsUtility float64      // utility from intrinsic WS properties alone
+}
+
+// f1Mediated builds 12 booking intermediaries over 4 airlines whose
+// quality dominates the outcome; intermediary speed is anti-correlated
+// with airline quality, so intrinsic-QoS trust is actively misleading.
+func f1Mediated(seed int64) (wsOnlyRegret, satisfactionRegret float64, err error) {
+	rng := simclock.Stream(seed, "f1-mediated")
+	clock := simclock.NewVirtual()
+	fabric := soa.NewFabric(clock, simclock.Stream(seed, "f1-fabric"), soa.NewUDDI())
+
+	airlines := []float64{0.95, 0.75, 0.45, 0.2} // general-service quality
+	var specs []mediatedSpec
+	for i := 0; i < 12; i++ {
+		gq := airlines[i%len(airlines)]
+		// Anti-correlation: the worse the airline, the flashier (faster)
+		// its booking front.
+		rt := 80 + gq*300 + rng.Float64()*20
+		desc := soa.Description{
+			Service:    core.NewServiceID(i + 1),
+			Provider:   core.NewProviderID(i + 1),
+			Name:       fmt.Sprintf("booking-%02d", i+1),
+			Category:   "flight-booking",
+			Operations: []soa.Operation{{Name: "Book"}},
+			Advertised: qos.Vector{qos.ResponseTime: rt},
+		}
+		b := soa.Behavior{True: qos.Vector{qos.ResponseTime: rt, qos.Availability: 0.99}, Jitter: 0.05}
+		wsU := 1 - (rt-80)/320 // fast front = high intrinsic utility
+		trueU := 0.8*gq + 0.2*wsU
+		if err := fabric.Register(desc, b); err != nil {
+			return 0, 0, err
+		}
+		specs = append(specs, mediatedSpec{desc: desc, behavior: b, generalQ: gq, trueUtil: trueU, wsUtility: wsU})
+	}
+	best := math.Inf(-1)
+	for _, s := range specs {
+		best = math.Max(best, s.trueUtil)
+	}
+
+	run := func(rateOnSatisfaction bool) (float64, error) {
+		mech := beta.New()
+		engine := core.NewEngine(mech, simclock.Stream(seed, fmt.Sprintf("f1-engine-%v", rateOnSatisfaction)),
+			core.WithPolicy(core.PolicyEpsilonGreedy), core.WithEpsilon(0.1))
+		var cands []core.Candidate
+		for _, s := range specs {
+			cands = append(cands, s.desc.Candidate())
+		}
+		byID := map[core.ServiceID]mediatedSpec{}
+		for _, s := range specs {
+			byID[s.desc.Service] = s
+		}
+		consumers := workload.GenerateConsumers(simclock.Stream(seed, "f1-consumers"), 15, 0)
+		var regret float64
+		var n int
+		for round := 0; round < 30; round++ {
+			for _, c := range consumers {
+				chosen, _, err := engine.Select(c.ID, nil, cands)
+				if err != nil {
+					return 0, err
+				}
+				spec := byID[chosen.Service]
+				regret += best - spec.trueUtil
+				n++
+				res, err := fabric.Invoke(c.ID, chosen.Service, "Book")
+				if err != nil {
+					return 0, err
+				}
+				// The consumer's verdict: intrinsic WS speed only, or the
+				// full journey including the airline (general service).
+				var overall float64
+				if rateOnSatisfaction {
+					noise := (simRandFloat(rng) - 0.5) * 0.1
+					overall = clamp01(0.8*spec.generalQ + 0.2*spec.wsUtility + noise)
+				} else {
+					overall = clamp01(spec.wsUtility)
+				}
+				_ = res
+				if err := mech.Submit(core.Feedback{
+					Consumer: c.ID, Service: chosen.Service, Provider: spec.desc.Provider,
+					Context: "flight-booking",
+					Ratings: map[core.Facet]float64{core.FacetOverall: overall},
+					At:      clock.Now(),
+				}); err != nil {
+					return 0, err
+				}
+			}
+			clock.Advance(RoundDuration)
+		}
+		return regret / float64(n), nil
+	}
+
+	wsOnlyRegret, err = run(false)
+	if err != nil {
+		return 0, 0, err
+	}
+	satisfactionRegret, err = run(true)
+	return wsOnlyRegret, satisfactionRegret, err
+}
+
+func clamp01(x float64) float64 { return math.Max(0, math.Min(1, x)) }
+
+// simRandFloat is a tiny indirection so the mediated runs draw noise from
+// the shared stream deterministically.
+func simRandFloat(rng interface{ Float64() float64 }) float64 { return rng.Float64() }

@@ -1,0 +1,95 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// Report is one experiment's rendered outcome plus machine-readable data.
+type Report struct {
+	// ID is the experiment identifier from DESIGN.md (F1..F4, C1..C9).
+	ID string
+	// Title is the human headline.
+	Title string
+	// PaperClaim restates what the paper says should happen.
+	PaperClaim string
+	// Body is the rendered table/series output.
+	Body string
+	// Shape is the one-line measured verdict ("reputation < advertised <
+	// random", crossover points, factors).
+	Shape string
+	// Pass reports whether the measured shape matches the paper's claim.
+	Pass bool
+	// Data holds named scalar results for EXPERIMENTS.md and tests.
+	Data map[string]float64
+}
+
+// String renders the full report block.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "paper: %s\n", r.PaperClaim)
+	b.WriteString(r.Body)
+	if !strings.HasSuffix(r.Body, "\n") {
+		b.WriteByte('\n')
+	}
+	verdict := "MATCH"
+	if !r.Pass {
+		verdict = "MISMATCH"
+	}
+	fmt.Fprintf(&b, "measured: %s  [%s]\n", r.Shape, verdict)
+	return b.String()
+}
+
+// Table renders rows with aligned columns; the first row is the header.
+func Table(rows [][]string) string {
+	var b strings.Builder
+	w := tabwriter.NewWriter(&b, 2, 4, 2, ' ', 0)
+	for i, row := range rows {
+		fmt.Fprintln(w, strings.Join(row, "\t"))
+		if i == 0 {
+			under := make([]string, len(row))
+			for j, cell := range row {
+				under[j] = strings.Repeat("-", len(cell))
+			}
+			fmt.Fprintln(w, strings.Join(under, "\t"))
+		}
+	}
+	_ = w.Flush()
+	return b.String()
+}
+
+// F formats a float for tables.
+func F(x float64) string {
+	if math.IsNaN(x) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.3f", x)
+}
+
+// FI formats an int-ish float.
+func FI(x int64) string { return fmt.Sprintf("%d", x) }
+
+// Sparkline renders a series as a compact ASCII curve for convergence
+// figures.
+func Sparkline(series []float64) string {
+	if len(series) == 0 {
+		return ""
+	}
+	glyphs := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := series[0], series[0]
+	for _, v := range series {
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var b strings.Builder
+	for _, v := range series {
+		idx := 0
+		if hi > lo {
+			idx = int((v - lo) / (hi - lo) * float64(len(glyphs)-1))
+		}
+		b.WriteRune(glyphs[idx])
+	}
+	return fmt.Sprintf("%s  (min %.3f, max %.3f)", b.String(), lo, hi)
+}

@@ -1,0 +1,217 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"wstrust/internal/attack"
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/workload"
+)
+
+// RunResult aggregates one selection-loop run.
+type RunResult struct {
+	// MeanRegret is the average oracle-vs-selected true-utility gap.
+	MeanRegret float64
+	// RegretSeries is the per-round mean regret (convergence curve).
+	RegretSeries []float64
+	// HitRate is the fraction of selections landing on a good-tier service.
+	HitRate float64
+	// MAE is the final mean absolute error between mechanism scores and
+	// true utilities across rated services (global view, base preferences).
+	MAE float64
+	// ConvergenceRound is the first round whose mean regret stays within
+	// 50% above the final plateau; -1 if never.
+	ConvergenceRound int
+	// Invocations and Faults count fabric traffic.
+	Invocations, Faults int64
+	// Messages counts mechanism communication (CostReporter), if any.
+	Messages int64
+}
+
+// RunOptions tunes the loop.
+type RunOptions struct {
+	Rounds int
+	// Category restricts candidates (empty = all).
+	Category string
+	// EngineOpts configure the selection engine.
+	EngineOpts []core.EngineOption
+	// SubmitTo receives feedback; defaults to the mechanism itself.
+	// Experiments with explorer agents or defended registries override it.
+	SubmitTo func(core.Feedback) error
+	// OnRound runs after each round (explorer sweeps, behaviour switches).
+	OnRound func(round int)
+	// PerspectiveQueries makes the engine query with each consumer's
+	// perspective (default true; the engine handles it automatically).
+	_ struct{}
+}
+
+// Run drives the marketplace: each round every consumer selects a service
+// through the engine, invokes it, grades the observation honestly, lets
+// its attack assignment distort the rating, and submits the feedback.
+func (e *Env) Run(mech core.Mechanism, opts RunOptions) (RunResult, error) {
+	if opts.Rounds <= 0 {
+		opts.Rounds = 30
+	}
+	submit := opts.SubmitTo
+	if submit == nil {
+		submit = mech.Submit
+	}
+	engine := core.NewEngine(mech, e.Rng, opts.EngineOpts...)
+
+	res := RunResult{RegretSeries: make([]float64, 0, opts.Rounds)}
+	hits, selections := 0, 0
+	startFaults := e.Fabric.Faults()
+	startCalls := e.Fabric.Calls()
+
+	for round := 0; round < opts.Rounds; round++ {
+		var roundRegret float64
+		var roundN int
+		for _, consumer := range e.Consumers {
+			cands := e.Candidates(opts.Category)
+			if len(cands) == 0 {
+				return res, fmt.Errorf("experiment: no candidates in category %q", opts.Category)
+			}
+			chosen, _, err := engine.Select(consumer.ID, consumer.Prefs, cands)
+			if err != nil {
+				return res, err
+			}
+			spec, ok := e.Spec(chosen.Service)
+			if !ok {
+				return res, fmt.Errorf("experiment: selected unknown service %s", chosen.Service)
+			}
+			// Oracle bookkeeping.
+			best, _ := e.bestFor(consumer.Prefs, opts.Category)
+			got := workload.TrueUtility(spec, consumer.Prefs)
+			roundRegret += math.Max(0, best-got)
+			roundN++
+			selections++
+			if spec.Tier == workload.Good {
+				hits++
+			}
+
+			// Consume, grade, distort, report.
+			result, err := e.Fabric.Invoke(consumer.ID, chosen.Service, "Execute")
+			if err != nil {
+				return res, err
+			}
+			honest := workload.Grade(result.Observation, consumer.Prefs)
+			ratings := make(map[core.Facet]float64, len(honest))
+			for facet, v := range honest {
+				ratings[facet] = e.Liars.Distort(consumer.ID, chosen.Service, v)
+			}
+			// Liars also forge the measured QoS data to back their story —
+			// dishonest reports in [29] are fake measurements, which is what
+			// the trusted-monitor comparison detects.
+			observed := result.Observation
+			if e.Liars.IsLiar(consumer.ID) {
+				observed = attack.FabricateObservation(observed,
+					honest[core.FacetOverall], ratings[core.FacetOverall])
+			}
+			fb := core.Feedback{
+				Consumer: consumer.ID,
+				Service:  chosen.Service,
+				Provider: spec.Desc.Provider,
+				Context:  core.Context(spec.Desc.Category),
+				Observed: observed,
+				Ratings:  ratings,
+				At:       e.Clock.Now(),
+			}
+			if err := submit(fb); err != nil {
+				return res, fmt.Errorf("experiment: submit: %w", err)
+			}
+		}
+		if t, ok := mech.(core.Ticker); ok {
+			t.Tick(e.Clock.Now())
+		}
+		if opts.OnRound != nil {
+			opts.OnRound(round)
+		}
+		e.Clock.Advance(RoundDuration)
+		res.RegretSeries = append(res.RegretSeries, roundRegret/float64(roundN))
+	}
+
+	res.MeanRegret = mean(res.RegretSeries)
+	res.HitRate = float64(hits) / float64(selections)
+	res.MAE = e.scoreMAE(mech)
+	res.ConvergenceRound = convergenceRound(res.RegretSeries)
+	res.Invocations = e.Fabric.Calls() - startCalls
+	res.Faults = e.Fabric.Faults() - startFaults
+	if cr, ok := mech.(core.CostReporter); ok {
+		res.Messages = cr.MessageCount()
+	}
+	return res, nil
+}
+
+// bestFor returns the best oracle utility among published candidates.
+func (e *Env) bestFor(prefs qos.Preferences, category string) (float64, core.ServiceID) {
+	best, id := math.Inf(-1), core.ServiceID("")
+	for _, s := range e.Specs {
+		if category != "" && s.Desc.Category != category {
+			continue
+		}
+		if u := workload.TrueUtility(s, prefs); u > best {
+			best, id = u, s.Desc.Service
+		}
+	}
+	return best, id
+}
+
+// scoreMAE compares global mechanism scores to true utilities under the
+// base preference profile, over services the mechanism knows.
+func (e *Env) scoreMAE(mech core.Mechanism) float64 {
+	base := workload.BasePreferences()
+	var sum float64
+	n := 0
+	for _, s := range e.Specs {
+		tv, ok := mech.Score(core.Query{
+			Subject: s.Desc.Service,
+			Context: core.Context(s.Desc.Category),
+			Facet:   core.FacetOverall,
+		})
+		if !ok {
+			continue
+		}
+		sum += math.Abs(tv.Score - workload.TrueUtility(s, base))
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return sum / float64(n)
+}
+
+func mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// convergenceRound finds the first round from which regret stays within
+// 1.5× the final-quarter plateau.
+func convergenceRound(series []float64) int {
+	if len(series) < 4 {
+		return -1
+	}
+	plateau := mean(series[len(series)*3/4:])
+	bound := plateau*1.5 + 0.02
+	for i := range series {
+		ok := true
+		for _, v := range series[i:] {
+			if v > bound {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,122 @@
+package monitor
+
+import (
+	"fmt"
+	"sort"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/soa"
+)
+
+// Explorer implements the explorer agents of Maximilien & Singh [19]: the
+// central node "can actively create consumer agents, called explorer
+// agents, to consume services that have a negative reputation ... Once the
+// explorer agents find that the service quality has been improved, they can
+// help the services gain positive reputation so that they have a chance to
+// be selected by other consumer agents."
+//
+// Each Sweep probes every candidate whose mechanism score is below the
+// threshold and submits honest feedback derived from the probe, giving
+// improved services a path back into the ranking (experiment C9).
+type Explorer struct {
+	fabric *soa.Fabric
+	mech   core.Mechanism
+	// threshold is the score below which a service counts as having a
+	// negative reputation.
+	threshold float64
+	// rater is the consumer identity the explorer submits feedback under.
+	rater core.ConsumerID
+	// grade converts a probe observation into per-facet ratings; the
+	// default rates only the overall facet from success plus response-time
+	// sanity. Experiments inject the workload's honest grading so explorer
+	// feedback is comparable to consumer feedback.
+	grade func(core.ServiceID, qos.Observation) map[core.Facet]float64
+
+	// probeUnknown extends sweeps to services no consumer has rated yet,
+	// giving newcomers their first chance alongside rehabilitating the
+	// negatively-reputed. Off by default.
+	probeUnknown bool
+
+	probes  int64
+	reports int64
+}
+
+// SetProbeUnknown toggles probing of services the mechanism has no score
+// for at all.
+func (e *Explorer) SetProbeUnknown(on bool) { e.probeUnknown = on }
+
+// NewExplorer builds an explorer over the fabric submitting to mech.
+// grade may be nil for the default success-based grading.
+func NewExplorer(fabric *soa.Fabric, mech core.Mechanism, threshold float64,
+	grade func(core.ServiceID, qos.Observation) map[core.Facet]float64) *Explorer {
+	if fabric == nil || mech == nil {
+		panic("monitor: NewExplorer requires fabric and mechanism")
+	}
+	if grade == nil {
+		grade = func(_ core.ServiceID, obs qos.Observation) map[core.Facet]float64 {
+			v := 0.0
+			if obs.Success {
+				v = 1.0
+			}
+			return map[core.Facet]float64{core.FacetOverall: v}
+		}
+	}
+	return &Explorer{
+		fabric:    fabric,
+		mech:      mech,
+		threshold: threshold,
+		rater:     "explorer",
+		grade:     grade,
+	}
+}
+
+// Sweep scans the published services, probes each one whose current score
+// is known and below the threshold, and submits feedback. It returns the
+// services probed this sweep.
+func (e *Explorer) Sweep() ([]core.ServiceID, error) {
+	var targets []core.ServiceID
+	for _, d := range e.fabric.UDDI().All() {
+		tv, known := e.mech.Score(core.Query{
+			Subject: d.Service,
+			Context: core.Context(d.Category),
+			Facet:   core.FacetOverall,
+		})
+		if (known && tv.Score < e.threshold) || (!known && e.probeUnknown) {
+			targets = append(targets, d.Service)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i] < targets[j] })
+
+	for _, id := range targets {
+		d, ok := e.fabric.UDDI().Get(id)
+		if !ok {
+			continue // unpublished between scan and probe
+		}
+		res, err := e.fabric.Invoke(e.rater, id, "Probe")
+		if err != nil {
+			return targets, fmt.Errorf("monitor: explorer probe %s: %w", id, err)
+		}
+		e.probes++
+		fb := core.Feedback{
+			Consumer: e.rater,
+			Service:  id,
+			Provider: d.Provider,
+			Context:  core.Context(d.Category),
+			Observed: res.Observation,
+			Ratings:  e.grade(id, res.Observation),
+			At:       res.Observation.At,
+		}
+		if err := e.mech.Submit(fb); err != nil {
+			return targets, fmt.Errorf("monitor: explorer submit for %s: %w", id, err)
+		}
+		e.reports++
+	}
+	return targets, nil
+}
+
+// Probes reports how many probe invocations the explorer has issued.
+func (e *Explorer) Probes() int64 { return e.probes }
+
+// Reports reports how many feedback records the explorer has submitted.
+func (e *Explorer) Reports() int64 { return e.reports }

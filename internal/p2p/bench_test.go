@@ -1,0 +1,61 @@
+package p2p
+
+import (
+	"fmt"
+	"testing"
+
+	"wstrust/internal/simclock"
+)
+
+func benchGrid(b *testing.B, nodes, bits int) (*PGrid, []NodeID) {
+	b.Helper()
+	net := NewNetwork()
+	ids := make([]NodeID, nodes)
+	for i := range ids {
+		ids[i] = NodeID(fmt.Sprintf("n%04d", i))
+	}
+	g, err := BuildPGrid(net, ids, bits, simclock.NewRand(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	return g, ids
+}
+
+// BenchmarkPGridRoute measures the O(log n) prefix routing.
+func BenchmarkPGridRoute(b *testing.B) {
+	g, ids := benchGrid(b, 256, 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := g.Route(ids[i%len(ids)], fmt.Sprintf("key-%d", i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkPGridStoreLookup(b *testing.B) {
+	g, ids := benchGrid(b, 64, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		key := fmt.Sprintf("key-%d", i%100)
+		if _, err := g.Store(ids[i%len(ids)], key, i); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := g.Lookup(ids[(i+7)%len(ids)], key); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkOverlayFlood(b *testing.B) {
+	net := NewNetwork()
+	ids := make([]NodeID, 100)
+	for i := range ids {
+		ids[i] = NodeID(fmt.Sprintf("n%04d", i))
+		net.Join(ids[i], func(NodeID, string, any) any { return "ack" })
+	}
+	o := NewRandomOverlay(net, ids, 4, simclock.NewRand(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		o.Flood(ids[i%len(ids)], 3, "q", nil, nil)
+	}
+}

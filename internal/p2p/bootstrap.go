@@ -1,0 +1,187 @@
+package p2p
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// BootstrapPGrid constructs the trie the way P-Grid actually builds it:
+// through random pairwise encounters. All peers start with the empty path;
+// when two peers with identical paths meet they split the key space
+// between them (one appends 0, the other 1) and keep each other as the
+// routing reference for the complementary subtree; peers meeting at
+// different depths exchange references at their common prefix level, and a
+// shallower peer specializes into the complement of its partner's next
+// bit. Encounters travel over the network (message-accounted).
+//
+// Random encounters leave stragglers, so after the meeting budget a repair
+// pass deterministically extends any path still shorter than bits —
+// real P-Grid keeps exchanging forever; a simulation needs a finite
+// construction. The returned grid satisfies the same invariants as
+// BuildPGrid (every peer at depth bits, routing fixes ≥1 bit per hop).
+// The second result reports how many splits happened via encounters, for
+// diagnostics and tests.
+func BootstrapPGrid(net *Network, ids []NodeID, bits int, meetings int, rng *rand.Rand) (*PGrid, int, error) {
+	if net == nil || rng == nil {
+		panic("p2p: BootstrapPGrid requires network and rng")
+	}
+	if bits < 1 || bits > 16 {
+		return nil, 0, fmt.Errorf("p2p: pgrid bits %d out of range [1,16]", bits)
+	}
+	if len(ids) < 1<<bits {
+		return nil, 0, fmt.Errorf("p2p: pgrid needs ≥%d nodes for %d bits, have %d", 1<<bits, bits, len(ids))
+	}
+	sorted := make([]NodeID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	g := &PGrid{net: net, bits: bits, nodes: map[NodeID]*pgNode{}, byPath: map[string][]NodeID{}}
+	for _, id := range sorted {
+		node := &pgNode{id: id, path: "", refs: map[int][]NodeID{}, store: map[string][]any{}}
+		g.nodes[id] = node
+		net.Join(id, node.handle)
+	}
+
+	addRef := func(n *pgNode, lvl int, peer NodeID) {
+		for _, have := range n.refs[lvl] {
+			if have == peer {
+				return
+			}
+		}
+		if len(n.refs[lvl]) < 4 {
+			n.refs[lvl] = append(n.refs[lvl], peer)
+		}
+	}
+
+	splits := 0
+	for m := 0; m < meetings; m++ {
+		a := g.nodes[sorted[rng.Intn(len(sorted))]]
+		b := g.nodes[sorted[rng.Intn(len(sorted))]]
+		if a.id == b.id {
+			continue
+		}
+		// The encounter itself is a network exchange.
+		if _, err := net.Send(a.id, b.id, "pg.route", "bootstrap"); err != nil {
+			continue
+		}
+		l := commonPrefixLen(a.path, b.path)
+		switch {
+		case len(a.path) == l && len(b.path) == l && l < bits:
+			// Identical paths: split the subtree between them.
+			a.path += "0"
+			b.path += "1"
+			addRef(a, l, b.id)
+			addRef(b, l, a.id)
+			splits++
+		case len(a.path) == l && len(b.path) > l && l < bits:
+			// a sits above b: a specializes into the complement of b's
+			// next bit; both learn each other at level l.
+			a.path += flip(b.path[l])
+			addRef(a, l, b.id)
+			addRef(b, l, a.id)
+			splits++
+		case len(b.path) == l && len(a.path) > l && l < bits:
+			b.path += flip(a.path[l])
+			addRef(a, l, b.id)
+			addRef(b, l, a.id)
+			splits++
+		default:
+			// Paths diverge at l: pure reference exchange.
+			if l < bits {
+				addRef(a, l, b.id)
+				addRef(b, l, a.id)
+			}
+		}
+	}
+
+	// Repair pass 1: extend straggler paths deterministically toward the
+	// less-populated branch so every peer reaches full depth.
+	for _, id := range sorted {
+		n := g.nodes[id]
+		for len(n.path) < bits {
+			zero, one := 0, 0
+			prefix0, prefix1 := n.path+"0", n.path+"1"
+			for _, other := range sorted {
+				op := g.nodes[other].path
+				if strings.HasPrefix(op, prefix0) {
+					zero++
+				} else if strings.HasPrefix(op, prefix1) {
+					one++
+				}
+			}
+			if zero <= one {
+				n.path = prefix0
+			} else {
+				n.path = prefix1
+			}
+		}
+		g.byPath[n.path] = append(g.byPath[n.path], id)
+	}
+	for _, nodesAtPath := range g.byPath {
+		sort.Slice(nodesAtPath, func(i, j int) bool { return nodesAtPath[i] < nodesAtPath[j] })
+	}
+	// An empty leaf would orphan part of the key space; rebalance by moving
+	// peers from the most-crowded leaf.
+	for v := 0; v < 1<<bits; v++ {
+		path := bitString(v, bits)
+		for len(g.byPath[path]) == 0 {
+			crowded := ""
+			for p, ns := range g.byPath {
+				if crowded == "" || len(ns) > len(g.byPath[crowded]) ||
+					(len(ns) == len(g.byPath[crowded]) && p < crowded) {
+					crowded = p
+				}
+			}
+			if crowded == "" || len(g.byPath[crowded]) <= 1 {
+				return nil, splits, fmt.Errorf("p2p: bootstrap could not populate leaf %s", path)
+			}
+			moved := g.byPath[crowded][len(g.byPath[crowded])-1]
+			g.byPath[crowded] = g.byPath[crowded][:len(g.byPath[crowded])-1]
+			g.nodes[moved].path = path
+			g.byPath[path] = append(g.byPath[path], moved)
+		}
+	}
+
+	// Repair pass 2: complete routing tables where encounters left gaps
+	// (a peer with no live reference toward some complement subtree).
+	for _, id := range sorted {
+		n := g.nodes[id]
+		// Encounter-time references may predate later path changes; drop
+		// the ones that no longer point at the complementary subtree.
+		for lvl := 0; lvl < bits; lvl++ {
+			prefix := n.path[:lvl] + flip(n.path[lvl])
+			var kept []NodeID
+			for _, ref := range n.refs[lvl] {
+				if strings.HasPrefix(g.nodes[ref].path, prefix) {
+					kept = append(kept, ref)
+				}
+			}
+			if len(kept) == 0 {
+				var cands []NodeID
+				for path, ids := range g.byPath {
+					if strings.HasPrefix(path, prefix) {
+						cands = append(cands, ids...)
+					}
+				}
+				sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+				rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+				if len(cands) > 2 {
+					cands = cands[:2]
+				}
+				kept = cands
+			}
+			n.refs[lvl] = kept
+		}
+	}
+	return g, splits, nil
+}
+
+func commonPrefixLen(a, b string) int {
+	n := 0
+	for n < len(a) && n < len(b) && a[n] == b[n] {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,127 @@
+package p2p
+
+import (
+	"fmt"
+	"testing"
+	"testing/quick"
+
+	"wstrust/internal/simclock"
+)
+
+func bootGrid(t *testing.T, nNodes, bits, meetings int, seed int64) (*Network, *PGrid, int, []NodeID) {
+	t.Helper()
+	net := NewNetwork()
+	ids := makeIDs(nNodes)
+	g, splits, err := BootstrapPGrid(net, ids, bits, meetings, simclock.NewRand(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, g, splits, ids
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	net := NewNetwork()
+	if _, _, err := BootstrapPGrid(net, makeIDs(3), 3, 100, simclock.NewRand(1)); err == nil {
+		t.Fatal("undersized bootstrap accepted")
+	}
+	if _, _, err := BootstrapPGrid(net, makeIDs(4), 0, 100, simclock.NewRand(1)); err == nil {
+		t.Fatal("zero-bit bootstrap accepted")
+	}
+}
+
+func TestBootstrapReachesFullDepthEverywhere(t *testing.T) {
+	_, g, splits, _ := bootGrid(t, 32, 3, 600, 7)
+	if splits == 0 {
+		t.Fatal("no splits happened via encounters")
+	}
+	for id, n := range g.nodes {
+		if len(n.path) != 3 {
+			t.Fatalf("node %s path %q not full depth", id, n.path)
+		}
+	}
+	// Every leaf populated.
+	for v := 0; v < 8; v++ {
+		if len(g.byPath[bitString(v, 3)]) == 0 {
+			t.Fatalf("leaf %s empty", bitString(v, 3))
+		}
+	}
+}
+
+func TestBootstrapEncountersCostMessages(t *testing.T) {
+	net, _, _, _ := bootGrid(t, 16, 2, 300, 3)
+	if net.MessageCount() == 0 {
+		t.Fatal("bootstrap encounters carried no traffic")
+	}
+}
+
+func TestBootstrapGridRoutesAndStores(t *testing.T) {
+	_, g, _, ids := bootGrid(t, 32, 3, 600, 11)
+	for i := 0; i < 20; i++ {
+		key := fmt.Sprintf("key-%d", i)
+		if _, err := g.Store(ids[i%len(ids)], key, i); err != nil {
+			t.Fatalf("store %s: %v", key, err)
+		}
+		vals, err := g.Lookup(ids[(i+5)%len(ids)], key)
+		if err != nil {
+			t.Fatalf("lookup %s: %v", key, err)
+		}
+		if len(vals) != 1 || vals[0] != i {
+			t.Fatalf("lookup %s = %v", key, vals)
+		}
+	}
+}
+
+// Property: bootstrap routing lands on the key's leaf from any origin, for
+// arbitrary seeds.
+func TestBootstrapRoutingCorrectProperty(t *testing.T) {
+	net := NewNetwork()
+	ids := makeIDs(48)
+	g, _, err := BootstrapPGrid(net, ids, 3, 800, simclock.NewRand(21))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(keySeed uint32, originIdx uint8) bool {
+		key := fmt.Sprintf("key-%d", keySeed)
+		origin := ids[int(originIdx)%len(ids)]
+		arrived, _, err := g.Route(origin, key)
+		if err != nil {
+			return false
+		}
+		return g.nodes[arrived].path == g.KeyPath(key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBootstrapBalanceReasonable(t *testing.T) {
+	_, g, _, _ := bootGrid(t, 64, 3, 1500, 5)
+	minN, maxN := 1<<30, 0
+	for v := 0; v < 8; v++ {
+		n := len(g.byPath[bitString(v, 3)])
+		if n < minN {
+			minN = n
+		}
+		if n > maxN {
+			maxN = n
+		}
+	}
+	// Perfect balance is 8 per leaf; random encounters + repair should stay
+	// within a generous band.
+	if minN < 2 || maxN > 24 {
+		t.Fatalf("leaf balance out of band: min %d max %d", minN, maxN)
+	}
+}
+
+func TestBootstrapFewMeetingsStillUsable(t *testing.T) {
+	// Even with a tiny meeting budget the repair pass must deliver a
+	// functioning grid.
+	_, g, _, ids := bootGrid(t, 16, 2, 5, 9)
+	if _, err := g.Store(ids[0], "k", "v"); err != nil {
+		t.Fatal(err)
+	}
+	vals, err := g.Lookup(ids[7], "k")
+	if err != nil || len(vals) != 1 {
+		t.Fatalf("lookup after sparse bootstrap: %v %v", vals, err)
+	}
+}

@@ -1,0 +1,55 @@
+package p2p
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wstrust/internal/simclock"
+)
+
+// TestConcurrentNetworkAndGrid drives sends, joins/leaves and grid ops from
+// several goroutines; run with -race.
+func TestConcurrentNetworkAndGrid(t *testing.T) {
+	net := NewNetwork()
+	ids := make([]NodeID, 32)
+	for i := range ids {
+		ids[i] = NodeID(fmt.Sprintf("n%02d", i))
+	}
+	g, err := BuildPGrid(net, ids, 3, simclock.NewRand(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				key := fmt.Sprintf("k-%d", (w*100+i)%40)
+				if _, err := g.Store(ids[(w+i)%len(ids)], key, i); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := g.Lookup(ids[(w+i+3)%len(ids)], key); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	// A churn goroutine joining/leaving a scratch node.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			net.Join("scratch", func(NodeID, string, any) any { return "ack" })
+			net.Leave("scratch")
+		}
+	}()
+	wg.Wait()
+	if net.MessageCount() == 0 {
+		t.Fatal("no traffic recorded")
+	}
+}

@@ -1,0 +1,110 @@
+package p2p
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Overlay is an unstructured peer-to-peer topology: each node keeps a small
+// neighbour list and queries spread by bounded flooding — the model behind
+// XRep-style polling and referral systems.
+type Overlay struct {
+	net       *Network
+	neighbors map[NodeID][]NodeID
+}
+
+// NewRandomOverlay wires the given nodes into a random undirected graph of
+// roughly the given degree. The graph includes a ring backbone so it is
+// always connected, then adds random chords. rng drives edge selection.
+func NewRandomOverlay(net *Network, ids []NodeID, degree int, rng *rand.Rand) *Overlay {
+	if net == nil || rng == nil {
+		panic("p2p: NewRandomOverlay requires network and rng")
+	}
+	sorted := make([]NodeID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+
+	o := &Overlay{net: net, neighbors: map[NodeID][]NodeID{}}
+	n := len(sorted)
+	if n == 0 {
+		return o
+	}
+	addEdge := func(a, b NodeID) {
+		if a == b || o.hasEdge(a, b) {
+			return
+		}
+		o.neighbors[a] = append(o.neighbors[a], b)
+		o.neighbors[b] = append(o.neighbors[b], a)
+	}
+	// Ring backbone for connectivity.
+	for i := 0; i < n; i++ {
+		addEdge(sorted[i], sorted[(i+1)%n])
+	}
+	// Random chords until the average degree approaches the target.
+	if degree > 2 && n > 3 {
+		extra := (degree - 2) * n / 2
+		for k := 0; k < extra; k++ {
+			a := sorted[rng.Intn(n)]
+			b := sorted[rng.Intn(n)]
+			addEdge(a, b)
+		}
+	}
+	for id := range o.neighbors {
+		nb := o.neighbors[id]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+	return o
+}
+
+func (o *Overlay) hasEdge(a, b NodeID) bool {
+	for _, x := range o.neighbors[a] {
+		if x == b {
+			return true
+		}
+	}
+	return false
+}
+
+// Neighbors returns the neighbour list of id (sorted, read-only).
+func (o *Overlay) Neighbors(id NodeID) []NodeID {
+	nb := o.neighbors[id]
+	out := make([]NodeID, len(nb))
+	copy(out, nb)
+	return out
+}
+
+// Network returns the transport under the overlay.
+func (o *Overlay) Network() *Network { return o.net }
+
+// Flood performs a breadth-first query from origin with the given TTL:
+// visit is called on every reached peer (excluding origin) with that peer's
+// reply to the query message. Each hop costs network messages. Flood
+// returns the number of peers reached. Unreachable (left) peers are skipped
+// silently — churn is normal in P2P systems.
+func (o *Overlay) Flood(origin NodeID, ttl int, kind string, payload any, visit func(peer NodeID, reply any)) int {
+	visited := map[NodeID]bool{origin: true}
+	frontier := []NodeID{origin}
+	reached := 0
+	for depth := 0; depth < ttl && len(frontier) > 0; depth++ {
+		var next []NodeID
+		for _, at := range frontier {
+			for _, nb := range o.Neighbors(at) {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				reply, err := o.net.Send(at, nb, kind, payload)
+				if err != nil {
+					continue
+				}
+				if visit != nil {
+					visit(nb, reply)
+				}
+				reached++
+				next = append(next, nb)
+			}
+		}
+		frontier = next
+	}
+	return reached
+}

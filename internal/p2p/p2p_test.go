@@ -1,0 +1,289 @@
+package p2p
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"wstrust/internal/simclock"
+)
+
+func echoHandler(id NodeID) Handler {
+	return func(from NodeID, kind string, payload any) any {
+		return fmt.Sprintf("%s:%s:%v", id, kind, payload)
+	}
+}
+
+func TestNetworkSendAndCount(t *testing.T) {
+	n := NewNetwork()
+	n.Join("a", echoHandler("a"))
+	n.Join("b", echoHandler("b"))
+	reply, err := n.Send("a", "b", "ping", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reply != "b:ping:1" {
+		t.Fatalf("reply = %v", reply)
+	}
+	if n.MessageCount() != 2 { // request + reply
+		t.Fatalf("MessageCount = %d, want 2", n.MessageCount())
+	}
+}
+
+func TestNetworkSendToAbsent(t *testing.T) {
+	n := NewNetwork()
+	n.Join("a", echoHandler("a"))
+	if _, err := n.Send("a", "ghost", "ping", nil); err == nil {
+		t.Fatal("send to absent node succeeded")
+	}
+	if n.MessageCount() != 1 { // the request still left
+		t.Fatalf("MessageCount = %d, want 1", n.MessageCount())
+	}
+	n.Join("passive", nil)
+	if _, err := n.Send("a", "passive", "ping", nil); err == nil {
+		t.Fatal("send to passive node succeeded")
+	}
+}
+
+func TestNetworkLeave(t *testing.T) {
+	n := NewNetwork()
+	n.Join("a", echoHandler("a"))
+	if !n.Alive("a") {
+		t.Fatal("joined node not alive")
+	}
+	n.Leave("a")
+	if n.Alive("a") {
+		t.Fatal("left node still alive")
+	}
+}
+
+func TestNetworkNodesSorted(t *testing.T) {
+	n := NewNetwork()
+	n.Join("b", nil)
+	n.Join("a", nil)
+	got := n.Nodes()
+	if len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("Nodes = %v", got)
+	}
+}
+
+func makeIDs(n int) []NodeID {
+	ids := make([]NodeID, n)
+	for i := range ids {
+		ids[i] = NodeID(fmt.Sprintf("n%03d", i))
+	}
+	return ids
+}
+
+func TestOverlayConnectivity(t *testing.T) {
+	net := NewNetwork()
+	ids := makeIDs(20)
+	for _, id := range ids {
+		net.Join(id, echoHandler(id))
+	}
+	o := NewRandomOverlay(net, ids, 4, simclock.NewRand(1))
+	reached := o.Flood("n000", len(ids), "q", nil, nil)
+	if reached != len(ids)-1 {
+		t.Fatalf("flood reached %d peers, want %d", reached, len(ids)-1)
+	}
+}
+
+func TestOverlayTTLBounds(t *testing.T) {
+	net := NewNetwork()
+	ids := makeIDs(10)
+	for _, id := range ids {
+		net.Join(id, echoHandler(id))
+	}
+	// Degree 2 → pure ring; TTL 1 reaches exactly the two ring neighbours.
+	o := NewRandomOverlay(net, ids, 2, simclock.NewRand(1))
+	got := o.Flood("n000", 1, "q", nil, nil)
+	if got != 2 {
+		t.Fatalf("TTL-1 ring flood reached %d, want 2", got)
+	}
+}
+
+func TestOverlayVisitRepliesAndChurn(t *testing.T) {
+	net := NewNetwork()
+	ids := makeIDs(8)
+	for _, id := range ids {
+		net.Join(id, echoHandler(id))
+	}
+	o := NewRandomOverlay(net, ids, 3, simclock.NewRand(2))
+	net.Leave("n003")
+	var visited []NodeID
+	o.Flood("n000", 8, "q", "x", func(peer NodeID, reply any) {
+		visited = append(visited, peer)
+		if !strings.Contains(reply.(string), ":q:x") {
+			t.Fatalf("bad reply %v", reply)
+		}
+	})
+	for _, v := range visited {
+		if v == "n003" {
+			t.Fatal("flood visited a departed node")
+		}
+	}
+	if len(visited) == 0 {
+		t.Fatal("flood visited nobody")
+	}
+}
+
+func TestOverlayNeighborsCopy(t *testing.T) {
+	net := NewNetwork()
+	ids := makeIDs(5)
+	o := NewRandomOverlay(net, ids, 2, simclock.NewRand(3))
+	nb := o.Neighbors("n000")
+	if len(nb) == 0 {
+		t.Fatal("no neighbours")
+	}
+	nb[0] = "mutated"
+	if o.Neighbors("n000")[0] == "mutated" {
+		t.Fatal("Neighbors returned internal storage")
+	}
+}
+
+func TestBitString(t *testing.T) {
+	tests := []struct {
+		v, bits int
+		want    string
+	}{
+		{0, 3, "000"}, {5, 3, "101"}, {7, 3, "111"}, {2, 4, "0010"},
+	}
+	for _, tc := range tests {
+		if got := bitString(tc.v, tc.bits); got != tc.want {
+			t.Errorf("bitString(%d,%d) = %q, want %q", tc.v, tc.bits, got, tc.want)
+		}
+	}
+}
+
+func buildGrid(t *testing.T, nNodes, bits int) (*Network, *PGrid, []NodeID) {
+	t.Helper()
+	net := NewNetwork()
+	ids := makeIDs(nNodes)
+	g, err := BuildPGrid(net, ids, bits, simclock.NewRand(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return net, g, ids
+}
+
+func TestPGridValidation(t *testing.T) {
+	net := NewNetwork()
+	if _, err := BuildPGrid(net, makeIDs(3), 3, simclock.NewRand(1)); err == nil {
+		t.Fatal("undersized pgrid accepted")
+	}
+	if _, err := BuildPGrid(net, makeIDs(3), 0, simclock.NewRand(1)); err == nil {
+		t.Fatal("zero-bit pgrid accepted")
+	}
+}
+
+func TestPGridStoreLookup(t *testing.T) {
+	_, g, ids := buildGrid(t, 32, 3)
+	written, err := g.Store(ids[0], "svc:s001", "report-1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(g.Replicas("svc:s001")); written != want {
+		t.Fatalf("written to %d replicas, want %d", written, want)
+	}
+	if _, err := g.Store(ids[5], "svc:s001", "report-2"); err != nil {
+		t.Fatal(err)
+	}
+	got, err := g.Lookup(ids[9], "svc:s001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0] != "report-1" || got[1] != "report-2" {
+		t.Fatalf("Lookup = %v", got)
+	}
+	// Unknown key: empty, not error.
+	empty, err := g.Lookup(ids[2], "svc:s999")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(empty) != 0 {
+		t.Fatalf("unknown key returned %v", empty)
+	}
+}
+
+func TestPGridRouteHopsBounded(t *testing.T) {
+	_, g, ids := buildGrid(t, 64, 4)
+	for i, key := range []string{"a", "b", "c", "svc:42", "zzz"} {
+		_, hops, err := g.Route(ids[i], key)
+		if err != nil {
+			t.Fatalf("route %q: %v", key, err)
+		}
+		if hops > g.Bits() {
+			t.Fatalf("route %q took %d hops, > bits %d", key, hops, g.Bits())
+		}
+	}
+}
+
+func TestPGridRouteCostsMessages(t *testing.T) {
+	net, g, ids := buildGrid(t, 32, 3)
+	before := net.MessageCount()
+	// Pick a key the origin is NOT responsible for, so routing must hop.
+	var key string
+	for i := 0; ; i++ {
+		key = fmt.Sprintf("k%d", i)
+		owner := g.Replicas(key)[0]
+		if g.nodes[ids[0]].path != g.nodes[owner].path {
+			break
+		}
+	}
+	if _, _, err := g.Route(ids[0], key); err != nil {
+		t.Fatal(err)
+	}
+	if net.MessageCount() == before {
+		t.Fatal("routing cost no messages")
+	}
+}
+
+func TestPGridSurvivesReplicaChurn(t *testing.T) {
+	net, g, ids := buildGrid(t, 32, 3)
+	key := "svc:churn"
+	if _, err := g.Store(ids[0], key, "r1"); err != nil {
+		t.Fatal(err)
+	}
+	reps := g.Replicas(key)
+	if len(reps) < 2 {
+		t.Skip("need ≥2 replicas for churn test")
+	}
+	// Kill one replica; lookups must still succeed via the others.
+	net.Leave(reps[0])
+	got, err := g.Lookup(ids[1], key)
+	if err != nil {
+		t.Fatalf("lookup after churn: %v", err)
+	}
+	if len(got) != 1 || got[0] != "r1" {
+		t.Fatalf("lookup after churn = %v", got)
+	}
+}
+
+// Property: every key routes to a node whose path equals the key's path,
+// from any origin.
+func TestPGridRoutingCorrectProperty(t *testing.T) {
+	_, g, ids := buildGrid(t, 64, 4)
+	f := func(keySeed uint32, originIdx uint8) bool {
+		key := fmt.Sprintf("key-%d", keySeed)
+		origin := ids[int(originIdx)%len(ids)]
+		arrived, _, err := g.Route(origin, key)
+		if err != nil {
+			return false
+		}
+		return g.nodes[arrived].path == g.KeyPath(key)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPGridReplicaBalance(t *testing.T) {
+	_, g, _ := buildGrid(t, 64, 3)
+	// 64 nodes over 8 leaves → exactly 8 replicas each.
+	for path, ids := range g.byPath {
+		if len(ids) != 8 {
+			t.Fatalf("leaf %s has %d replicas, want 8", path, len(ids))
+		}
+	}
+}

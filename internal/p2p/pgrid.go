@@ -1,0 +1,272 @@
+package p2p
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// This file implements a P-Grid-style structured overlay [Aberer]: a binary
+// trie partitions the key space; every peer owns one leaf path and keeps,
+// for each level of its path, references to peers on the complementary
+// subtree. Routing fixes at least one bit per hop, so lookups cost
+// O(log n) messages. Several peers share each leaf (replicas), which is
+// how Vu et al.'s "dedicated QoS registries ... organized in a P2P way"
+// keep reputation data available under churn.
+
+// storeReq is the payload of a pg.store message.
+type storeReq struct {
+	Key   string
+	Value any
+}
+
+type pgNode struct {
+	id   NodeID
+	path string
+	// refs[i] lists peers whose path agrees with ours on the first i bits
+	// and differs on bit i — the level-i routing entries.
+	refs map[int][]NodeID
+
+	mu    sync.Mutex
+	store map[string][]any
+}
+
+func (n *pgNode) handle(_ NodeID, kind string, payload any) any {
+	switch kind {
+	case "pg.route":
+		return "ack"
+	case "pg.store":
+		req := payload.(storeReq)
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		n.store[req.Key] = append(n.store[req.Key], req.Value)
+		return "ack"
+	case "pg.lookup":
+		key := payload.(string)
+		n.mu.Lock()
+		defer n.mu.Unlock()
+		vals := n.store[key]
+		out := make([]any, len(vals))
+		copy(out, vals)
+		return out
+	default:
+		return nil
+	}
+}
+
+// PGrid is the structured overlay. Build one with BuildPGrid; the zero
+// value is unusable.
+type PGrid struct {
+	net    *Network
+	bits   int
+	nodes  map[NodeID]*pgNode
+	byPath map[string][]NodeID
+}
+
+// BuildPGrid assigns every node a leaf path in a trie of depth bits,
+// registers message handlers on the network, and wires routing references.
+// It requires at least one node per leaf (len(ids) >= 2^bits); replicas are
+// spread as evenly as possible. rng picks routing references.
+func BuildPGrid(net *Network, ids []NodeID, bits int, rng *rand.Rand) (*PGrid, error) {
+	if net == nil || rng == nil {
+		panic("p2p: BuildPGrid requires network and rng")
+	}
+	if bits < 1 || bits > 16 {
+		return nil, fmt.Errorf("p2p: pgrid bits %d out of range [1,16]", bits)
+	}
+	leaves := 1 << bits
+	if len(ids) < leaves {
+		return nil, fmt.Errorf("p2p: pgrid needs ≥%d nodes for %d bits, have %d", leaves, bits, len(ids))
+	}
+	sorted := make([]NodeID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	// Deterministic shuffle so path assignment is not correlated with id
+	// order but still reproducible.
+	rng.Shuffle(len(sorted), func(i, j int) { sorted[i], sorted[j] = sorted[j], sorted[i] })
+
+	g := &PGrid{net: net, bits: bits, nodes: map[NodeID]*pgNode{}, byPath: map[string][]NodeID{}}
+	for i, id := range sorted {
+		path := bitString(i%leaves, bits)
+		node := &pgNode{id: id, path: path, refs: map[int][]NodeID{}, store: map[string][]any{}}
+		g.nodes[id] = node
+		g.byPath[path] = append(g.byPath[path], id)
+		net.Join(id, node.handle)
+	}
+	for _, ids := range g.byPath {
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	}
+
+	// Routing references: for each node and level, up to two peers from the
+	// complementary subtree at that level.
+	all := make([]*pgNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		all = append(all, n)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	for _, n := range all {
+		for lvl := 0; lvl < bits; lvl++ {
+			prefix := n.path[:lvl] + flip(n.path[lvl])
+			var cands []NodeID
+			for path, ids := range g.byPath {
+				if strings.HasPrefix(path, prefix) {
+					cands = append(cands, ids...)
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+			rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+			if len(cands) > 2 {
+				cands = cands[:2]
+			}
+			n.refs[lvl] = cands
+		}
+	}
+	return g, nil
+}
+
+func bitString(v, bits int) string {
+	b := make([]byte, bits)
+	for i := bits - 1; i >= 0; i-- {
+		if v&1 == 1 {
+			b[i] = '1'
+		} else {
+			b[i] = '0'
+		}
+		v >>= 1
+	}
+	return string(b)
+}
+
+func flip(c byte) string {
+	if c == '0' {
+		return "1"
+	}
+	return "0"
+}
+
+// KeyPath maps a key onto its owning leaf path.
+func (g *PGrid) KeyPath(key string) string {
+	h := fnv.New32a()
+	_, _ = h.Write([]byte(key))
+	return bitString(int(h.Sum32())%(1<<g.bits), g.bits)
+}
+
+// Replicas returns the nodes responsible for a key, sorted.
+func (g *PGrid) Replicas(key string) []NodeID {
+	ids := g.byPath[g.KeyPath(key)]
+	out := make([]NodeID, len(ids))
+	copy(out, ids)
+	return out
+}
+
+// Bits returns the trie depth.
+func (g *PGrid) Bits() int { return g.bits }
+
+// Network returns the transport the grid runs on.
+func (g *PGrid) Network() *Network { return g.net }
+
+// Route walks the trie from the origin node toward the key's leaf, charging
+// one network exchange per hop, and returns the responsible node reached
+// plus the hop count. It fails when every routing reference toward the key
+// has left the network.
+func (g *PGrid) Route(from NodeID, key string) (NodeID, int, error) {
+	cur, ok := g.nodes[from]
+	if !ok {
+		return "", 0, fmt.Errorf("p2p: route from unknown node %s", from)
+	}
+	target := g.KeyPath(key)
+	hops := 0
+	for cur.path != target {
+		lvl := firstDiffBit(cur.path, target)
+		next := NodeID("")
+		for _, cand := range cur.refs[lvl] {
+			if g.net.Alive(cand) {
+				next = cand
+				break
+			}
+		}
+		if next == "" {
+			// Fall back to any live replica of the complementary subtree —
+			// in a real P-Grid the node would repair its routing table.
+			for _, cand := range g.byPath[target] {
+				if g.net.Alive(cand) {
+					next = cand
+					break
+				}
+			}
+		}
+		if next == "" {
+			return "", hops, fmt.Errorf("p2p: route to %s stuck at %s (level %d)", target, cur.id, lvl)
+		}
+		if _, err := g.net.Send(cur.id, next, "pg.route", key); err != nil {
+			return "", hops, fmt.Errorf("p2p: route hop to %s: %w", next, err)
+		}
+		cur = g.nodes[next]
+		hops++
+		if hops > 4*g.bits {
+			return "", hops, fmt.Errorf("p2p: route to %s did not converge", target)
+		}
+	}
+	if !g.net.Alive(cur.id) {
+		return "", hops, fmt.Errorf("p2p: responsible node %s for %s has left", cur.id, target)
+	}
+	return cur.id, hops, nil
+}
+
+func firstDiffBit(a, b string) int {
+	for i := 0; i < len(a) && i < len(b); i++ {
+		if a[i] != b[i] {
+			return i
+		}
+	}
+	return len(a)
+}
+
+// Store routes the value to the key's leaf and replicates it to every live
+// replica. It returns the number of replicas written.
+func (g *PGrid) Store(from NodeID, key string, value any) (int, error) {
+	arrived, _, err := g.Route(from, key)
+	if err != nil {
+		return 0, err
+	}
+	written := 0
+	for _, rep := range g.Replicas(key) {
+		if rep == arrived {
+			// Local write at the arrival node: no network exchange.
+			g.nodes[rep].handle(arrived, "pg.store", storeReq{Key: key, Value: value})
+			written++
+			continue
+		}
+		if _, err := g.net.Send(arrived, rep, "pg.store", storeReq{Key: key, Value: value}); err == nil {
+			written++
+		}
+	}
+	if written == 0 {
+		return 0, fmt.Errorf("p2p: store %q reached no replica", key)
+	}
+	return written, nil
+}
+
+// Lookup routes to the key's leaf and returns the stored values. When the
+// responsible node is not the origin itself, the read and its reply travel
+// as network messages; a node reading its own shard is free.
+func (g *PGrid) Lookup(from NodeID, key string) ([]any, error) {
+	arrived, _, err := g.Route(from, key)
+	if err != nil {
+		return nil, err
+	}
+	var vals any
+	if arrived == from {
+		vals = g.nodes[arrived].handle(from, "pg.lookup", key)
+	} else {
+		vals, err = g.net.Send(from, arrived, "pg.lookup", key)
+		if err != nil {
+			return nil, fmt.Errorf("p2p: lookup read at %s: %w", arrived, err)
+		}
+	}
+	out, _ := vals.([]any)
+	return out, nil
+}

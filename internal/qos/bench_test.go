@@ -1,0 +1,25 @@
+package qos
+
+import "testing"
+
+func BenchmarkNormalizeVector(b *testing.B) {
+	pop := []Vector{
+		{ResponseTime: 100, Availability: 0.9, Cost: 3},
+		{ResponseTime: 400, Availability: 0.99, Cost: 8},
+	}
+	n := NewNormalizer(pop)
+	v := Vector{ResponseTime: 250, Availability: 0.95, Cost: 5}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = n.NormalizeVector(v)
+	}
+}
+
+func BenchmarkUtility(b *testing.B) {
+	p := Preferences{ResponseTime: 2, Availability: 1, Cost: 1, Accuracy: 3}
+	v := Vector{ResponseTime: 0.8, Availability: 0.9, Cost: 0.4, Accuracy: 0.7}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Utility(v)
+	}
+}

@@ -1,0 +1,285 @@
+package qos
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestTaxonomyCoversFigure3(t *testing.T) {
+	// The W3C figure lists 21 leaves across its branches; we add Cost.
+	wantIDs := []MetricID{
+		ProcessingTime, Throughput, ResponseTime, Latency,
+		Availability, Accessibility, Accuracy, Reliability,
+		Capacity, Scalability, Stability, Robustness,
+		DataIntegrity, TransactionalIntegrity, Interoperability,
+		Authentication, Authorization, Traceability,
+		NonRepudiation, Confidentiality, Encryption,
+		Cost,
+	}
+	if got, want := len(Metrics()), len(wantIDs); got != want {
+		t.Fatalf("taxonomy has %d metrics, want %d", got, want)
+	}
+	for _, id := range wantIDs {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("metric %q missing from taxonomy", id)
+		}
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	if _, ok := Lookup("no-such-metric"); ok {
+		t.Fatal("Lookup of unknown id reported ok")
+	}
+	if got := PolarityOf("domain-freshness"); got != HigherBetter {
+		t.Fatalf("PolarityOf unknown = %v, want HigherBetter default", got)
+	}
+}
+
+func TestMustLookupPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustLookup of unknown id did not panic")
+		}
+	}()
+	MustLookup("bogus")
+}
+
+func TestPolarityAssignments(t *testing.T) {
+	tests := []struct {
+		id   MetricID
+		want Polarity
+	}{
+		{ResponseTime, LowerBetter},
+		{Latency, LowerBetter},
+		{ProcessingTime, LowerBetter},
+		{Cost, LowerBetter},
+		{Throughput, HigherBetter},
+		{Availability, HigherBetter},
+		{Accuracy, HigherBetter},
+		{Encryption, HigherBetter},
+	}
+	for _, tc := range tests {
+		if got := PolarityOf(tc.id); got != tc.want {
+			t.Errorf("PolarityOf(%s) = %v, want %v", tc.id, got, tc.want)
+		}
+	}
+}
+
+func TestMeasurableSplit(t *testing.T) {
+	// Section 2: accuracy-like aspects cannot be captured by execution
+	// monitoring, response-time-like ones can.
+	if MustLookup(ResponseTime).Measurable != true {
+		t.Error("ResponseTime should be measurable")
+	}
+	if MustLookup(Accuracy).Measurable != false {
+		t.Error("Accuracy should not be measurable")
+	}
+}
+
+func TestRenderTaxonomy(t *testing.T) {
+	out := RenderTaxonomy()
+	for _, want := range []string{
+		"Performance", "Dependability", "Security",
+		"Response Time", "Non-Repudiation", "Application-specific",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("RenderTaxonomy output missing %q", want)
+		}
+	}
+}
+
+func TestVectorCloneIndependent(t *testing.T) {
+	v := Vector{ResponseTime: 120}
+	c := v.Clone()
+	c[ResponseTime] = 999
+	if v[ResponseTime] != 120 {
+		t.Fatal("Clone shares storage with original")
+	}
+}
+
+func TestVectorMerge(t *testing.T) {
+	v := Vector{ResponseTime: 120, Availability: 0.9}
+	m := v.Merge(Vector{Availability: 0.99, Cost: 5})
+	if m[ResponseTime] != 120 || m[Availability] != 0.99 || m[Cost] != 5 {
+		t.Fatalf("Merge = %v", m)
+	}
+	if v[Availability] != 0.9 {
+		t.Fatal("Merge mutated receiver")
+	}
+}
+
+func TestVectorStringDeterministic(t *testing.T) {
+	v := Vector{ResponseTime: 120, Availability: 0.9, Cost: 2}
+	if v.String() != v.String() {
+		t.Fatal("String not deterministic")
+	}
+	if !strings.HasPrefix(v.String(), "{") {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestNormalizerBasics(t *testing.T) {
+	pop := []Vector{
+		{ResponseTime: 100, Availability: 0.90},
+		{ResponseTime: 300, Availability: 0.99},
+	}
+	n := NewNormalizer(pop)
+	// ResponseTime is lower-better: 100 is the best → 1.
+	if got := n.Normalize(ResponseTime, 100); got != 1 {
+		t.Errorf("Normalize(rt,100) = %g, want 1", got)
+	}
+	if got := n.Normalize(ResponseTime, 300); got != 0 {
+		t.Errorf("Normalize(rt,300) = %g, want 0", got)
+	}
+	if got := n.Normalize(ResponseTime, 200); got != 0.5 {
+		t.Errorf("Normalize(rt,200) = %g, want 0.5", got)
+	}
+	// Availability is higher-better.
+	if got := n.Normalize(Availability, 0.99); got != 1 {
+		t.Errorf("Normalize(av,0.99) = %g, want 1", got)
+	}
+}
+
+func TestNormalizerConstantColumn(t *testing.T) {
+	n := NewNormalizer([]Vector{{Cost: 7}, {Cost: 7}})
+	if got := n.Normalize(Cost, 7); got != 0.5 {
+		t.Fatalf("constant column normalized to %g, want neutral 0.5", got)
+	}
+}
+
+func TestNormalizerUnknownMetricNeutral(t *testing.T) {
+	n := NewNormalizer(nil)
+	if got := n.Normalize(ResponseTime, 123); got != 0.5 {
+		t.Fatalf("empty-population normalize = %g, want 0.5", got)
+	}
+}
+
+func TestNormalizerClampsOutOfRange(t *testing.T) {
+	n := NewNormalizer([]Vector{{Throughput: 10}, {Throughput: 20}})
+	if got := n.Normalize(Throughput, 50); got != 1 {
+		t.Fatalf("above-max normalized to %g, want clamp to 1", got)
+	}
+	if got := n.Normalize(Throughput, 1); got != 0 {
+		t.Fatalf("below-min normalized to %g, want clamp to 0", got)
+	}
+}
+
+// Property: normalization always lands in [0,1] and respects polarity
+// ordering — a strictly better raw value never normalizes lower.
+func TestNormalizeRangeAndMonotonicityProperty(t *testing.T) {
+	f := func(a, b, x, y float64) bool {
+		a, b = math.Mod(math.Abs(a), 1e6), math.Mod(math.Abs(b), 1e6)
+		x, y = math.Mod(math.Abs(x), 1e6), math.Mod(math.Abs(y), 1e6)
+		n := NewNormalizer([]Vector{{ResponseTime: a}, {ResponseTime: b}})
+		nx, ny := n.Normalize(ResponseTime, x), n.Normalize(ResponseTime, y)
+		if nx < 0 || nx > 1 || ny < 0 || ny > 1 {
+			return false
+		}
+		// lower-better: x < y must imply nx >= ny.
+		if x < y && nx < ny {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreferencesValidate(t *testing.T) {
+	tests := []struct {
+		name    string
+		p       Preferences
+		wantErr bool
+	}{
+		{"empty ok", Preferences{}, false},
+		{"uniform ok", NewUniformPreferences(ResponseTime, Cost), false},
+		{"negative", Preferences{Cost: -1}, true},
+		{"all zero", Preferences{Cost: 0}, true},
+		{"nan", Preferences{Cost: math.NaN()}, true},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.p.Validate()
+			if (err != nil) != tc.wantErr {
+				t.Fatalf("Validate() err = %v, wantErr %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestUtilityWeighting(t *testing.T) {
+	p := Preferences{ResponseTime: 3, Cost: 1}
+	v := Vector{ResponseTime: 1.0, Cost: 0.0} // already normalized
+	if got, want := p.Utility(v), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Utility = %g, want %g", got, want)
+	}
+}
+
+func TestUtilityMissingMetricNeutral(t *testing.T) {
+	p := Preferences{ResponseTime: 1, Accuracy: 1}
+	v := Vector{ResponseTime: 1.0}
+	if got, want := p.Utility(v), 0.75; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("Utility with missing metric = %g, want %g", got, want)
+	}
+}
+
+func TestUtilityNoPreferences(t *testing.T) {
+	var p Preferences
+	if got := p.Utility(Vector{Cost: 0.2, ResponseTime: 0.8}); math.Abs(got-0.5) > 1e-12 {
+		t.Fatalf("no-preference Utility = %g, want mean 0.5", got)
+	}
+	if got := p.Utility(Vector{}); got != 0.5 {
+		t.Fatalf("empty Utility = %g, want 0.5", got)
+	}
+}
+
+// Property: utility of a normalized vector stays within [0,1] and improving
+// one preferred metric never lowers utility.
+func TestUtilityBoundsAndMonotonicityProperty(t *testing.T) {
+	clamp01 := func(x float64) float64 { return math.Abs(math.Mod(x, 1)) }
+	f := func(w1, w2, a, b, delta float64) bool {
+		p := Preferences{ResponseTime: 1 + clamp01(w1), Cost: 1 + clamp01(w2)}
+		v := Vector{ResponseTime: clamp01(a), Cost: clamp01(b)}
+		u := p.Utility(v)
+		if u < 0 || u > 1 {
+			return false
+		}
+		better := v.Clone()
+		better[ResponseTime] = math.Min(1, better[ResponseTime]+clamp01(delta))
+		return p.Utility(better) >= u-1e-12
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPreferenceDistance(t *testing.T) {
+	a := Preferences{ResponseTime: 1}
+	b := Preferences{Cost: 1}
+	if got := a.Distance(b); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("disjoint profiles distance = %g, want 1", got)
+	}
+	if got := a.Distance(a); got != 0 {
+		t.Fatalf("self distance = %g, want 0", got)
+	}
+	// Scaling weights does not change the distribution.
+	c := Preferences{ResponseTime: 10}
+	if got := a.Distance(c); got != 0 {
+		t.Fatalf("scaled profile distance = %g, want 0", got)
+	}
+}
+
+func TestTopMetrics(t *testing.T) {
+	p := Preferences{ResponseTime: 3, Cost: 1, Availability: 3}
+	got := p.TopMetrics(2)
+	// Ties broken lexicographically: availability < response-time.
+	if len(got) != 2 || got[0] != Availability || got[1] != ResponseTime {
+		t.Fatalf("TopMetrics = %v", got)
+	}
+	if n := len(p.TopMetrics(99)); n != 3 {
+		t.Fatalf("TopMetrics(99) len = %d, want 3", n)
+	}
+}

@@ -1,0 +1,272 @@
+package qos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Vector maps metrics to raw (unnormalized) values: an advertised QoS
+// profile, a measured observation, or a ground-truth behaviour profile.
+type Vector map[MetricID]float64
+
+// Clone returns an independent copy of v.
+func (v Vector) Clone() Vector {
+	out := make(Vector, len(v))
+	for k, val := range v {
+		out[k] = val
+	}
+	return out
+}
+
+// IDs returns the metric ids present in v, sorted for determinism.
+func (v Vector) IDs() []MetricID {
+	ids := make([]MetricID, 0, len(v))
+	for id := range v {
+		ids = append(ids, id)
+	}
+	return SortIDs(ids)
+}
+
+// Merge returns a copy of v with entries of o overlaid on top.
+func (v Vector) Merge(o Vector) Vector {
+	out := v.Clone()
+	for k, val := range o {
+		out[k] = val
+	}
+	return out
+}
+
+// String renders the vector with sorted keys, for logs and goldens.
+func (v Vector) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, id := range v.IDs() {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		fmt.Fprintf(&b, "%s: %.4g", id, v[id])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Observation is the QoS outcome of one service invocation: the measured
+// metric values plus the instant they were captured. Failed invocations
+// carry Success=false and typically only availability-related metrics.
+type Observation struct {
+	Values  Vector
+	At      time.Time
+	Success bool
+}
+
+// Normalizer rescales raw metric values into [0,1] where 1 is always best,
+// using the min–max matrix normalization of Liu, Ngu & Zeng [16]: for each
+// metric, the observed population of values defines the scale. Polarity is
+// honoured, so after normalization "bigger is better" holds uniformly.
+//
+// The zero value is unusable; build one with NewNormalizer from the
+// population of vectors under comparison.
+type Normalizer struct {
+	min, max map[MetricID]float64
+}
+
+// NewNormalizer computes per-metric min/max over the given population.
+// Metrics absent from every vector get no scale and normalize to the
+// neutral value 0.5.
+func NewNormalizer(population []Vector) *Normalizer {
+	n := &Normalizer{min: map[MetricID]float64{}, max: map[MetricID]float64{}}
+	for _, v := range population {
+		for id, val := range v {
+			if cur, ok := n.min[id]; !ok || val < cur {
+				n.min[id] = val
+			}
+			if cur, ok := n.max[id]; !ok || val > cur {
+				n.max[id] = val
+			}
+		}
+	}
+	return n
+}
+
+// Normalize rescales one raw value into [0,1] with 1 best. When the
+// population had zero spread for the metric (max == min) every service is
+// equal on it and the neutral 0.5 is returned, matching [16]'s convention
+// of dropping constant columns.
+func (n *Normalizer) Normalize(id MetricID, raw float64) float64 {
+	lo, okLo := n.min[id]
+	hi, okHi := n.max[id]
+	if !okLo || !okHi || hi == lo {
+		return 0.5
+	}
+	frac := (raw - lo) / (hi - lo)
+	frac = math.Max(0, math.Min(1, frac))
+	if PolarityOf(id) == LowerBetter {
+		frac = 1 - frac
+	}
+	return frac
+}
+
+// NormalizeVector rescales every entry of v.
+func (n *Normalizer) NormalizeVector(v Vector) Vector {
+	out := make(Vector, len(v))
+	for id, raw := range v {
+		out[id] = n.Normalize(id, raw)
+	}
+	return out
+}
+
+// Preferences is a consumer's weighting over QoS metrics — the "profile
+// that shows the consumer's preference over different QoS metrics" the
+// paper describes in Section 3.2. Weights need not sum to one; Utility
+// normalizes internally.
+type Preferences map[MetricID]float64
+
+// NewUniformPreferences weights the given metrics equally.
+func NewUniformPreferences(ids ...MetricID) Preferences {
+	p := make(Preferences, len(ids))
+	for _, id := range ids {
+		p[id] = 1
+	}
+	return p
+}
+
+// Clone returns an independent copy.
+func (p Preferences) Clone() Preferences {
+	out := make(Preferences, len(p))
+	for k, v := range p {
+		out[k] = v
+	}
+	return out
+}
+
+// Validate reports an error for negative or all-zero weights.
+func (p Preferences) Validate() error {
+	total := 0.0
+	for id, w := range p {
+		if w < 0 {
+			return fmt.Errorf("qos: negative weight %g for %s", w, id)
+		}
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return fmt.Errorf("qos: non-finite weight for %s", id)
+		}
+		total += w
+	}
+	if len(p) > 0 && total == 0 {
+		return fmt.Errorf("qos: all %d preference weights are zero", len(p))
+	}
+	return nil
+}
+
+// Utility collapses a *normalized* vector (entries in [0,1], 1 best) into a
+// single score in [0,1]: the weighted mean over the preferred metrics.
+// Metrics missing from the vector contribute the neutral 0.5, so a service
+// that does not advertise a metric is neither rewarded nor punished for it.
+func (p Preferences) Utility(normalized Vector) float64 {
+	// Accumulation follows sorted key order: floating-point addition is not
+	// associative, and map-order sums would make utilities (hence rankings)
+	// differ between processes.
+	if len(p) == 0 {
+		// No expressed preference: plain mean of whatever is present.
+		if len(normalized) == 0 {
+			return 0.5
+		}
+		sum := 0.0
+		for _, id := range normalized.IDs() {
+			sum += normalized[id]
+		}
+		return sum / float64(len(normalized))
+	}
+	ids := make([]MetricID, 0, len(p))
+	for id := range p {
+		ids = append(ids, id)
+	}
+	var num, den float64
+	for _, id := range SortIDs(ids) {
+		w := p[id]
+		if w == 0 {
+			continue
+		}
+		val, ok := normalized[id]
+		if !ok {
+			val = 0.5
+		}
+		num += w * val
+		den += w
+	}
+	if den == 0 {
+		return 0.5
+	}
+	return num / den
+}
+
+// Distance is the weighted L1 distance between two preference profiles,
+// normalized to [0,1]. The workload generator uses it to control and
+// measure preference heterogeneity (experiment C4).
+func (p Preferences) Distance(o Preferences) float64 {
+	ids := map[MetricID]struct{}{}
+	for id := range p {
+		ids[id] = struct{}{}
+	}
+	for id := range o {
+		ids[id] = struct{}{}
+	}
+	if len(ids) == 0 {
+		return 0
+	}
+	pn, on := p.normalizedWeights(), o.normalizedWeights()
+	sorted := make([]MetricID, 0, len(ids))
+	for id := range ids {
+		sorted = append(sorted, id)
+	}
+	sum := 0.0
+	for _, id := range SortIDs(sorted) {
+		sum += math.Abs(pn[id] - on[id])
+	}
+	// Total variation distance: half the L1 distance between distributions.
+	return sum / 2
+}
+
+func (p Preferences) normalizedWeights() map[MetricID]float64 {
+	out := make(map[MetricID]float64, len(p))
+	total := 0.0
+	for _, w := range p {
+		total += w
+	}
+	if total == 0 {
+		return out
+	}
+	for id, w := range p {
+		out[id] = w / total
+	}
+	return out
+}
+
+// TopMetrics returns the k most heavily weighted metric ids, ties broken
+// lexicographically for determinism.
+func (p Preferences) TopMetrics(k int) []MetricID {
+	type kv struct {
+		id MetricID
+		w  float64
+	}
+	all := make([]kv, 0, len(p))
+	for id, w := range p {
+		all = append(all, kv{id, w})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].w != all[j].w {
+			return all[i].w > all[j].w
+		}
+		return all[i].id < all[j].id
+	})
+	if k > len(all) {
+		k = len(all)
+	}
+	out := make([]MetricID, 0, k)
+	for _, e := range all[:k] {
+		out = append(out, e.id)
+	}
+	return out
+}

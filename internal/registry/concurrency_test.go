@@ -1,0 +1,51 @@
+package registry
+
+import (
+	"sync"
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+)
+
+// TestConcurrentSubmitAndQuery hammers the registry from many goroutines;
+// run with -race. The store promises safety for concurrent use.
+func TestConcurrentSubmitAndQuery(t *testing.T) {
+	st := NewStore()
+	var wg sync.WaitGroup
+	const writers, readers, perG = 8, 4, 200
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				fb := core.Feedback{
+					Consumer: core.NewConsumerID(w),
+					Service:  core.NewServiceID(i % 10),
+					Ratings:  map[core.Facet]float64{core.FacetOverall: 0.5},
+					At:       simclock.Epoch,
+				}
+				if err := st.Submit(fb); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				_ = st.ForService(core.NewServiceID(i % 10))
+				_ = st.RatingMatrix()
+				_ = st.Services()
+			}
+		}()
+	}
+	wg.Wait()
+	if st.Len() != writers*perG {
+		t.Fatalf("lost submissions: %d", st.Len())
+	}
+}

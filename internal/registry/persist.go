@@ -1,0 +1,128 @@
+package registry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+)
+
+// This file gives the central QoS registry a durable form: the feedback
+// log exports to and imports from a line-delimited JSON stream, so a
+// deployment can persist, ship, or replay its reputation history — and so
+// experiments can snapshot a trained market.
+
+// feedbackRecord is the wire form of one feedback entry.
+type feedbackRecord struct {
+	Consumer string             `json:"consumer"`
+	Service  string             `json:"service"`
+	Provider string             `json:"provider,omitempty"`
+	Context  string             `json:"context,omitempty"`
+	Ratings  map[string]float64 `json:"ratings,omitempty"`
+	Observed map[string]float64 `json:"observed,omitempty"`
+	Success  bool               `json:"success"`
+	At       time.Time          `json:"at"`
+}
+
+func toRecord(fb core.Feedback) feedbackRecord {
+	rec := feedbackRecord{
+		Consumer: string(fb.Consumer),
+		Service:  string(fb.Service),
+		Provider: string(fb.Provider),
+		Context:  string(fb.Context),
+		Success:  fb.Observed.Success,
+		At:       fb.At,
+	}
+	if len(fb.Ratings) > 0 {
+		rec.Ratings = make(map[string]float64, len(fb.Ratings))
+		for f, v := range fb.Ratings {
+			rec.Ratings[string(f)] = v
+		}
+	}
+	if len(fb.Observed.Values) > 0 {
+		rec.Observed = make(map[string]float64, len(fb.Observed.Values))
+		for m, v := range fb.Observed.Values {
+			rec.Observed[string(m)] = v
+		}
+	}
+	return rec
+}
+
+func (r feedbackRecord) toFeedback() core.Feedback {
+	fb := core.Feedback{
+		Consumer: core.ConsumerID(r.Consumer),
+		Service:  core.ServiceID(r.Service),
+		Provider: core.ProviderID(r.Provider),
+		Context:  core.Context(r.Context),
+		Observed: qos.Observation{Success: r.Success, At: r.At},
+		At:       r.At,
+	}
+	if len(r.Ratings) > 0 {
+		fb.Ratings = make(map[core.Facet]float64, len(r.Ratings))
+		for f, v := range r.Ratings {
+			fb.Ratings[core.Facet(f)] = v
+		}
+	}
+	if len(r.Observed) > 0 {
+		fb.Observed.Values = make(qos.Vector, len(r.Observed))
+		for m, v := range r.Observed {
+			fb.Observed.Values[qos.MetricID(m)] = v
+		}
+	}
+	return fb
+}
+
+// Export writes the full feedback log as line-delimited JSON, in
+// submission order.
+func (s *Store) Export(w io.Writer) error {
+	s.mu.RLock()
+	log := make([]core.Feedback, len(s.log))
+	copy(log, s.log)
+	s.mu.RUnlock()
+
+	enc := json.NewEncoder(w)
+	for i, fb := range log {
+		if err := enc.Encode(toRecord(fb)); err != nil {
+			return fmt.Errorf("registry: export record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Import reads line-delimited JSON records (as written by Export) and
+// submits each into the store, validating as it goes. It returns the
+// number of records imported; on a malformed record it stops with an error
+// after having imported the valid prefix.
+func (s *Store) Import(r io.Reader) (int, error) {
+	dec := json.NewDecoder(r)
+	n := 0
+	for dec.More() {
+		var rec feedbackRecord
+		if err := dec.Decode(&rec); err != nil {
+			return n, fmt.Errorf("registry: import record %d: %w", n, err)
+		}
+		if err := s.Submit(rec.toFeedback()); err != nil {
+			return n, fmt.Errorf("registry: import record %d: %w", n, err)
+		}
+		n++
+	}
+	return n, nil
+}
+
+// Replay feeds every stored feedback into a mechanism, in submission
+// order — rebuilding a reputation state from a persisted log.
+func (s *Store) Replay(mech core.Mechanism) (int, error) {
+	s.mu.RLock()
+	log := make([]core.Feedback, len(s.log))
+	copy(log, s.log)
+	s.mu.RUnlock()
+	for i, fb := range log {
+		if err := mech.Submit(fb); err != nil {
+			return i, fmt.Errorf("registry: replay record %d: %w", i, err)
+		}
+	}
+	return len(log), nil
+}

@@ -1,0 +1,186 @@
+// Package registry implements the paper's central QoS registry (Figure 2):
+// "a central node used to collect and store QoS information in a web
+// service system". Consumers report feedback after consuming services; the
+// centralized trust and reputation mechanisms (eBay, Sporas/Histos,
+// collaborative filtering, Liu-Ngu-Zeng, Maximilien-Singh, Day) query it to
+// compute ratings.
+//
+// The registry also keeps communication accounting (one message per submit
+// and per query) so experiments F2 and C6 can compare the centralized
+// design's costs against decentralized alternatives.
+package registry
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"wstrust/internal/core"
+)
+
+// Store is the central QoS registry. The zero value is unusable; build
+// with NewStore. Store is safe for concurrent use.
+type Store struct {
+	mu         sync.RWMutex
+	log        []core.Feedback
+	byService  map[core.ServiceID][]int
+	byConsumer map[core.ConsumerID][]int
+	byPair     map[pairKey][]int
+	messages   int64
+}
+
+type pairKey struct {
+	consumer core.ConsumerID
+	service  core.ServiceID
+}
+
+// NewStore returns an empty registry.
+func NewStore() *Store {
+	return &Store{
+		byService:  map[core.ServiceID][]int{},
+		byConsumer: map[core.ConsumerID][]int{},
+		byPair:     map[pairKey][]int{},
+	}
+}
+
+// Submit appends one feedback record. Malformed feedback is rejected.
+// Each submit counts as one consumer→registry message.
+func (s *Store) Submit(fb core.Feedback) error {
+	if err := fb.Validate(); err != nil {
+		return fmt.Errorf("registry: %w", err)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	idx := len(s.log)
+	s.log = append(s.log, fb)
+	s.byService[fb.Service] = append(s.byService[fb.Service], idx)
+	s.byConsumer[fb.Consumer] = append(s.byConsumer[fb.Consumer], idx)
+	k := pairKey{fb.Consumer, fb.Service}
+	s.byPair[k] = append(s.byPair[k], idx)
+	s.messages++
+	return nil
+}
+
+// Len reports the number of stored feedback records.
+func (s *Store) Len() int {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return len(s.log)
+}
+
+// MessageCount reports cumulative messages (submits + queries), the
+// centralized system's communication cost.
+func (s *Store) MessageCount() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.messages
+}
+
+// countQuery bumps the message counter for a read. Callers hold no lock.
+func (s *Store) countQuery() {
+	s.mu.Lock()
+	s.messages++
+	s.mu.Unlock()
+}
+
+// ForService returns all feedback about the service in submission order.
+func (s *Store) ForService(id core.ServiceID) []core.Feedback {
+	s.countQuery()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collect(s.byService[id])
+}
+
+// ForConsumer returns all feedback submitted by the consumer in order.
+func (s *Store) ForConsumer(id core.ConsumerID) []core.Feedback {
+	s.countQuery()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collect(s.byConsumer[id])
+}
+
+// ForPair returns the feedback consumer has submitted about service.
+func (s *Store) ForPair(consumer core.ConsumerID, service core.ServiceID) []core.Feedback {
+	s.countQuery()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.collect(s.byPair[pairKey{consumer, service}])
+}
+
+func (s *Store) collect(idxs []int) []core.Feedback {
+	out := make([]core.Feedback, len(idxs))
+	for i, idx := range idxs {
+		out[i] = s.log[idx]
+	}
+	return out
+}
+
+// Services returns the distinct rated services, sorted.
+func (s *Store) Services() []core.ServiceID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]core.ServiceID, 0, len(s.byService))
+	for id := range s.byService {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Consumers returns the distinct raters, sorted.
+func (s *Store) Consumers() []core.ConsumerID {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]core.ConsumerID, 0, len(s.byConsumer))
+	for id := range s.byConsumer {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RatingMatrix builds the consumer × service matrix of overall ratings —
+// the input collaborative filtering works on. When a consumer rated a
+// service several times the most recent rating wins, honouring the paper's
+// "new experiences are more important than old ones".
+func (s *Store) RatingMatrix() map[core.ConsumerID]map[core.ServiceID]float64 {
+	s.countQuery()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := map[core.ConsumerID]map[core.ServiceID]float64{}
+	for _, fb := range s.log { // submission order → later overwrite earlier
+		row, ok := out[fb.Consumer]
+		if !ok {
+			row = map[core.ServiceID]float64{}
+			out[fb.Consumer] = row
+		}
+		row[fb.Service] = fb.Overall()
+	}
+	return out
+}
+
+// FacetSeries returns the chronological values of one facet rating for a
+// service, across all consumers.
+func (s *Store) FacetSeries(id core.ServiceID, facet core.Facet) []float64 {
+	s.countQuery()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	var out []float64
+	for _, idx := range s.byService[id] {
+		if v, ok := s.log[idx].Ratings[facet]; ok {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// Reset clears all stored feedback but keeps the message counter, so cost
+// accounting spans experiment phases.
+func (s *Store) Reset() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.log = nil
+	s.byService = map[core.ServiceID][]int{}
+	s.byConsumer = map[core.ConsumerID][]int{}
+	s.byPair = map[pairKey][]int{}
+}

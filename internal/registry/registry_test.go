@@ -1,0 +1,124 @@
+package registry
+
+import (
+	"testing"
+	"time"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/simclock"
+)
+
+func fb(c core.ConsumerID, s core.ServiceID, overall float64, at time.Time) core.Feedback {
+	return core.Feedback{
+		Consumer: c, Service: s, Provider: "p001", Context: "weather",
+		Ratings: map[core.Facet]float64{core.FacetOverall: overall},
+		At:      at,
+	}
+}
+
+func TestSubmitAndQuery(t *testing.T) {
+	st := NewStore()
+	t0 := simclock.Epoch
+	if err := st.Submit(fb("c001", "s001", 0.9, t0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Submit(fb("c002", "s001", 0.7, t0.Add(time.Minute))); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Submit(fb("c001", "s002", 0.2, t0.Add(2*time.Minute))); err != nil {
+		t.Fatal(err)
+	}
+
+	if st.Len() != 3 {
+		t.Fatalf("Len = %d", st.Len())
+	}
+	if got := st.ForService("s001"); len(got) != 2 || got[0].Consumer != "c001" {
+		t.Fatalf("ForService = %+v", got)
+	}
+	if got := st.ForConsumer("c001"); len(got) != 2 || got[1].Service != "s002" {
+		t.Fatalf("ForConsumer = %+v", got)
+	}
+	if got := st.ForPair("c001", "s001"); len(got) != 1 {
+		t.Fatalf("ForPair = %+v", got)
+	}
+	if got := st.ForPair("c009", "s001"); len(got) != 0 {
+		t.Fatalf("ForPair unknown = %+v", got)
+	}
+}
+
+func TestSubmitRejectsInvalid(t *testing.T) {
+	st := NewStore()
+	bad := core.Feedback{Service: "s001"}
+	if err := st.Submit(bad); err == nil {
+		t.Fatal("invalid feedback accepted")
+	}
+	if st.Len() != 0 {
+		t.Fatal("rejected feedback was stored")
+	}
+}
+
+func TestServicesAndConsumersSorted(t *testing.T) {
+	st := NewStore()
+	_ = st.Submit(fb("c002", "s002", 1, simclock.Epoch))
+	_ = st.Submit(fb("c001", "s001", 1, simclock.Epoch))
+	svcs, cons := st.Services(), st.Consumers()
+	if svcs[0] != "s001" || svcs[1] != "s002" {
+		t.Fatalf("Services = %v", svcs)
+	}
+	if cons[0] != "c001" || cons[1] != "c002" {
+		t.Fatalf("Consumers = %v", cons)
+	}
+}
+
+func TestRatingMatrixLatestWins(t *testing.T) {
+	st := NewStore()
+	_ = st.Submit(fb("c001", "s001", 0.2, simclock.Epoch))
+	_ = st.Submit(fb("c001", "s001", 0.8, simclock.Epoch.Add(time.Hour)))
+	m := st.RatingMatrix()
+	if got := m["c001"]["s001"]; got != 0.8 {
+		t.Fatalf("matrix entry = %g, want latest 0.8", got)
+	}
+}
+
+func TestFacetSeries(t *testing.T) {
+	st := NewStore()
+	f := fb("c001", "s001", 0.5, simclock.Epoch)
+	f.Ratings[qos.Accuracy] = 0.4
+	_ = st.Submit(f)
+	f2 := fb("c002", "s001", 0.5, simclock.Epoch)
+	f2.Ratings[qos.Accuracy] = 0.6
+	_ = st.Submit(f2)
+	_ = st.Submit(fb("c003", "s001", 0.5, simclock.Epoch)) // no accuracy facet
+	got := st.FacetSeries("s001", qos.Accuracy)
+	if len(got) != 2 || got[0] != 0.4 || got[1] != 0.6 {
+		t.Fatalf("FacetSeries = %v", got)
+	}
+}
+
+func TestMessageAccounting(t *testing.T) {
+	st := NewStore()
+	_ = st.Submit(fb("c001", "s001", 1, simclock.Epoch))
+	before := st.MessageCount()
+	st.ForService("s001")
+	st.RatingMatrix()
+	if got := st.MessageCount(); got != before+2 {
+		t.Fatalf("MessageCount = %d, want %d", got, before+2)
+	}
+}
+
+func TestResetKeepsMessages(t *testing.T) {
+	st := NewStore()
+	_ = st.Submit(fb("c001", "s001", 1, simclock.Epoch))
+	msgs := st.MessageCount()
+	st.Reset()
+	if st.Len() != 0 {
+		t.Fatal("Reset did not clear log")
+	}
+	if st.MessageCount() != msgs {
+		t.Fatal("Reset cleared message accounting")
+	}
+	if got := st.ForService("s001"); len(got) != 0 {
+		t.Fatalf("post-reset ForService = %+v", got)
+	}
+}

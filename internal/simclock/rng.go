@@ -1,0 +1,25 @@
+package simclock
+
+import (
+	"hash/fnv"
+	"math/rand"
+)
+
+// NewRand returns a rand.Rand seeded with seed. Every stochastic component
+// in wstrust receives its randomness through this constructor (directly or
+// via Stream) so whole experiments replay exactly from one seed.
+func NewRand(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Stream derives an independent, named random stream from a root seed.
+// Components that run "in parallel" conceptually (e.g. each provider's
+// behaviour model, each attacker clique) take distinct streams so that
+// adding a component does not perturb the random draws of the others —
+// a standard variance-reduction discipline in discrete-event simulation.
+func Stream(rootSeed int64, name string) *rand.Rand {
+	h := fnv.New64a()
+	// hash.Hash.Write never returns an error.
+	_, _ = h.Write([]byte(name))
+	return NewRand(rootSeed ^ int64(h.Sum64()))
+}

@@ -1,0 +1,202 @@
+package simclock
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestVirtualStartsAtEpoch(t *testing.T) {
+	v := NewVirtual()
+	if got := v.Now(); !got.Equal(Epoch) {
+		t.Fatalf("Now() = %v, want Epoch %v", got, Epoch)
+	}
+}
+
+func TestVirtualAdvance(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(90 * time.Second)
+	if got, want := v.Now(), Epoch.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("Now() = %v, want %v", got, want)
+	}
+	v.Advance(0) // zero advance is legal
+	if got, want := v.Now(), Epoch.Add(90*time.Second); !got.Equal(want) {
+		t.Fatalf("after zero advance Now() = %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAdvanceNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Advance(-1) did not panic")
+		}
+	}()
+	NewVirtual().Advance(-time.Second)
+}
+
+func TestVirtualSetBackwardsPanics(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(time.Hour)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Set to the past did not panic")
+		}
+	}()
+	v.Set(Epoch)
+}
+
+func TestFixed(t *testing.T) {
+	at := Epoch.Add(42 * time.Minute)
+	c := Fixed(at)
+	if !c.Now().Equal(at) {
+		t.Fatalf("Fixed clock Now() = %v, want %v", c.Now(), at)
+	}
+}
+
+func TestEventQueueFiresInTimestampOrder(t *testing.T) {
+	v := NewVirtual()
+	q := NewEventQueue(v)
+	var got []int
+	q.Schedule(Epoch.Add(3*time.Second), func() { got = append(got, 3) })
+	q.Schedule(Epoch.Add(1*time.Second), func() { got = append(got, 1) })
+	q.Schedule(Epoch.Add(2*time.Second), func() { got = append(got, 2) })
+	if n := q.Drain(10); n != 3 {
+		t.Fatalf("Drain fired %d events, want 3", n)
+	}
+	want := []int{1, 2, 3}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("fire order %v, want %v", got, want)
+		}
+	}
+	if !v.Now().Equal(Epoch.Add(3 * time.Second)) {
+		t.Fatalf("clock ended at %v, want %v", v.Now(), Epoch.Add(3*time.Second))
+	}
+}
+
+func TestEventQueueTiesFireInScheduleOrder(t *testing.T) {
+	v := NewVirtual()
+	q := NewEventQueue(v)
+	at := Epoch.Add(time.Second)
+	var got []int
+	for i := 0; i < 5; i++ {
+		i := i
+		q.Schedule(at, func() { got = append(got, i) })
+	}
+	q.Drain(10)
+	for i := 0; i < 5; i++ {
+		if got[i] != i {
+			t.Fatalf("tie order %v, want ascending schedule order", got)
+		}
+	}
+}
+
+func TestEventQueueSelfScheduling(t *testing.T) {
+	v := NewVirtual()
+	q := NewEventQueue(v)
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < 4 {
+			q.ScheduleAfter(time.Second, tick)
+		}
+	}
+	q.ScheduleAfter(time.Second, tick)
+	q.Drain(100)
+	if count != 4 {
+		t.Fatalf("self-scheduling event fired %d times, want 4", count)
+	}
+}
+
+func TestEventQueueRunUntil(t *testing.T) {
+	v := NewVirtual()
+	q := NewEventQueue(v)
+	fired := 0
+	for i := 1; i <= 5; i++ {
+		q.Schedule(Epoch.Add(time.Duration(i)*time.Minute), func() { fired++ })
+	}
+	if n := q.RunUntil(Epoch.Add(3 * time.Minute)); n != 3 {
+		t.Fatalf("RunUntil fired %d, want 3", n)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("pending = %d, want 2", q.Len())
+	}
+}
+
+func TestEventQueueSchedulePastPanics(t *testing.T) {
+	v := NewVirtual()
+	v.Advance(time.Hour)
+	q := NewEventQueue(v)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Schedule in the past did not panic")
+		}
+	}()
+	q.Schedule(Epoch, func() {})
+}
+
+func TestEventQueueDrainLimitPanics(t *testing.T) {
+	v := NewVirtual()
+	q := NewEventQueue(v)
+	var loop func()
+	loop = func() { q.ScheduleAfter(time.Second, loop) }
+	q.ScheduleAfter(time.Second, loop)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Drain of an infinite chain did not panic")
+		}
+	}()
+	q.Drain(10)
+}
+
+func TestNewRandDeterministic(t *testing.T) {
+	a, b := NewRand(7), NewRand(7)
+	for i := 0; i < 100; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatal("same seed produced diverging sequences")
+		}
+	}
+}
+
+func TestStreamIndependence(t *testing.T) {
+	// Same root seed, same name: identical streams.
+	a, b := Stream(1, "providers"), Stream(1, "providers")
+	if a.Int63() != b.Int63() {
+		t.Fatal("identical stream names diverged")
+	}
+	// Different names: streams differ (overwhelmingly likely in 10 draws).
+	c, d := Stream(1, "providers"), Stream(1, "consumers")
+	same := true
+	for i := 0; i < 10; i++ {
+		if c.Int63() != d.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("differently named streams produced identical draws")
+	}
+}
+
+func TestStreamNameSensitivityProperty(t *testing.T) {
+	// Property: for any seed and any pair of distinct names, the first draws
+	// almost surely differ. testing/quick feeds arbitrary seeds/names.
+	f := func(seed int64, name1, name2 string) bool {
+		if name1 == name2 {
+			return true
+		}
+		// A single equal first-draw is possible but astronomically unlikely;
+		// compare three draws to make the property robust.
+		a, b := Stream(seed, name1), Stream(seed, name2)
+		for i := 0; i < 3; i++ {
+			if a.Int63() != b.Int63() {
+				return true
+			}
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,195 @@
+package soa
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"wstrust/internal/qos"
+	"wstrust/internal/simclock"
+)
+
+// Dynamics describes how a service's true quality evolves over time — the
+// paper's "dynamic environment" where trust must track change (Section 3)
+// and where providers may improve after gaining a bad reputation
+// (Section 2's explorer-agent scenario).
+type Dynamics int
+
+const (
+	// Static quality never changes.
+	Static Dynamics = iota + 1
+	// Improving quality ramps from Alt (worse) to True over Ramp.
+	Improving
+	// Decaying quality ramps from True down to Alt over Ramp.
+	Decaying
+	// Oscillating quality alternates between True and Alt every Period —
+	// the milking strategy where a provider alternates good and bad
+	// behaviour.
+	Oscillating
+)
+
+// String implements fmt.Stringer.
+func (d Dynamics) String() string {
+	switch d {
+	case Static:
+		return "static"
+	case Improving:
+		return "improving"
+	case Decaying:
+		return "decaying"
+	case Oscillating:
+		return "oscillating"
+	default:
+		return fmt.Sprintf("Dynamics(%d)", int(d))
+	}
+}
+
+// Behavior is the ground truth of one service: what it actually delivers,
+// as opposed to what its provider advertises. The simulation keeps this
+// hidden from mechanisms; only sampled observations escape.
+type Behavior struct {
+	// True is the service's nominal quality: mean raw value per metric.
+	// An Availability entry, if present, is the success probability of
+	// each invocation (defaults to 1).
+	True qos.Vector
+	// Alt is the alternative quality vector used by non-static dynamics.
+	Alt qos.Vector
+	// Dynamics selects the evolution pattern (default Static).
+	Dynamics Dynamics
+	// Period is the oscillation half-period (time spent in each phase).
+	Period time.Duration
+	// Ramp is the improvement/decay duration.
+	Ramp time.Duration
+	// Jitter is the relative standard deviation of multiplicative noise on
+	// measurable metrics (e.g. 0.1 → ±10% typical spread).
+	Jitter float64
+	// Start anchors the dynamics timeline; zero means simclock.Epoch.
+	Start time.Time
+}
+
+func (b Behavior) start() time.Time {
+	if b.Start.IsZero() {
+		return simclock.Epoch
+	}
+	return b.Start
+}
+
+// TrueAt returns the service's true mean quality at instant t, applying the
+// behaviour dynamics.
+func (b Behavior) TrueAt(t time.Time) qos.Vector {
+	switch b.Dynamics {
+	case Improving:
+		return lerpVectors(b.Alt, b.True, b.phase01(t))
+	case Decaying:
+		return lerpVectors(b.True, b.Alt, b.phase01(t))
+	case Oscillating:
+		if b.Period <= 0 {
+			return b.True.Clone()
+		}
+		elapsed := t.Sub(b.start())
+		if elapsed < 0 {
+			elapsed = 0
+		}
+		if (elapsed/b.Period)%2 == 0 {
+			return b.True.Clone()
+		}
+		return b.Alt.Clone()
+	default:
+		return b.True.Clone()
+	}
+}
+
+// phase01 maps elapsed time onto [0,1] over the ramp.
+func (b Behavior) phase01(t time.Time) float64 {
+	if b.Ramp <= 0 {
+		return 1
+	}
+	frac := float64(t.Sub(b.start())) / float64(b.Ramp)
+	return math.Max(0, math.Min(1, frac))
+}
+
+func lerpVectors(from, to qos.Vector, frac float64) qos.Vector {
+	out := make(qos.Vector, len(to))
+	for id, hi := range to {
+		lo, ok := from[id]
+		if !ok {
+			lo = hi
+		}
+		out[id] = lo + (hi-lo)*frac
+	}
+	return out
+}
+
+// AvailabilityAt returns the invocation success probability at t.
+func (b Behavior) AvailabilityAt(t time.Time) float64 {
+	v := b.TrueAt(t)
+	a, ok := v[qos.Availability]
+	if !ok {
+		return 1
+	}
+	return math.Max(0, math.Min(1, a))
+}
+
+// Sample draws one invocation outcome at instant t: a success/failure flag
+// from availability and, on success, noisy measurements around the true
+// means. Failed invocations report only the availability signal, because a
+// consumer that got a fault has nothing else to measure.
+func (b Behavior) Sample(t time.Time, rng *rand.Rand) qos.Observation {
+	truth := b.TrueAt(t)
+	avail := b.AvailabilityAt(t)
+	if rng.Float64() >= avail {
+		return qos.Observation{
+			Values:  qos.Vector{qos.Availability: 0},
+			At:      t,
+			Success: false,
+		}
+	}
+	values := make(qos.Vector, len(truth))
+	// Draw noise in sorted metric order: map iteration order is random per
+	// map instance, and pairing draws with metrics nondeterministically
+	// would break run-for-run reproducibility.
+	for _, id := range truth.IDs() {
+		mean := truth[id]
+		if id == qos.Availability {
+			values[id] = 1 // this call succeeded
+			continue
+		}
+		v := mean
+		if b.Jitter > 0 {
+			v = mean * (1 + rng.NormFloat64()*b.Jitter)
+		}
+		// Raw metric values in this substrate are non-negative quantities
+		// (times, rates, scores); clamp noise excursions below zero.
+		values[id] = math.Max(0, v)
+	}
+	return qos.Observation{Values: values, At: t, Success: true}
+}
+
+// Exaggerate returns an advertised QoS vector overstating the true quality
+// by factor (0 = honest, 0.5 = 50% better than reality on every metric,
+// direction per polarity). This is the dishonest-advertising behaviour the
+// paper warns about: "a provider may also exaggerate its capability of
+// providing good QoS on purpose to attract consumers".
+func Exaggerate(truth qos.Vector, factor float64) qos.Vector {
+	out := make(qos.Vector, len(truth))
+	for id, v := range truth {
+		switch qos.PolarityOf(id) {
+		case qos.LowerBetter:
+			out[id] = v / (1 + factor)
+		default:
+			if _, isTax := qos.Lookup(id); isTax && isRatioMetric(id) {
+				// Ratio metrics cap at 1.
+				out[id] = math.Min(1, v*(1+factor))
+			} else {
+				out[id] = v * (1 + factor)
+			}
+		}
+	}
+	return out
+}
+
+func isRatioMetric(id qos.MetricID) bool {
+	m, ok := qos.Lookup(id)
+	return ok && (m.Unit == "ratio" || m.Unit == "score")
+}

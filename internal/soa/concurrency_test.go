@@ -1,0 +1,50 @@
+package soa
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/simclock"
+)
+
+// TestConcurrentPublishFindInvoke exercises UDDI and fabric concurrently;
+// run with -race.
+func TestConcurrentPublishFindInvoke(t *testing.T) {
+	fabric := NewFabric(simclock.NewVirtual(), simclock.NewRand(1), NewUDDI())
+	var wg sync.WaitGroup
+	for w := 0; w < 6; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				id := core.ServiceID(fmt.Sprintf("s-%d-%d", w, i))
+				d := Description{
+					Service: id, Provider: core.NewProviderID(w), Name: string(id),
+					Category:   "load",
+					Operations: []Operation{{Name: "Op"}},
+					Advertised: qos.Vector{qos.ResponseTime: 100},
+				}
+				if err := fabric.Register(d, Behavior{True: qos.Vector{qos.ResponseTime: 100, qos.Availability: 1}}); err != nil {
+					t.Error(err)
+					return
+				}
+				if _, err := fabric.Invoke("c-load", id, "Op"); err != nil {
+					t.Error(err)
+					return
+				}
+				_ = fabric.UDDI().FindByCategory("load")
+			}
+		}()
+	}
+	wg.Wait()
+	if fabric.UDDI().Len() != 300 {
+		t.Fatalf("services = %d", fabric.UDDI().Len())
+	}
+	if fabric.Calls() != 300 {
+		t.Fatalf("calls = %d", fabric.Calls())
+	}
+}

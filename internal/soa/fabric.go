@@ -1,0 +1,199 @@
+package soa
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/simclock"
+)
+
+// Result is the outcome of one service invocation as seen by the consumer:
+// the decoded SOAP response (or fault) plus the QoS the consumer could
+// measure around the call.
+type Result struct {
+	Response    Envelope
+	Observation qos.Observation
+	// Fault is non-nil when the service failed or was unavailable.
+	Fault *Fault
+}
+
+// Succeeded reports whether the invocation completed without fault.
+func (r Result) Succeeded() bool { return r.Fault == nil }
+
+// InvocationRecord is the audit entry the fabric emits per call; monitors
+// and experiments subscribe to these.
+type InvocationRecord struct {
+	Consumer core.ConsumerID
+	Service  core.ServiceID
+	Provider core.ProviderID
+	Result   Result
+}
+
+// Fabric hosts the simulated services and routes SOAP invocations to them.
+// Each invocation exercises the full encode → route → behave → decode path
+// and yields a QoS observation drawn from the service's hidden behaviour.
+//
+// Fabric is safe for concurrent use, though the experiments drive it from
+// one goroutine for determinism.
+type Fabric struct {
+	clock simclock.Clock
+
+	mu        sync.Mutex
+	rng       *rand.Rand
+	uddi      *UDDI
+	behaviors map[core.ServiceID]Behavior
+	msgSeq    int64
+	callN     int64
+	faultN    int64
+	listeners []func(InvocationRecord)
+}
+
+// NewFabric builds an empty fabric over the given clock, RNG and registry.
+// All three must be non-nil; the registry is shared so consumers can browse
+// it directly.
+func NewFabric(clock simclock.Clock, rng *rand.Rand, uddi *UDDI) *Fabric {
+	if clock == nil || rng == nil || uddi == nil {
+		panic("soa: NewFabric requires clock, rng and uddi")
+	}
+	return &Fabric{
+		clock:     clock,
+		rng:       rng,
+		uddi:      uddi,
+		behaviors: map[core.ServiceID]Behavior{},
+	}
+}
+
+// UDDI returns the registry the fabric publishes into.
+func (f *Fabric) UDDI() *UDDI { return f.uddi }
+
+// Register publishes the description and installs the service's hidden
+// behaviour.
+func (f *Fabric) Register(d Description, b Behavior) error {
+	if err := f.uddi.Publish(d); err != nil {
+		return fmt.Errorf("soa: register %s: %w", d.Service, err)
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.behaviors[d.Service] = b
+	return nil
+}
+
+// Deregister removes a service from both registry and fabric.
+func (f *Fabric) Deregister(id core.ServiceID) {
+	f.uddi.Unpublish(id)
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	delete(f.behaviors, id)
+}
+
+// Behavior exposes the ground-truth behaviour of a service. Only the
+// experiment oracle and monitors use it; mechanisms never see it.
+func (f *Fabric) Behavior(id core.ServiceID) (Behavior, bool) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	b, ok := f.behaviors[id]
+	return b, ok
+}
+
+// Subscribe registers a listener invoked synchronously after every call.
+func (f *Fabric) Subscribe(fn func(InvocationRecord)) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.listeners = append(f.listeners, fn)
+}
+
+// Calls reports the cumulative number of invocations routed.
+func (f *Fabric) Calls() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.callN
+}
+
+// Faults reports the cumulative number of faulted invocations.
+func (f *Fabric) Faults() int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.faultN
+}
+
+// Invoke routes one SOAP call from consumer to the named service operation
+// and returns the consumer-side result. Unknown services return an error
+// (nothing to observe); registered-but-unavailable services return a Result
+// with a Fault and a failure observation, because a deployed-but-down
+// service is a QoS event the consumer can and should report.
+func (f *Fabric) Invoke(consumer core.ConsumerID, service core.ServiceID, operation string) (Result, error) {
+	desc, ok := f.uddi.Get(service)
+	if !ok {
+		return Result{}, fmt.Errorf("soa: invoke %s: service not published", service)
+	}
+
+	f.mu.Lock()
+	f.msgSeq++
+	msgID := fmt.Sprintf("msg-%06d", f.msgSeq)
+	behavior, hasBehavior := f.behaviors[service]
+	rng := f.rng
+	f.mu.Unlock()
+
+	// Consumer side: encode the request. This round-trips real XML so the
+	// SOAP layer is exercised on every single simulated call.
+	req := NewRequest(msgID, string(consumer), operation, "<args/>")
+	wire, err := req.Encode()
+	if err != nil {
+		return Result{}, err
+	}
+	if _, err := DecodeEnvelope(wire); err != nil {
+		return Result{}, fmt.Errorf("soa: request failed decode check: %w", err)
+	}
+
+	if !hasBehavior {
+		return Result{}, fmt.Errorf("soa: invoke %s: no behaviour installed", service)
+	}
+
+	now := f.clock.Now()
+	f.mu.Lock()
+	obs := behavior.Sample(now, rng)
+	f.mu.Unlock()
+
+	var resp Envelope
+	var fault *Fault
+	if obs.Success {
+		resp = Envelope{
+			Header: &Header{MessageID: msgID},
+			Body:   Body{Operation: operation, Payload: "<result/>"},
+		}
+	} else {
+		resp = NewFaultResponse(msgID, "Server.Unavailable",
+			fmt.Sprintf("service %s unavailable", service))
+		fault = resp.Body.Fault
+	}
+	respWire, err := resp.Encode()
+	if err != nil {
+		return Result{}, err
+	}
+	decoded, err := DecodeEnvelope(respWire)
+	if err != nil {
+		return Result{}, fmt.Errorf("soa: response failed decode check: %w", err)
+	}
+	if decoded.Body.Fault != nil {
+		fault = decoded.Body.Fault
+	}
+
+	res := Result{Response: decoded, Observation: obs, Fault: fault}
+	rec := InvocationRecord{Consumer: consumer, Service: service, Provider: desc.Provider, Result: res}
+
+	f.mu.Lock()
+	f.callN++
+	if fault != nil {
+		f.faultN++
+	}
+	listeners := make([]func(InvocationRecord), len(f.listeners))
+	copy(listeners, f.listeners)
+	f.mu.Unlock()
+	for _, fn := range listeners {
+		fn(rec)
+	}
+	return res, nil
+}

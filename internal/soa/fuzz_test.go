@@ -1,0 +1,46 @@
+package soa
+
+import "testing"
+
+// FuzzDecodeEnvelope hardens the SOAP decoder against malformed wire data:
+// it must never panic, and anything it accepts must re-encode.
+func FuzzDecodeEnvelope(f *testing.F) {
+	valid, _ := NewRequest("m1", "c1", "Op", "<x/>").Encode()
+	f.Add(valid)
+	fault, _ := NewFaultResponse("m2", "Code", "boom").Encode()
+	f.Add(fault)
+	f.Add([]byte("<Envelope xmlns=\"urn:wrong\"><Body/></Envelope>"))
+	f.Add([]byte("not xml"))
+	f.Add([]byte(""))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		env, err := DecodeEnvelope(data)
+		if err != nil {
+			return
+		}
+		if _, err := env.Encode(); err != nil {
+			t.Fatalf("accepted envelope failed to re-encode: %v", err)
+		}
+	})
+}
+
+// FuzzUnmarshalWSDL hardens the WSDL parser the same way.
+func FuzzUnmarshalWSDL(f *testing.F) {
+	d := Description{
+		Service: "s1", Provider: "p1", Name: "n", Category: "c",
+		Operations: []Operation{{Name: "Op"}},
+	}
+	valid, _ := d.MarshalWSDL()
+	f.Add(valid)
+	f.Add([]byte("<definitions/>"))
+	f.Add([]byte("garbage <<<"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := UnmarshalWSDL(data)
+		if err != nil {
+			return
+		}
+		// Whatever parses must marshal back without panicking.
+		if _, err := got.MarshalWSDL(); err != nil {
+			t.Fatalf("parsed description failed to marshal: %v", err)
+		}
+	})
+}

@@ -1,0 +1,118 @@
+package soa
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"wstrust/internal/core"
+)
+
+// UDDI is the functional service registry: providers publish service
+// descriptions, consumers find services by category or keyword. It stores
+// only functional information — "the focus of current web service
+// techniques is on the functional aspects of services" (Section 1); QoS
+// feedback lives in the separate registry package, exactly as in the
+// paper's Figure 2.
+//
+// The zero value is unusable; build with NewUDDI. UDDI is safe for
+// concurrent use.
+type UDDI struct {
+	mu       sync.RWMutex
+	byID     map[core.ServiceID]Description
+	publishN int64
+	findN    int64
+}
+
+// NewUDDI returns an empty registry.
+func NewUDDI() *UDDI {
+	return &UDDI{byID: map[core.ServiceID]Description{}}
+}
+
+// Publish registers or replaces a service description. It validates first.
+func (u *UDDI) Publish(d Description) error {
+	if err := d.Validate(); err != nil {
+		return fmt.Errorf("publish: %w", err)
+	}
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.byID[d.Service] = d
+	u.publishN++
+	return nil
+}
+
+// Unpublish removes a service; removing an absent service is a no-op, since
+// the caller's goal (service gone) already holds.
+func (u *UDDI) Unpublish(id core.ServiceID) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	delete(u.byID, id)
+}
+
+// Get returns the description for id.
+func (u *UDDI) Get(id core.ServiceID) (Description, bool) {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	d, ok := u.byID[id]
+	return d, ok
+}
+
+// FindByCategory returns all services in the category, sorted by service ID
+// for determinism — the "bunch of services offering the same function" a
+// consumer must then choose among.
+func (u *UDDI) FindByCategory(category string) []Description {
+	u.mu.Lock()
+	u.findN++
+	u.mu.Unlock()
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	var out []Description
+	for _, d := range u.byID {
+		if d.Category == category {
+			out = append(out, d)
+		}
+	}
+	sortDescriptions(out)
+	return out
+}
+
+// FindByKeyword returns services whose name or category contains the
+// keyword, case-insensitively, sorted by service ID.
+func (u *UDDI) FindByKeyword(keyword string) []Description {
+	kw := strings.ToLower(keyword)
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	var out []Description
+	for _, d := range u.byID {
+		if strings.Contains(strings.ToLower(d.Name), kw) ||
+			strings.Contains(strings.ToLower(d.Category), kw) {
+			out = append(out, d)
+		}
+	}
+	sortDescriptions(out)
+	return out
+}
+
+// All returns every published description sorted by service ID.
+func (u *UDDI) All() []Description {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	out := make([]Description, 0, len(u.byID))
+	for _, d := range u.byID {
+		out = append(out, d)
+	}
+	sortDescriptions(out)
+	return out
+}
+
+// Len reports the number of published services.
+func (u *UDDI) Len() int {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return len(u.byID)
+}
+
+func sortDescriptions(ds []Description) {
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Service < ds[j].Service })
+}

@@ -1,0 +1,145 @@
+// Package soa is wstrust's simulated service-oriented architecture: the
+// substrate the paper assumes. It provides WSDL-like service descriptions,
+// SOAP envelopes (real XML via encoding/xml), a UDDI-like registry for
+// publish/find, provider behaviour models with controllable ground-truth
+// QoS, and an invocation fabric that turns each call into a QoS
+// observation.
+//
+// The paper's selection mechanisms never touch a real network; they only
+// consume service descriptions and per-invocation observations, which this
+// package produces deterministically from a seed (see DESIGN.md's
+// substitution table).
+package soa
+
+import (
+	"encoding/xml"
+	"fmt"
+	"sort"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+)
+
+// Operation describes one invocable operation of a service, mirroring a
+// WSDL portType operation with its input and output messages.
+type Operation struct {
+	Name   string `xml:"name,attr"`
+	Input  string `xml:"input"`
+	Output string `xml:"output"`
+}
+
+// Description is the self-describing advertisement of a web service — the
+// information a consumer can examine "at runtime and generate corresponding
+// code to automatically invoke the service" (Section 1). It carries the
+// functional interface (operations) and the provider-published,
+// possibly exaggerated, QoS claims.
+type Description struct {
+	Service  core.ServiceID
+	Provider core.ProviderID
+	// Name is the human-readable service name.
+	Name string
+	// Category is the functional category consumers search by; it doubles
+	// as the trust Context.
+	Category string
+	// Operations is the functional interface.
+	Operations []Operation
+	// Advertised is the provider-published QoS description. Nothing forces
+	// the provider to deliver it: "it is not an agreement or obligation".
+	Advertised qos.Vector
+	// Endpoint is the address the fabric routes invocations to.
+	Endpoint string
+}
+
+// Validate reports structural problems in the description.
+func (d Description) Validate() error {
+	switch {
+	case d.Service == "":
+		return fmt.Errorf("soa: description missing service id")
+	case d.Provider == "":
+		return fmt.Errorf("soa: description %s missing provider", d.Service)
+	case d.Category == "":
+		return fmt.Errorf("soa: description %s missing category", d.Service)
+	case len(d.Operations) == 0:
+		return fmt.Errorf("soa: description %s declares no operations", d.Service)
+	}
+	return nil
+}
+
+// wsdlDoc is the XML shape of a rendered description. It is deliberately a
+// simplification of WSDL 1.1 — enough structure (service, port type,
+// operations, QoS policy extension) to make the self-description round-trip
+// meaningful, without dragging in the full spec.
+type wsdlDoc struct {
+	XMLName  xml.Name    `xml:"definitions"`
+	Name     string      `xml:"name,attr"`
+	Service  string      `xml:"service>name"`
+	Provider string      `xml:"service>provider"`
+	Category string      `xml:"service>category"`
+	Endpoint string      `xml:"service>port>address"`
+	Ops      []Operation `xml:"portType>operation"`
+	QoS      []qosClaim  `xml:"policy>qos"`
+}
+
+type qosClaim struct {
+	Metric string  `xml:"metric,attr"`
+	Value  float64 `xml:"value,attr"`
+}
+
+// MarshalWSDL renders the description as a WSDL-like XML document.
+func (d Description) MarshalWSDL() ([]byte, error) {
+	doc := wsdlDoc{
+		Name:     d.Name,
+		Service:  string(d.Service),
+		Provider: string(d.Provider),
+		Category: d.Category,
+		Endpoint: d.Endpoint,
+		Ops:      d.Operations,
+	}
+	ids := make([]string, 0, len(d.Advertised))
+	for id := range d.Advertised {
+		ids = append(ids, string(id))
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		doc.QoS = append(doc.QoS, qosClaim{Metric: id, Value: d.Advertised[qos.MetricID(id)]})
+	}
+	out, err := xml.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("soa: marshal wsdl for %s: %w", d.Service, err)
+	}
+	return append([]byte(xml.Header), out...), nil
+}
+
+// UnmarshalWSDL parses a document produced by MarshalWSDL.
+func UnmarshalWSDL(data []byte) (Description, error) {
+	var doc wsdlDoc
+	if err := xml.Unmarshal(data, &doc); err != nil {
+		return Description{}, fmt.Errorf("soa: unmarshal wsdl: %w", err)
+	}
+	d := Description{
+		Service:    core.ServiceID(doc.Service),
+		Provider:   core.ProviderID(doc.Provider),
+		Name:       doc.Name,
+		Category:   doc.Category,
+		Endpoint:   doc.Endpoint,
+		Operations: doc.Ops,
+	}
+	if len(doc.QoS) > 0 {
+		d.Advertised = make(qos.Vector, len(doc.QoS))
+		for _, c := range doc.QoS {
+			d.Advertised[qos.MetricID(c.Metric)] = c.Value
+		}
+	}
+	return d, nil
+}
+
+// Candidate converts the description into the selection engine's candidate
+// form.
+func (d Description) Candidate() core.Candidate {
+	return core.Candidate{
+		Service:    d.Service,
+		Provider:   d.Provider,
+		Context:    core.Context(d.Category),
+		Advertised: d.Advertised.Clone(),
+	}
+}

@@ -1,0 +1,48 @@
+package beta
+
+import (
+	"testing"
+	"time"
+
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+)
+
+// Ablation: the cost of the decay and personalization features against the
+// plain global mechanism.
+func benchSubmit(b *testing.B, opts ...Option) {
+	b.Helper()
+	m := New(opts...)
+	at := simclock.Epoch
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = m.Submit(core.Feedback{
+			Consumer: core.NewConsumerID(i % 50), Service: core.NewServiceID(i % 20),
+			Context: "bench", Ratings: map[core.Facet]float64{core.FacetOverall: 0.8},
+			At: at,
+		})
+		at = at.Add(time.Second)
+	}
+}
+
+func BenchmarkSubmitGlobal(b *testing.B) { benchSubmit(b) }
+
+func BenchmarkSubmitDecayed(b *testing.B) { benchSubmit(b, WithHalfLife(time.Hour)) }
+
+func BenchmarkSubmitPersonalized(b *testing.B) { benchSubmit(b, WithPersonalized(true)) }
+
+func BenchmarkScore(b *testing.B) {
+	m := New(WithPersonalized(true))
+	for i := 0; i < 1000; i++ {
+		_ = m.Submit(core.Feedback{
+			Consumer: core.NewConsumerID(i % 50), Service: core.NewServiceID(i % 20),
+			Context: "bench", Ratings: map[core.Facet]float64{core.FacetOverall: 0.8},
+			At: simclock.Epoch,
+		})
+	}
+	q := core.Query{Perspective: "c001", Subject: "s001", Context: "bench", Facet: core.FacetOverall}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = m.Score(q)
+	}
+}

@@ -1,0 +1,43 @@
+package beta
+
+import (
+	"sync"
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+)
+
+// TestConcurrentSubmitScore hammers the mechanism from many goroutines;
+// run with -race.
+func TestConcurrentSubmitScore(t *testing.T) {
+	m := New(WithPersonalized(true))
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 300; i++ {
+				_ = m.Submit(core.Feedback{
+					Consumer: core.NewConsumerID(w),
+					Service:  core.NewServiceID(i % 7),
+					Provider: core.NewProviderID(i % 3),
+					Ratings:  map[core.Facet]float64{core.FacetOverall: 0.7},
+					At:       simclock.Epoch,
+				})
+				_, _ = m.Score(core.Query{
+					Perspective: core.NewConsumerID(w),
+					Subject:     core.NewServiceID(i % 7),
+					Facet:       core.FacetOverall,
+				})
+				_, _ = m.ScoreProvider(core.Query{Subject: core.NewProviderID(i % 3), Facet: core.FacetOverall})
+			}
+		}()
+	}
+	wg.Wait()
+	tv, ok := m.Score(core.Query{Subject: "s001", Facet: core.FacetOverall})
+	if !ok || tv.Score <= 0.5 {
+		t.Fatalf("post-hammer score = %+v ok=%v", tv, ok)
+	}
+}

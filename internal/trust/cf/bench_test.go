@@ -1,0 +1,35 @@
+package cf
+
+import (
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+)
+
+// Ablation: Pearson vs cosine prediction cost on a realistic matrix.
+func benchScore(b *testing.B, sim Similarity) {
+	b.Helper()
+	m := New(WithSimilarity(sim))
+	rng := simclock.NewRand(1)
+	for c := 0; c < 60; c++ {
+		for s := 0; s < 30; s++ {
+			if rng.Float64() < 0.4 {
+				_ = m.Submit(core.Feedback{
+					Consumer: core.NewConsumerID(c), Service: core.NewServiceID(s),
+					Ratings: map[core.Facet]float64{core.FacetOverall: rng.Float64()},
+					At:      simclock.Epoch,
+				})
+			}
+		}
+	}
+	q := core.Query{Perspective: "c001", Subject: "s029"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = m.Score(q)
+	}
+}
+
+func BenchmarkScorePearson(b *testing.B) { benchScore(b, Pearson) }
+
+func BenchmarkScoreCosine(b *testing.B) { benchScore(b, Cosine) }

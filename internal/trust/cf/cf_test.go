@@ -1,0 +1,240 @@
+package cf
+
+import (
+	"math"
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+)
+
+func fb(c core.ConsumerID, s core.ServiceID, v float64) core.Feedback {
+	return core.Feedback{
+		Consumer: c, Service: s,
+		Ratings: map[core.Facet]float64{core.FacetOverall: v}, At: simclock.Epoch,
+	}
+}
+
+// twoCamps seeds a matrix with two taste camps plus a target rated
+// oppositely by each camp.
+func twoCamps(m *Mechanism) {
+	// Camp A loves s-a, hates s-b; camp B the reverse.
+	for _, c := range []core.ConsumerID{"a1", "a2", "a3"} {
+		_ = m.Submit(fb(c, "s-a", 0.95))
+		_ = m.Submit(fb(c, "s-b", 0.05))
+	}
+	for _, c := range []core.ConsumerID{"b1", "b2", "b3"} {
+		_ = m.Submit(fb(c, "s-a", 0.05))
+		_ = m.Submit(fb(c, "s-b", 0.95))
+	}
+	_ = m.Submit(fb("a2", "s-target", 0.9))
+	_ = m.Submit(fb("a3", "s-target", 0.85))
+	_ = m.Submit(fb("b2", "s-target", 0.15))
+	_ = m.Submit(fb("b3", "s-target", 0.1))
+}
+
+func TestPersonalizedPrediction(t *testing.T) {
+	for _, sim := range []Similarity{Pearson, Cosine} {
+		t.Run(sim.String(), func(t *testing.T) {
+			m := New(WithSimilarity(sim))
+			twoCamps(m)
+			forA, okA := m.Score(core.Query{Perspective: "a1", Subject: "s-target"})
+			forB, okB := m.Score(core.Query{Perspective: "b1", Subject: "s-target"})
+			if !okA || !okB {
+				t.Fatal("prediction failed")
+			}
+			if forA.Score <= forB.Score {
+				t.Fatalf("camps not separated: A=%g B=%g", forA.Score, forB.Score)
+			}
+			if forA.Score < 0.6 || forB.Score > 0.4 {
+				t.Fatalf("weak separation: A=%g B=%g", forA.Score, forB.Score)
+			}
+		})
+	}
+}
+
+func TestDirectExperienceShortCircuits(t *testing.T) {
+	m := New()
+	twoCamps(m)
+	tv, _ := m.Score(core.Query{Perspective: "a2", Subject: "s-target"})
+	if tv.Score != 0.9 {
+		t.Fatalf("direct rating not returned: %g", tv.Score)
+	}
+}
+
+func TestGlobalFallbackItemMean(t *testing.T) {
+	m := New()
+	twoCamps(m)
+	// No perspective → item mean (≈0.5 for the polarized target).
+	tv, ok := m.Score(core.Query{Subject: "s-target"})
+	if !ok {
+		t.Fatal("item mean unavailable")
+	}
+	if math.Abs(tv.Score-0.5) > 0.1 {
+		t.Fatalf("item mean = %g, want ≈0.5", tv.Score)
+	}
+	// Unknown consumer → same fallback.
+	tv2, _ := m.Score(core.Query{Perspective: "stranger", Subject: "s-target"})
+	if tv2 != tv {
+		t.Fatalf("stranger fallback %+v != global %+v", tv2, tv)
+	}
+}
+
+func TestUnknownItem(t *testing.T) {
+	m := New()
+	twoCamps(m)
+	if _, ok := m.Score(core.Query{Subject: "s-none"}); ok {
+		t.Fatal("unknown item known")
+	}
+}
+
+func TestSimilarityBetween(t *testing.T) {
+	m := New()
+	twoCamps(m)
+	same, ok := m.SimilarityBetween("a1", "a2")
+	if !ok {
+		t.Fatal("no similarity for overlapping raters")
+	}
+	opp, _ := m.SimilarityBetween("a1", "b1")
+	if same <= 0 || opp >= 0 {
+		t.Fatalf("pearson camps: same=%g opp=%g", same, opp)
+	}
+	if _, ok := m.SimilarityBetween("a1", "stranger"); ok {
+		t.Fatal("similarity with unknown rater")
+	}
+}
+
+func TestCosineSimilarityNonNegativeRatings(t *testing.T) {
+	m := New(WithSimilarity(Cosine))
+	twoCamps(m)
+	same, ok := m.SimilarityBetween("a1", "a2")
+	if !ok || same < 0.9 {
+		t.Fatalf("cosine same-camp similarity = %g ok=%v", same, ok)
+	}
+}
+
+func TestMinOverlapGuard(t *testing.T) {
+	m := New(WithMinOverlap(3))
+	_ = m.Submit(fb("x", "s1", 1))
+	_ = m.Submit(fb("y", "s1", 1))
+	if _, ok := m.SimilarityBetween("x", "y"); ok {
+		t.Fatal("similarity computed below overlap minimum")
+	}
+}
+
+func TestCaseAmplificationSharpens(t *testing.T) {
+	base := New()
+	amp := New(WithCaseAmplification(2.5))
+	for _, m := range []*Mechanism{base, amp} {
+		twoCamps(m)
+		// A weakly similar consumer: agrees on one dimension only.
+		_ = m.Submit(fb("weak", "s-a", 0.95))
+		_ = m.Submit(fb("weak", "s-b", 0.6))
+		_ = m.Submit(fb("weak", "s-target", 0.3)) // noise vote
+	}
+	b, _ := base.Score(core.Query{Perspective: "a1", Subject: "s-target"})
+	a, _ := amp.Score(core.Query{Perspective: "a1", Subject: "s-target"})
+	// Amplification suppresses the weak neighbour's noise vote, pushing the
+	// prediction further toward the strong camp.
+	if a.Score < b.Score-1e-9 {
+		t.Fatalf("amplified %g below base %g", a.Score, b.Score)
+	}
+}
+
+func TestInverseUserFrequencyRuns(t *testing.T) {
+	m := New(WithInverseUserFrequency(true))
+	twoCamps(m)
+	// s-a and s-b are rated by everyone → low IUF weight, but predictions
+	// must still work and stay in range.
+	tv, ok := m.Score(core.Query{Perspective: "a1", Subject: "s-target"})
+	if !ok || tv.Score < 0 || tv.Score > 1 {
+		t.Fatalf("IUF prediction broken: %+v ok=%v", tv, ok)
+	}
+}
+
+func TestPredictionClamped(t *testing.T) {
+	m := New()
+	// Neighbour with extreme deviation would push prediction above 1.
+	_ = m.Submit(fb("me", "s-x", 1))
+	_ = m.Submit(fb("me", "s-y", 1))
+	_ = m.Submit(fb("nb", "s-x", 1))
+	_ = m.Submit(fb("nb", "s-y", 0.9))
+	_ = m.Submit(fb("nb", "s-target", 1))
+	tv, ok := m.Score(core.Query{Perspective: "me", Subject: "s-target"})
+	if ok && (tv.Score < 0 || tv.Score > 1) {
+		t.Fatalf("prediction out of range: %g", tv.Score)
+	}
+}
+
+func TestNeighborsCap(t *testing.T) {
+	m := New(WithNeighbors(1))
+	twoCamps(m)
+	// With k=1 only the single most similar rater votes; still works.
+	tv, ok := m.Score(core.Query{Perspective: "a1", Subject: "s-target"})
+	if !ok || tv.Score < 0.5 {
+		t.Fatalf("k=1 prediction = %+v ok=%v", tv, ok)
+	}
+}
+
+func TestRejectsInvalidAndReset(t *testing.T) {
+	m := New()
+	if err := m.Submit(core.Feedback{}); err == nil {
+		t.Fatal("invalid feedback accepted")
+	}
+	_ = m.Submit(fb("c", "s", 1))
+	m.Reset()
+	if _, ok := m.Score(core.Query{Subject: "s"}); ok {
+		t.Fatal("state survived Reset")
+	}
+}
+
+func TestNameReflectsSimilarity(t *testing.T) {
+	if New(WithSimilarity(Cosine)).Name() != "cf-cosine" {
+		t.Fatal("name wrong")
+	}
+	if New().Name() != "cf-pearson" {
+		t.Fatal("default name wrong")
+	}
+}
+
+func TestDefaultVotingDensifiesSparseOverlap(t *testing.T) {
+	// Two raters share only ONE co-rated item: below the overlap minimum
+	// without default voting, similarity exists with it.
+	plain := New(WithMinOverlap(1))
+	dv := New(WithMinOverlap(1), WithDefaultVoting(0.5))
+	for _, m := range []*Mechanism{plain, dv} {
+		_ = m.Submit(fb("x", "s1", 0.9))
+		_ = m.Submit(fb("x", "s2", 0.8))
+		_ = m.Submit(fb("y", "s1", 0.9))
+		_ = m.Submit(fb("y", "s3", 0.2))
+	}
+	sp, okP := plain.SimilarityBetween("x", "y")
+	sd, okD := dv.SimilarityBetween("x", "y")
+	if !okD {
+		t.Fatal("default voting found no similarity")
+	}
+	_ = sp
+	_ = okP
+	// The default-vote similarity is computed over the union (4 items) and
+	// is finite; Pearson over a single co-rated item is degenerate (zero
+	// variance) so plain reports no similarity.
+	if okP {
+		t.Fatalf("single-item Pearson should be degenerate, got %g", sp)
+	}
+	if sd < -1 || sd > 1 {
+		t.Fatalf("default-vote similarity out of range: %g", sd)
+	}
+	if dv.Name() != "cf-pearson+default" {
+		t.Fatalf("name = %q", dv.Name())
+	}
+}
+
+func TestDefaultVotingStillSeparatesCamps(t *testing.T) {
+	m := New(WithDefaultVoting(0.5))
+	twoCamps(m)
+	forA, okA := m.Score(core.Query{Perspective: "a1", Subject: "s-target"})
+	forB, okB := m.Score(core.Query{Perspective: "b1", Subject: "s-target"})
+	if !okA || !okB || forA.Score <= forB.Score {
+		t.Fatalf("default voting broke personalization: A=%g B=%g", forA.Score, forB.Score)
+	}
+}

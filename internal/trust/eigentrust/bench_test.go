@@ -1,0 +1,27 @@
+package eigentrust
+
+import (
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+)
+
+// BenchmarkTick measures the power-iteration recompute at experiment scale
+// (the per-round cost of the batch-global mechanisms).
+func BenchmarkTick(b *testing.B) {
+	m := New()
+	rng := simclock.NewRand(1)
+	for i := 0; i < 2000; i++ {
+		_ = m.Submit(core.Feedback{
+			Consumer: core.NewConsumerID(rng.Intn(50)),
+			Service:  core.NewServiceID(rng.Intn(30)),
+			Ratings:  map[core.Facet]float64{core.FacetOverall: rng.Float64()},
+			At:       simclock.Epoch,
+		})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Tick(simclock.Epoch)
+	}
+}

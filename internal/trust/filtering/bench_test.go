@@ -1,0 +1,34 @@
+package filtering
+
+import (
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+)
+
+// Ablation benches: the per-score cost of each defense on a realistic
+// rating volume.
+func benchStrategy(b *testing.B, s Strategy) {
+	b.Helper()
+	m := New(s)
+	rng := simclock.NewRand(1)
+	for i := 0; i < 3000; i++ {
+		_ = m.Submit(core.Feedback{
+			Consumer: core.NewConsumerID(rng.Intn(60)),
+			Service:  core.NewServiceID(rng.Intn(25)),
+			Ratings:  map[core.Facet]float64{core.FacetOverall: rng.Float64()},
+			At:       simclock.Epoch,
+		})
+	}
+	q := core.Query{Perspective: core.NewConsumerID(3), Subject: core.NewServiceID(7)}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = m.Score(q)
+	}
+}
+
+func BenchmarkScoreNone(b *testing.B)       { benchStrategy(b, None) }
+func BenchmarkScoreMajority(b *testing.B)   { benchStrategy(b, Majority) }
+func BenchmarkScoreCluster(b *testing.B)    { benchStrategy(b, Cluster) }
+func BenchmarkScoreZhangCohen(b *testing.B) { benchStrategy(b, ZhangCohen) }

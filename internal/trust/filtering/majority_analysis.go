@@ -1,0 +1,90 @@
+package filtering
+
+import (
+	"fmt"
+	"math"
+)
+
+// This file implements the analytical result behind Sen & Sajja [26]
+// ("Robustness of reputation-based trust: boolean case"): when a fraction
+// of the queried witnesses lie, how many witnesses must be polled so the
+// majority verdict is correct with at least a target probability?
+//
+// Model (as in the paper's boolean case): each queried witness answers
+// correctly with probability p = 1 − liarFraction (liars invert the
+// truth); answers are independent; the verdict is the majority of 2k+1
+// witnesses. The guarantee probability is the binomial tail
+// P[at least k+1 of 2k+1 correct].
+
+// MajorityCorrectProbability returns the probability that the majority of
+// n queried witnesses is correct when each individual answer is correct
+// with probability p. n must be odd and positive; p in [0,1].
+func MajorityCorrectProbability(n int, p float64) (float64, error) {
+	if n <= 0 || n%2 == 0 {
+		return 0, fmt.Errorf("filtering: witness count %d must be odd and positive", n)
+	}
+	if p < 0 || p > 1 || math.IsNaN(p) {
+		return 0, fmt.Errorf("filtering: correctness probability %g outside [0,1]", p)
+	}
+	need := n/2 + 1
+	total := 0.0
+	for k := need; k <= n; k++ {
+		total += binomialPMF(n, k, p)
+	}
+	return total, nil
+}
+
+// binomialPMF computes C(n,k)·p^k·(1−p)^(n−k) in log space for stability.
+func binomialPMF(n, k int, p float64) float64 {
+	if p == 0 {
+		if k == 0 {
+			return 1
+		}
+		return 0
+	}
+	if p == 1 {
+		if k == n {
+			return 1
+		}
+		return 0
+	}
+	logC := lgamma(float64(n+1)) - lgamma(float64(k+1)) - lgamma(float64(n-k+1))
+	return math.Exp(logC + float64(k)*math.Log(p) + float64(n-k)*math.Log(1-p))
+}
+
+func lgamma(x float64) float64 {
+	v, _ := math.Lgamma(x)
+	return v
+}
+
+// WitnessesNeeded returns the smallest odd number of independent witnesses
+// that makes the majority verdict correct with probability ≥ confidence,
+// given the liar fraction among witnesses. It errors when no finite poll
+// can reach the confidence — at liarFraction ≥ 0.5 the majority carries no
+// signal, the formal version of the survey's (and Sen & Sajja's) honest-
+// majority assumption. maxWitnesses caps the search (default-style cap of
+// 10001 keeps the search finite for confidences close to 1).
+func WitnessesNeeded(liarFraction, confidence float64) (int, error) {
+	if liarFraction < 0 || liarFraction > 1 {
+		return 0, fmt.Errorf("filtering: liar fraction %g outside [0,1]", liarFraction)
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("filtering: confidence %g outside (0,1)", confidence)
+	}
+	p := 1 - liarFraction
+	if p <= 0.5 {
+		return 0, fmt.Errorf("filtering: no poll size suffices at liar fraction %g ≥ 0.5 (honest majority required)", liarFraction)
+	}
+	const maxWitnesses = 10001
+	for n := 1; n <= maxWitnesses; n += 2 {
+		prob, err := MajorityCorrectProbability(n, p)
+		if err != nil {
+			return 0, err
+		}
+		if prob >= confidence {
+			return n, nil
+		}
+	}
+	return 0, fmt.Errorf("filtering: confidence %g needs more than %d witnesses at liar fraction %g",
+		confidence, maxWitnesses, liarFraction)
+}

@@ -1,0 +1,137 @@
+package filtering
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wstrust/internal/simclock"
+)
+
+func TestMajorityCorrectProbabilityBasics(t *testing.T) {
+	// A single perfectly honest witness: certainty.
+	if p, err := MajorityCorrectProbability(1, 1); err != nil || p != 1 {
+		t.Fatalf("p=%g err=%v", p, err)
+	}
+	// One witness correct with 0.8: majority = that witness.
+	if p, _ := MajorityCorrectProbability(1, 0.8); math.Abs(p-0.8) > 1e-12 {
+		t.Fatalf("single witness = %g", p)
+	}
+	// 3 witnesses at 0.8: p³ + 3p²(1−p) = 0.512 + 0.384 = 0.896.
+	if p, _ := MajorityCorrectProbability(3, 0.8); math.Abs(p-0.896) > 1e-9 {
+		t.Fatalf("three witnesses = %g", p)
+	}
+	// Coin-flip witnesses: majority is a coin flip.
+	if p, _ := MajorityCorrectProbability(101, 0.5); math.Abs(p-0.5) > 1e-9 {
+		t.Fatalf("coin-flip majority = %g", p)
+	}
+}
+
+func TestMajorityCorrectProbabilityValidation(t *testing.T) {
+	if _, err := MajorityCorrectProbability(2, 0.8); err == nil {
+		t.Fatal("even witness count accepted")
+	}
+	if _, err := MajorityCorrectProbability(0, 0.8); err == nil {
+		t.Fatal("zero witnesses accepted")
+	}
+	if _, err := MajorityCorrectProbability(3, 1.5); err == nil {
+		t.Fatal("probability > 1 accepted")
+	}
+}
+
+// Property: with honest-majority witnesses (p > 0.5), polling more
+// witnesses never hurts — the Condorcet jury theorem's monotone half.
+func TestMoreWitnessesNeverHurtProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := simclock.NewRand(seed)
+		p := 0.55 + rng.Float64()*0.4
+		prev := 0.0
+		for n := 1; n <= 21; n += 2 {
+			cur, err := MajorityCorrectProbability(n, p)
+			if err != nil || cur+1e-12 < prev {
+				return false
+			}
+			prev = cur
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWitnessesNeeded(t *testing.T) {
+	// 20% liars, 95% confidence: a handful of witnesses suffice.
+	n, err := WitnessesNeeded(0.2, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n%2 == 0 || n < 3 || n > 25 {
+		t.Fatalf("witnesses = %d", n)
+	}
+	// Verify the returned n actually reaches the confidence and n−2 does not.
+	got, _ := MajorityCorrectProbability(n, 0.8)
+	if got < 0.95 {
+		t.Fatalf("returned n=%d only reaches %g", n, got)
+	}
+	if n > 1 {
+		below, _ := MajorityCorrectProbability(n-2, 0.8)
+		if below >= 0.95 {
+			t.Fatalf("n=%d not minimal: n-2 reaches %g", n, below)
+		}
+	}
+	// Harder liars need more witnesses.
+	n40, err := WitnessesNeeded(0.4, 0.95)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n40 <= n {
+		t.Fatalf("40%% liars needed %d ≤ %d for 20%%", n40, n)
+	}
+}
+
+func TestWitnessesNeededHonestMajorityRequired(t *testing.T) {
+	if _, err := WitnessesNeeded(0.5, 0.9); err == nil {
+		t.Fatal("50% liars should be hopeless")
+	}
+	if _, err := WitnessesNeeded(0.7, 0.9); err == nil {
+		t.Fatal("70% liars should be hopeless")
+	}
+	if _, err := WitnessesNeeded(-0.1, 0.9); err == nil {
+		t.Fatal("negative fraction accepted")
+	}
+	if _, err := WitnessesNeeded(0.2, 1); err == nil {
+		t.Fatal("confidence 1 accepted")
+	}
+}
+
+// TestAnalysisMatchesSimulation cross-checks the closed form against the
+// filtering.Majority mechanism's empirical behaviour: with 20% liars, the
+// analytical poll size yields ≥ the target correctness rate empirically.
+func TestAnalysisMatchesSimulation(t *testing.T) {
+	const liarFrac, confidence = 0.2, 0.9
+	n, err := WitnessesNeeded(liarFrac, confidence)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := simclock.NewRand(17)
+	correct := 0
+	const trials = 2000
+	for trial := 0; trial < trials; trial++ {
+		// Ground truth: the service is good. Witnesses vote; liars invert.
+		good := 0
+		for w := 0; w < n; w++ {
+			honest := rng.Float64() >= liarFrac
+			if honest {
+				good++
+			}
+		}
+		if good*2 > n {
+			correct++
+		}
+	}
+	rate := float64(correct) / trials
+	if rate < confidence-0.03 {
+		t.Fatalf("empirical rate %.3f below analytical guarantee %.2f (n=%d)", rate, confidence, n)
+	}
+}

@@ -1,0 +1,29 @@
+package pagerank
+
+import (
+	"fmt"
+	"testing"
+
+	"wstrust/internal/simclock"
+)
+
+func BenchmarkRank(b *testing.B) {
+	rng := simclock.NewRand(1)
+	const n = 200
+	nodes := make([]string, n)
+	edges := map[string]map[string]float64{}
+	for i := range nodes {
+		nodes[i] = fmt.Sprintf("n%03d", i)
+	}
+	for i := range nodes {
+		row := map[string]float64{}
+		for k := 0; k < 5; k++ {
+			row[nodes[rng.Intn(n)]] = rng.Float64()
+		}
+		edges[nodes[i]] = row
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Rank(nodes, edges, 0.85, 30)
+	}
+}

@@ -1,0 +1,241 @@
+// Package pagerank implements reputation from link analysis: Google's
+// PageRank [23], which the survey classifies as a centralized / resource /
+// global reputation system ("bringing order to the web" is reputation for
+// pages), plus the social-network-topology reputation of Pujol et al. [24]
+// (NodeRanking), which applies the same machinery to the who-interacts-
+// with-whom graph of a multi-agent community.
+//
+// The generic Rank function runs weighted PageRank over any directed graph;
+// the Mechanism adapts it to the framework by treating each positive
+// consumer rating as a link from the consumer to the service.
+package pagerank
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"wstrust/internal/core"
+)
+
+// Rank computes weighted PageRank. nodes lists every vertex; edges[u][v]
+// is the non-negative weight of the link u→v. damping is the classic
+// (1−teleport) factor, iters the number of power iterations. The result
+// sums to one across nodes. Rank is deterministic: iteration follows the
+// sorted node order.
+func Rank(nodes []string, edges map[string]map[string]float64, damping float64, iters int) map[string]float64 {
+	n := len(nodes)
+	if n == 0 {
+		return map[string]float64{}
+	}
+	sorted := make([]string, n)
+	copy(sorted, nodes)
+	sort.Strings(sorted)
+
+	// Out-weight totals.
+	outW := make(map[string]float64, n)
+	for u, row := range edges {
+		targets := make([]string, 0, len(row))
+		for v := range row {
+			targets = append(targets, v)
+		}
+		sort.Strings(targets)
+		for _, v := range targets {
+			w := row[v]
+			if w < 0 {
+				panic(fmt.Sprintf("pagerank: negative edge weight from %s", u))
+			}
+			outW[u] += w
+		}
+	}
+
+	rank := make(map[string]float64, n)
+	for _, v := range sorted {
+		rank[v] = 1.0 / float64(n)
+	}
+	base := (1 - damping) / float64(n)
+	for it := 0; it < iters; it++ {
+		next := make(map[string]float64, n)
+		var dangling float64
+		for _, u := range sorted {
+			if outW[u] == 0 {
+				dangling += rank[u]
+			}
+		}
+		for _, v := range sorted {
+			next[v] = base + damping*dangling/float64(n)
+		}
+		for _, u := range sorted {
+			row := edges[u]
+			if outW[u] == 0 || len(row) == 0 {
+				continue
+			}
+			share := damping * rank[u] / outW[u]
+			// Deterministic inner order.
+			targets := make([]string, 0, len(row))
+			for v := range row {
+				targets = append(targets, v)
+			}
+			sort.Strings(targets)
+			for _, v := range targets {
+				next[v] += share * row[v]
+			}
+		}
+		rank = next
+	}
+	return rank
+}
+
+// Option configures the Mechanism.
+type Option func(*Mechanism)
+
+// WithDamping sets the damping factor (default 0.85).
+func WithDamping(d float64) Option {
+	return func(m *Mechanism) {
+		if d > 0 && d < 1 {
+			m.damping = d
+		}
+	}
+}
+
+// WithIterations sets the power-iteration count (default 30).
+func WithIterations(n int) Option {
+	return func(m *Mechanism) {
+		if n > 0 {
+			m.iters = n
+		}
+	}
+}
+
+// Mechanism adapts PageRank to service reputation: each rating above 0.5
+// adds (or strengthens) a link consumer→service; each service links back to
+// its provider so providers accumulate authority from their portfolio.
+// Scores are ranks normalized by the maximum service rank. Safe for
+// concurrent use. The heavy computation runs in Tick, as fits a
+// batch-recomputed global mechanism.
+type Mechanism struct {
+	damping float64
+	iters   int
+
+	mu       sync.Mutex
+	edges    map[string]map[string]float64
+	nodes    map[string]bool
+	isTarget map[string]bool // services (rank-normalized pool)
+	counts   map[core.EntityID]int
+	ranks    map[string]float64
+	maxRank  float64
+	dirty    bool
+}
+
+var (
+	_ core.Mechanism = (*Mechanism)(nil)
+	_ core.Ticker    = (*Mechanism)(nil)
+	_ core.Resetter  = (*Mechanism)(nil)
+)
+
+// New builds a PageRank reputation mechanism.
+func New(opts ...Option) *Mechanism {
+	m := &Mechanism{damping: 0.85, iters: 30}
+	m.resetLocked()
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+func (m *Mechanism) resetLocked() {
+	m.edges = map[string]map[string]float64{}
+	m.nodes = map[string]bool{}
+	m.isTarget = map[string]bool{}
+	m.counts = map[core.EntityID]int{}
+	m.ranks = map[string]float64{}
+	m.maxRank = 0
+	m.dirty = false
+}
+
+// Name implements core.Mechanism.
+func (m *Mechanism) Name() string { return "pagerank" }
+
+// Submit implements core.Mechanism.
+func (m *Mechanism) Submit(fb core.Feedback) error {
+	if err := fb.Validate(); err != nil {
+		return fmt.Errorf("pagerank: %w", err)
+	}
+	v := fb.Overall()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	consumer, service := string(fb.Consumer), string(fb.Service)
+	m.nodes[consumer] = true
+	m.nodes[service] = true
+	m.isTarget[service] = true
+	m.counts[fb.Service]++
+	if v > 0.5 {
+		m.addEdge(consumer, service, v)
+	}
+	if fb.Provider != "" {
+		m.nodes[string(fb.Provider)] = true
+		m.addEdge(service, string(fb.Provider), 1)
+	}
+	m.dirty = true
+	return nil
+}
+
+func (m *Mechanism) addEdge(u, v string, w float64) {
+	row, ok := m.edges[u]
+	if !ok {
+		row = map[string]float64{}
+		m.edges[u] = row
+	}
+	row[v] += w
+}
+
+// Tick recomputes the ranks.
+func (m *Mechanism) Tick(time.Time) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.recomputeLocked()
+}
+
+func (m *Mechanism) recomputeLocked() {
+	nodes := make([]string, 0, len(m.nodes))
+	for v := range m.nodes {
+		nodes = append(nodes, v)
+	}
+	m.ranks = Rank(nodes, m.edges, m.damping, m.iters)
+	m.maxRank = 0
+	for v, r := range m.ranks {
+		if m.isTarget[v] && r > m.maxRank {
+			m.maxRank = r
+		}
+	}
+	m.dirty = false
+}
+
+// Score implements core.Mechanism. It lazily recomputes when feedback
+// arrived since the last Tick.
+func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.dirty {
+		m.recomputeLocked()
+	}
+	r, ok := m.ranks[string(q.Subject)]
+	if !ok || m.counts[q.Subject] == 0 {
+		return core.TrustValue{Score: 0.5, Confidence: 0}, false
+	}
+	score := 0.0
+	if m.maxRank > 0 {
+		score = math.Min(1, r/m.maxRank)
+	}
+	n := float64(m.counts[q.Subject])
+	return core.TrustValue{Score: score, Confidence: n / (n + 5)}, true
+}
+
+// Reset implements core.Resetter.
+func (m *Mechanism) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.resetLocked()
+}

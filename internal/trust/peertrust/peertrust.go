@@ -1,0 +1,300 @@
+// Package peertrust implements PeerTrust (Xiong & Liu [33]): a peer's
+// trust value is the credibility-weighted average of the satisfaction its
+// transactions produced, optionally adjusted by a community-context factor
+// rewarding feedback participation:
+//
+//	T(u) = α · Σᵢ S(u,i)·Cr(p(u,i)) / I(u) + β · CF(u)
+//
+// Credibility uses the personalized similarity measure (PSM): an evaluator
+// weighs a rater by how similarly that rater scored the subjects both have
+// rated — feedback from like-scoring peers counts more, which is
+// PeerTrust's defense against badmouthing collectives.
+package peertrust
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"wstrust/internal/core"
+	"wstrust/internal/p2p"
+)
+
+// Option configures the mechanism.
+type Option func(*Mechanism)
+
+// WithAlphaBeta sets the weights of the satisfaction term and the
+// community-context term (defaults 1 and 0).
+func WithAlphaBeta(alpha, beta float64) Option {
+	return func(m *Mechanism) {
+		if alpha >= 0 && beta >= 0 && alpha+beta > 0 {
+			m.alpha, m.beta = alpha, beta
+		}
+	}
+}
+
+// WithMinOverlap sets the minimum co-rated subjects for a PSM similarity
+// (default 1; PeerTrust degrades gracefully on sparse data).
+func WithMinOverlap(n int) Option {
+	return func(m *Mechanism) {
+		if n > 0 {
+			m.minOverlap = n
+		}
+	}
+}
+
+// WithNetwork attaches a p2p transport; feedback submission and rating
+// gathering are then charged as peer messages, reflecting PeerTrust's
+// decentralized deployment where each peer stores its own transaction
+// records and evaluators fetch them on demand.
+func WithNetwork(net *p2p.Network) Option {
+	return func(m *Mechanism) { m.net = net }
+}
+
+type rating struct {
+	rater core.ConsumerID
+	value float64
+}
+
+// Mechanism is the PeerTrust engine. Safe for concurrent use.
+type Mechanism struct {
+	alpha, beta float64
+	minOverlap  int
+	net         *p2p.Network
+
+	mu      sync.Mutex
+	ratings map[core.EntityID][]rating
+	byRater map[core.ConsumerID]map[core.EntityID]float64
+	contrib map[core.ConsumerID]float64
+	joined  map[p2p.NodeID]bool
+}
+
+var (
+	_ core.Mechanism    = (*Mechanism)(nil)
+	_ core.Resetter     = (*Mechanism)(nil)
+	_ core.CostReporter = (*Mechanism)(nil)
+)
+
+// charge bills one peer exchange on the attached network, joining the
+// endpoints lazily with ack handlers.
+func (m *Mechanism) charge(from, to core.EntityID) {
+	if m.net == nil || from == to {
+		return
+	}
+	for _, id := range []p2p.NodeID{p2p.NodeID(from), p2p.NodeID(to)} {
+		if !m.joined[id] {
+			m.net.Join(id, func(p2p.NodeID, string, any) any { return "ack" })
+			m.joined[id] = true
+		}
+	}
+	_, _ = m.net.Send(p2p.NodeID(from), p2p.NodeID(to), "pt.exchange", nil)
+}
+
+// MessageCount implements core.CostReporter.
+func (m *Mechanism) MessageCount() int64 {
+	if m.net == nil {
+		return 0
+	}
+	return m.net.MessageCount()
+}
+
+// New builds a PeerTrust mechanism.
+func New(opts ...Option) *Mechanism {
+	m := &Mechanism{
+		alpha:      1,
+		beta:       0,
+		minOverlap: 1,
+		ratings:    map[core.EntityID][]rating{},
+		byRater:    map[core.ConsumerID]map[core.EntityID]float64{},
+		contrib:    map[core.ConsumerID]float64{},
+		joined:     map[p2p.NodeID]bool{},
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	return m
+}
+
+// Name implements core.Mechanism.
+func (m *Mechanism) Name() string { return "peertrust" }
+
+// Submit implements core.Mechanism.
+func (m *Mechanism) Submit(fb core.Feedback) error {
+	if err := fb.Validate(); err != nil {
+		return fmt.Errorf("peertrust: %w", err)
+	}
+	v := fb.Overall()
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ratings[fb.Service] = append(m.ratings[fb.Service], rating{fb.Consumer, v})
+	row, ok := m.byRater[fb.Consumer]
+	if !ok {
+		row = map[core.EntityID]float64{}
+		m.byRater[fb.Consumer] = row
+	}
+	row[fb.Service] = v
+	m.contrib[fb.Consumer]++
+	m.charge(fb.Consumer, fb.Service)
+	return nil
+}
+
+// psm computes the personalized similarity between two raters: 1 − RMS
+// difference over co-rated subjects. ok is false below the overlap minimum.
+func (m *Mechanism) psm(a, b core.ConsumerID) (float64, bool) {
+	ra, rb := m.byRater[a], m.byRater[b]
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0, false
+	}
+	var sq float64
+	n := 0
+	subjects := make([]core.EntityID, 0, len(ra))
+	for subj := range ra {
+		subjects = append(subjects, subj)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	for _, subj := range subjects {
+		if vb, ok := rb[subj]; ok {
+			d := ra[subj] - vb
+			sq += d * d
+			n++
+		}
+	}
+	if n < m.minOverlap {
+		return 0, false
+	}
+	return 1 - math.Sqrt(sq/float64(n)), true
+}
+
+// Score implements core.Mechanism. With a perspective the rater
+// credibilities are PSM similarities to that consumer; without one, raters
+// are weighted by their similarity to the population consensus (each
+// rater's mean absolute deviation from subject means).
+func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	rs := m.ratings[q.Subject]
+	if len(rs) == 0 {
+		return core.TrustValue{Score: 0.5, Confidence: 0}, false
+	}
+	var num, den float64
+	for _, r := range rs {
+		if q.Perspective != "" {
+			m.charge(q.Perspective, r.rater)
+		}
+		cr := m.credibility(q.Perspective, r.rater)
+		num += cr * r.value
+		den += cr
+	}
+	score := 0.5
+	if den > 0 {
+		score = num / den
+	}
+	if m.beta > 0 {
+		// Community context factor of the subject's raters: how much the
+		// community participates in feedback overall. Normalized by the
+		// most active rater.
+		cf := m.communityFactor(rs)
+		score = (m.alpha*score + m.beta*cf) / (m.alpha + m.beta)
+	}
+	n := float64(len(rs))
+	return core.TrustValue{
+		Score:      math.Max(0, math.Min(1, score)),
+		Confidence: n / (n + 5),
+	}, true
+}
+
+// credibility weights a rater from the evaluator's viewpoint.
+func (m *Mechanism) credibility(perspective, rater core.ConsumerID) float64 {
+	if perspective != "" && perspective != rater {
+		if s, ok := m.psm(perspective, rater); ok {
+			return math.Max(0, s)
+		}
+		return 0.3 // unknown rater: low but non-zero default credibility
+	}
+	if perspective == rater {
+		return 1
+	}
+	// Global view: credibility = agreement with per-subject means.
+	row := m.byRater[rater]
+	if len(row) == 0 {
+		return 0.3
+	}
+	var dev float64
+	n := 0
+	subjects := make([]core.EntityID, 0, len(row))
+	for subj := range row {
+		subjects = append(subjects, subj)
+	}
+	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
+	for _, subj := range subjects {
+		mean, ok := m.subjectMean(subj)
+		if !ok {
+			continue
+		}
+		dev += math.Abs(row[subj] - mean)
+		n++
+	}
+	if n == 0 {
+		return 0.3
+	}
+	return math.Max(0, 1-dev/float64(n))
+}
+
+func (m *Mechanism) subjectMean(subj core.EntityID) (float64, bool) {
+	rs := m.ratings[subj]
+	if len(rs) == 0 {
+		return 0, false
+	}
+	sum := 0.0
+	for _, r := range rs {
+		sum += r.value
+	}
+	return sum / float64(len(rs)), true
+}
+
+func (m *Mechanism) communityFactor(rs []rating) float64 {
+	var maxC float64
+	for _, c := range m.contrib {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	if maxC == 0 {
+		return 0
+	}
+	var sum float64
+	for _, r := range rs {
+		sum += m.contrib[r.rater] / maxC
+	}
+	return sum / float64(len(rs))
+}
+
+// RaterCredibility exposes the global credibility of a rater, for
+// experiments and diagnostics.
+func (m *Mechanism) RaterCredibility(rater core.ConsumerID) float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.credibility("", rater)
+}
+
+// Raters lists known raters, sorted, for deterministic reporting.
+func (m *Mechanism) Raters() []core.ConsumerID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]core.ConsumerID, 0, len(m.byRater))
+	for id := range m.byRater {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Reset implements core.Resetter.
+func (m *Mechanism) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.ratings = map[core.EntityID][]rating{}
+	m.byRater = map[core.ConsumerID]map[core.EntityID]float64{}
+	m.contrib = map[core.ConsumerID]float64{}
+}

@@ -1,0 +1,195 @@
+// Package resource implements the two canonical centralized / resource /
+// global reputation systems from the survey's Figure 4: Amazon-style mean
+// product ratings [2] (with Bayesian shrinkage toward the population prior,
+// so a product with one 5-star review does not top the charts) and
+// Epinions-style review weighting [8], where reviews themselves are rated
+// for helpfulness and a reviewer's accumulated helpfulness weights their
+// future ratings.
+package resource
+
+import (
+	"fmt"
+	"sync"
+
+	"wstrust/internal/core"
+)
+
+// Amazon is the shrunken-mean resource reputation mechanism. Safe for
+// concurrent use.
+type Amazon struct {
+	// priorWeight is how many pseudo-ratings of the global mean each
+	// subject starts with (Bayesian shrinkage strength).
+	priorWeight float64
+
+	mu   sync.Mutex
+	sum  map[core.EntityID]float64
+	n    map[core.EntityID]float64
+	gSum float64
+	gN   float64
+}
+
+var (
+	_ core.Mechanism = (*Amazon)(nil)
+	_ core.Resetter  = (*Amazon)(nil)
+)
+
+// AmazonOption configures Amazon.
+type AmazonOption func(*Amazon)
+
+// WithPriorWeight sets the shrinkage strength (default 5).
+func WithPriorWeight(w float64) AmazonOption {
+	return func(a *Amazon) {
+		if w >= 0 {
+			a.priorWeight = w
+		}
+	}
+}
+
+// NewAmazon builds the mechanism.
+func NewAmazon(opts ...AmazonOption) *Amazon {
+	a := &Amazon{
+		priorWeight: 5,
+		sum:         map[core.EntityID]float64{},
+		n:           map[core.EntityID]float64{},
+	}
+	for _, opt := range opts {
+		opt(a)
+	}
+	return a
+}
+
+// Name implements core.Mechanism.
+func (a *Amazon) Name() string { return "amazon" }
+
+// Submit implements core.Mechanism.
+func (a *Amazon) Submit(fb core.Feedback) error {
+	if err := fb.Validate(); err != nil {
+		return fmt.Errorf("amazon: %w", err)
+	}
+	v := fb.Overall()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sum[fb.Service] += v
+	a.n[fb.Service]++
+	a.gSum += v
+	a.gN++
+	return nil
+}
+
+// Score implements core.Mechanism: the Bayesian-shrunken mean rating.
+func (a *Amazon) Score(q core.Query) (core.TrustValue, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := a.n[q.Subject]
+	if n == 0 {
+		return core.TrustValue{Score: 0.5, Confidence: 0}, false
+	}
+	prior := 0.5
+	if a.gN > 0 {
+		prior = a.gSum / a.gN
+	}
+	score := (a.sum[q.Subject] + a.priorWeight*prior) / (n + a.priorWeight)
+	return core.TrustValue{Score: score, Confidence: n / (n + a.priorWeight)}, true
+}
+
+// Reset implements core.Resetter.
+func (a *Amazon) Reset() {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.sum = map[core.EntityID]float64{}
+	a.n = map[core.EntityID]float64{}
+	a.gSum, a.gN = 0, 0
+}
+
+// Epinions weights each rating by its author's helpfulness reputation,
+// which other members build by rating reviews. Safe for concurrent use.
+type Epinions struct {
+	mu sync.Mutex
+	// ratings[subject] are (reviewer, value) pairs.
+	ratings map[core.EntityID][]review
+	// helpful/total votes per reviewer.
+	helpful map[core.ConsumerID]float64
+	votes   map[core.ConsumerID]float64
+}
+
+type review struct {
+	reviewer core.ConsumerID
+	value    float64
+}
+
+var (
+	_ core.Mechanism = (*Epinions)(nil)
+	_ core.Resetter  = (*Epinions)(nil)
+)
+
+// NewEpinions builds the mechanism.
+func NewEpinions() *Epinions {
+	return &Epinions{
+		ratings: map[core.EntityID][]review{},
+		helpful: map[core.ConsumerID]float64{},
+		votes:   map[core.ConsumerID]float64{},
+	}
+}
+
+// Name implements core.Mechanism.
+func (e *Epinions) Name() string { return "epinions" }
+
+// Submit implements core.Mechanism: the feedback is a review of the
+// service by its consumer.
+func (e *Epinions) Submit(fb core.Feedback) error {
+	if err := fb.Validate(); err != nil {
+		return fmt.Errorf("epinions: %w", err)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ratings[fb.Service] = append(e.ratings[fb.Service], review{fb.Consumer, fb.Overall()})
+	return nil
+}
+
+// RateReview records a helpfulness vote on reviewer's reviews — Epinions'
+// "rate the review" loop that makes reviewers themselves reputation
+// subjects.
+func (e *Epinions) RateReview(reviewer core.ConsumerID, isHelpful bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.votes[reviewer]++
+	if isHelpful {
+		e.helpful[reviewer]++
+	}
+}
+
+// reviewerWeight is the Beta-mean helpfulness of a reviewer; a reviewer
+// with no votes gets the neutral prior 0.5.
+func (e *Epinions) reviewerWeight(r core.ConsumerID) float64 {
+	return (e.helpful[r] + 1) / (e.votes[r] + 2)
+}
+
+// Score implements core.Mechanism: the helpfulness-weighted mean rating.
+func (e *Epinions) Score(q core.Query) (core.TrustValue, bool) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	rs := e.ratings[q.Subject]
+	if len(rs) == 0 {
+		return core.TrustValue{Score: 0.5, Confidence: 0}, false
+	}
+	var num, den float64
+	for _, r := range rs {
+		w := e.reviewerWeight(r.reviewer)
+		num += w * r.value
+		den += w
+	}
+	if den == 0 {
+		return core.TrustValue{Score: 0.5, Confidence: 0}, true
+	}
+	n := float64(len(rs))
+	return core.TrustValue{Score: num / den, Confidence: n / (n + 5)}, true
+}
+
+// Reset implements core.Resetter.
+func (e *Epinions) Reset() {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.ratings = map[core.EntityID][]review{}
+	e.helpful = map[core.ConsumerID]float64{}
+	e.votes = map[core.ConsumerID]float64{}
+}

@@ -1,0 +1,124 @@
+// Package subjective implements Jøsang's subjective-logic opinion model
+// and the trust-transitivity operators the paper leans on in Section 3
+// ("Trust can be transitive [10]. For example, Alice trusts her doctor and
+// her doctor trusts an eye specialist. Then Alice can trust the eye
+// specialist."): evidence-to-opinion mapping, the discounting operator for
+// recommendation chains, and the consensus operator for fusing independent
+// opinions.
+package subjective
+
+import (
+	"fmt"
+	"math"
+
+	"wstrust/internal/core"
+)
+
+// Opinion is a subjective-logic opinion ω = (b, d, u, a): belief, disbelief
+// and uncertainty summing to one, plus the base rate a used to project the
+// opinion onto a probability expectation.
+type Opinion struct {
+	B, D, U float64
+	// A is the base rate (prior probability absent evidence), default 0.5.
+	A float64
+}
+
+// Full certainty bounds reused by validation.
+const epsilon = 1e-9
+
+// Validate reports an error when components are out of range or do not sum
+// to one.
+func (o Opinion) Validate() error {
+	for _, v := range []float64{o.B, o.D, o.U, o.A} {
+		if math.IsNaN(v) || v < -epsilon || v > 1+epsilon {
+			return fmt.Errorf("subjective: component %g outside [0,1]", v)
+		}
+	}
+	if math.Abs(o.B+o.D+o.U-1) > 1e-6 {
+		return fmt.Errorf("subjective: b+d+u = %g, want 1", o.B+o.D+o.U)
+	}
+	return nil
+}
+
+// Vacuous is the total-uncertainty opinion with base rate 0.5.
+func Vacuous() Opinion { return Opinion{B: 0, D: 0, U: 1, A: 0.5} }
+
+// FromEvidence maps positive evidence r and negative evidence s onto an
+// opinion via the bijective Beta mapping: b = r/(r+s+2), d = s/(r+s+2),
+// u = 2/(r+s+2). Negative evidence counts panic — they indicate a caller
+// bug, not a data condition.
+func FromEvidence(r, s float64) Opinion {
+	if r < 0 || s < 0 {
+		panic(fmt.Sprintf("subjective: negative evidence r=%g s=%g", r, s))
+	}
+	den := r + s + 2
+	return Opinion{B: r / den, D: s / den, U: 2 / den, A: 0.5}
+}
+
+// Expectation projects the opinion onto a scalar: E = b + a·u.
+func (o Opinion) Expectation() float64 {
+	return o.B + o.A*o.U
+}
+
+// TrustValue converts the opinion into the framework's TrustValue: the
+// expectation as score, certainty (1−u) as confidence.
+func (o Opinion) TrustValue() core.TrustValue {
+	return core.TrustValue{Score: o.Expectation(), Confidence: 1 - o.U}.Clamp()
+}
+
+// Discount is the transitivity operator ωᴬᴮ ⊗ ωᴮˣ: A's trust in advisor B
+// discounts B's opinion about X. The less A believes B, the more uncertain
+// the derived opinion — a referral through a dubious advisor carries little
+// weight.
+func Discount(ab, bx Opinion) Opinion {
+	return Opinion{
+		B: ab.B * bx.B,
+		D: ab.B * bx.D,
+		U: ab.D + ab.U + ab.B*bx.U,
+		A: bx.A,
+	}
+}
+
+// Consensus is the fusion operator ωᴬˣ ⊕ ωᴮˣ combining two independent
+// opinions about the same subject. When both opinions are dogmatic (u = 0)
+// the operator degenerates to their average.
+func Consensus(a, b Opinion) Opinion {
+	k := a.U + b.U - a.U*b.U
+	if k < epsilon {
+		return Opinion{B: (a.B + b.B) / 2, D: (a.D + b.D) / 2, U: 0, A: (a.A + b.A) / 2}
+	}
+	return Opinion{
+		B: (a.B*b.U + b.B*a.U) / k,
+		D: (a.D*b.U + b.D*a.U) / k,
+		U: (a.U * b.U) / k,
+		A: (a.A + b.A) / 2,
+	}
+}
+
+// ChainDiscount folds Discount along a referral chain: the first opinion is
+// the origin's trust in the first advisor, the last is the final advisor's
+// opinion about the subject. An empty chain panics; a single opinion is
+// returned unchanged (direct trust, no referral).
+func ChainDiscount(chain ...Opinion) Opinion {
+	if len(chain) == 0 {
+		panic("subjective: empty referral chain")
+	}
+	out := chain[len(chain)-1]
+	for i := len(chain) - 2; i >= 0; i-- {
+		out = Discount(chain[i], out)
+	}
+	return out
+}
+
+// FuseAll folds Consensus over independent opinions about one subject,
+// returning Vacuous for an empty list.
+func FuseAll(ops ...Opinion) Opinion {
+	if len(ops) == 0 {
+		return Vacuous()
+	}
+	out := ops[0]
+	for _, o := range ops[1:] {
+		out = Consensus(out, o)
+	}
+	return out
+}

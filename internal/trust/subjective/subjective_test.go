@@ -1,0 +1,193 @@
+package subjective
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestFromEvidence(t *testing.T) {
+	o := FromEvidence(8, 0)
+	if math.Abs(o.B-0.8) > 1e-12 || math.Abs(o.U-0.2) > 1e-12 || o.D != 0 {
+		t.Fatalf("FromEvidence(8,0) = %+v", o)
+	}
+	if err := o.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	v := FromEvidence(0, 0)
+	if v.U != 1 {
+		t.Fatalf("no evidence should be vacuous: %+v", v)
+	}
+}
+
+func TestFromEvidencePanicsOnNegative(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative evidence did not panic")
+		}
+	}()
+	FromEvidence(-1, 0)
+}
+
+func TestExpectation(t *testing.T) {
+	if got := Vacuous().Expectation(); got != 0.5 {
+		t.Fatalf("vacuous expectation = %g, want base rate 0.5", got)
+	}
+	o := Opinion{B: 0.6, D: 0.2, U: 0.2, A: 0.5}
+	if got := o.Expectation(); math.Abs(got-0.7) > 1e-12 {
+		t.Fatalf("expectation = %g, want 0.7", got)
+	}
+}
+
+func TestTrustValueConversion(t *testing.T) {
+	tv := FromEvidence(18, 0).TrustValue()
+	if tv.Score <= 0.8 || tv.Confidence <= 0.8 {
+		t.Fatalf("strong evidence converted to %+v", tv)
+	}
+	v := Vacuous().TrustValue()
+	if v.Confidence != 0 || v.Score != 0.5 {
+		t.Fatalf("vacuous converted to %+v", v)
+	}
+}
+
+func TestValidateRejectsBroken(t *testing.T) {
+	bad := Opinion{B: 0.9, D: 0.9, U: 0.9, A: 0.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("non-additive opinion validated")
+	}
+	neg := Opinion{B: -0.5, D: 0.5, U: 1, A: 0.5}
+	if err := neg.Validate(); err == nil {
+		t.Fatal("negative component validated")
+	}
+}
+
+func TestDiscountThroughTrustedAdvisor(t *testing.T) {
+	// Alice fully trusts her doctor; the doctor strongly trusts the
+	// specialist → Alice ends up trusting the specialist (Section 3).
+	alice2doctor := FromEvidence(50, 0) // b≈0.96
+	doctor2spec := FromEvidence(20, 1)  // strong positive
+	derived := Discount(alice2doctor, doctor2spec)
+	if err := derived.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if derived.Expectation() < 0.75 {
+		t.Fatalf("derived trust = %g, want strong", derived.Expectation())
+	}
+}
+
+func TestDiscountThroughDistrustedAdvisorIsUncertain(t *testing.T) {
+	distrusted := FromEvidence(0, 50) // Alice distrusts the advisor
+	strong := FromEvidence(50, 0)
+	derived := Discount(distrusted, strong)
+	if derived.U < 0.9 {
+		t.Fatalf("discounting via distrusted advisor left U = %g, want ≈1", derived.U)
+	}
+	// Expectation falls back near the base rate, NOT to "distrust the
+	// subject": a bad advisor tells us nothing about the subject.
+	if math.Abs(derived.Expectation()-0.5) > 0.1 {
+		t.Fatalf("expectation = %g, want ≈0.5", derived.Expectation())
+	}
+}
+
+func TestConsensusReducesUncertainty(t *testing.T) {
+	a := FromEvidence(3, 1)
+	b := FromEvidence(4, 0)
+	fused := Consensus(a, b)
+	if err := fused.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if fused.U >= a.U || fused.U >= b.U {
+		t.Fatalf("consensus did not reduce uncertainty: %g vs %g, %g", fused.U, a.U, b.U)
+	}
+}
+
+func TestConsensusWithVacuousIsIdentity(t *testing.T) {
+	a := FromEvidence(5, 2)
+	fused := Consensus(a, Vacuous())
+	if math.Abs(fused.B-a.B) > 1e-9 || math.Abs(fused.D-a.D) > 1e-9 {
+		t.Fatalf("vacuous consensus changed opinion: %+v vs %+v", fused, a)
+	}
+}
+
+func TestConsensusDogmatic(t *testing.T) {
+	a := Opinion{B: 1, D: 0, U: 0, A: 0.5}
+	b := Opinion{B: 0, D: 1, U: 0, A: 0.5}
+	fused := Consensus(a, b)
+	if math.Abs(fused.B-0.5) > 1e-12 || math.Abs(fused.D-0.5) > 1e-12 {
+		t.Fatalf("dogmatic consensus = %+v, want average", fused)
+	}
+}
+
+func TestChainDiscount(t *testing.T) {
+	// Longer chains through imperfect advisors lose certainty (claim C8).
+	link := FromEvidence(8, 1)
+	subject := FromEvidence(10, 0)
+	var prevU float64 = -1
+	for depth := 1; depth <= 5; depth++ {
+		chain := make([]Opinion, depth)
+		for i := 0; i < depth-1; i++ {
+			chain[i] = link
+		}
+		chain[depth-1] = subject
+		derived := ChainDiscount(chain...)
+		if err := derived.Validate(); err != nil {
+			t.Fatalf("depth %d: %v", depth, err)
+		}
+		if derived.U < prevU {
+			t.Fatalf("depth %d: uncertainty %g decreased along chain", depth, derived.U)
+		}
+		prevU = derived.U
+	}
+}
+
+func TestChainDiscountSingle(t *testing.T) {
+	o := FromEvidence(5, 5)
+	if got := ChainDiscount(o); got != o {
+		t.Fatalf("single-element chain changed opinion: %+v", got)
+	}
+}
+
+func TestChainDiscountEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty chain did not panic")
+		}
+	}()
+	ChainDiscount()
+}
+
+func TestFuseAll(t *testing.T) {
+	if got := FuseAll(); got != Vacuous() {
+		t.Fatalf("FuseAll() = %+v", got)
+	}
+	fused := FuseAll(FromEvidence(2, 0), FromEvidence(3, 0), FromEvidence(4, 0))
+	if fused.Expectation() < 0.75 {
+		t.Fatalf("fused positives expectation = %g", fused.Expectation())
+	}
+}
+
+// Property: both operators preserve the b+d+u=1 invariant and keep all
+// components in range for arbitrary evidence-derived opinions.
+func TestOperatorsPreserveInvariantProperty(t *testing.T) {
+	f := func(r1, s1, r2, s2 uint16) bool {
+		a := FromEvidence(float64(r1%500), float64(s1%500))
+		b := FromEvidence(float64(r2%500), float64(s2%500))
+		return Discount(a, b).Validate() == nil && Consensus(a, b).Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: discounting never yields more certainty than the recommended
+// opinion had.
+func TestDiscountNeverAddsCertaintyProperty(t *testing.T) {
+	f := func(r1, s1, r2, s2 uint16) bool {
+		ab := FromEvidence(float64(r1%500), float64(s1%500))
+		bx := FromEvidence(float64(r2%500), float64(s2%500))
+		return Discount(ab, bx).U >= bx.U-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

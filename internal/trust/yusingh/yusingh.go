@@ -1,0 +1,389 @@
+// Package yusingh implements the distributed reputation management of Yu &
+// Singh [35,36] with the referral-network service location of Yolum &
+// Singh [34]: every consumer runs an agent on an unstructured overlay;
+// trust in a provider is a Dempster–Shafer belief function over
+// {trustworthy, untrustworthy} built from the agent's own interactions;
+// when local evidence is insufficient the agent queries its neighbours,
+// who either testify from direct experience or refer the query onward, and
+// the gathered testimonies are fused with Dempster's rule of combination,
+// discounted per referral hop.
+//
+// All witness traffic travels over the p2p network, so experiments measure
+// the referral protocol's real message cost.
+package yusingh
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"wstrust/internal/core"
+	"wstrust/internal/p2p"
+)
+
+// Mass is a Dempster–Shafer basic probability assignment over the frame
+// {T, F}: belief the subject is trustworthy, untrustworthy, or unknown.
+type Mass struct {
+	T, F, U float64
+}
+
+// Vacuous is total ignorance.
+func VacuousMass() Mass { return Mass{U: 1} }
+
+// Valid reports whether the masses are a probability assignment.
+func (m Mass) Valid() bool {
+	for _, v := range []float64{m.T, m.F, m.U} {
+		if math.IsNaN(v) || v < -1e-9 || v > 1+1e-9 {
+			return false
+		}
+	}
+	return math.Abs(m.T+m.F+m.U-1) < 1e-6
+}
+
+// FromEvidence maps positive/negative interaction counts onto masses.
+func FromEvidence(pos, neg float64) Mass {
+	den := pos + neg + 2
+	return Mass{T: pos / den, F: neg / den, U: 2 / den}
+}
+
+// Combine is Dempster's rule of combination for the two-element frame.
+// Total conflict returns vacuous rather than dividing by zero.
+func Combine(a, b Mass) Mass {
+	k := a.T*b.F + a.F*b.T
+	den := 1 - k
+	if den <= 1e-12 {
+		return VacuousMass()
+	}
+	return Mass{
+		T: (a.T*b.T + a.T*b.U + a.U*b.T) / den,
+		F: (a.F*b.F + a.F*b.U + a.U*b.F) / den,
+		U: (a.U * b.U) / den,
+	}
+}
+
+// Discount scales a testimony's committed mass by w, pushing the rest into
+// uncertainty — the standard treatment for witnesses reached through
+// referral chains.
+func Discount(m Mass, w float64) Mass {
+	w = math.Max(0, math.Min(1, w))
+	t, f := m.T*w, m.F*w
+	return Mass{T: t, F: f, U: 1 - t - f}
+}
+
+// TrustValue projects masses onto the framework scale: pignistic
+// probability as score, commitment (1−U) as confidence.
+func (m Mass) TrustValue() core.TrustValue {
+	return core.TrustValue{Score: m.T + 0.5*m.U, Confidence: 1 - m.U}.Clamp()
+}
+
+// Option configures the mechanism.
+type Option func(*Mechanism)
+
+// WithDepth sets the maximum referral depth (default 3).
+func WithDepth(d int) Option {
+	return func(m *Mechanism) {
+		if d > 0 {
+			m.depth = d
+		}
+	}
+}
+
+// WithReferralDiscount sets the per-hop testimony discount (default 0.7).
+func WithReferralDiscount(w float64) Option {
+	return func(m *Mechanism) {
+		if w > 0 && w <= 1 {
+			m.hopDiscount = w
+		}
+	}
+}
+
+// WithLocalSufficiency sets how many direct interactions make an agent
+// skip the witness query entirely (default 10).
+func WithLocalSufficiency(n int) Option {
+	return func(m *Mechanism) {
+		if n > 0 {
+			m.sufficiency = n
+		}
+	}
+}
+
+// WithAdaptiveReferrals enables the referral-network adaptation of Yolum &
+// Singh [34]: when a referral query reaches a useful witness, the querying
+// agent remembers up to maxShortcuts of them as direct acquaintances, so
+// later queries reach testimony in fewer hops (and with less hop
+// discounting). Zero disables adaptation (the default).
+func WithAdaptiveReferrals(maxShortcuts int) Option {
+	return func(m *Mechanism) {
+		if maxShortcuts >= 0 {
+			m.maxShortcuts = maxShortcuts
+		}
+	}
+}
+
+// agentState is one consumer agent's private experience.
+type agentState struct {
+	mu  sync.Mutex
+	pos map[core.EntityID]float64
+	neg map[core.EntityID]float64
+}
+
+func (a *agentState) observe(subject core.EntityID, v float64) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.pos[subject] += v
+	a.neg[subject] += 1 - v
+}
+
+func (a *agentState) mass(subject core.EntityID) (Mass, bool) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	p, n := a.pos[subject], a.neg[subject]
+	if p+n == 0 {
+		return VacuousMass(), false
+	}
+	return FromEvidence(p, n), true
+}
+
+func (a *agentState) evidenceCount(subject core.EntityID) float64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.pos[subject] + a.neg[subject]
+}
+
+// Mechanism is the referral-network trust engine. Safe for concurrent use.
+type Mechanism struct {
+	overlay      *p2p.Overlay
+	depth        int
+	hopDiscount  float64
+	sufficiency  int
+	maxShortcuts int
+
+	mu        sync.Mutex
+	agents    map[core.ConsumerID]*agentState
+	counts    map[core.EntityID]float64
+	shortcuts map[core.ConsumerID][]p2p.NodeID
+}
+
+var (
+	_ core.Mechanism    = (*Mechanism)(nil)
+	_ core.Resetter     = (*Mechanism)(nil)
+	_ core.CostReporter = (*Mechanism)(nil)
+)
+
+// New builds the mechanism over an overlay, creating one agent per
+// consumer and joining it to the network. Consumers not listed may still
+// submit; their agents are created lazily but start with no neighbours
+// (they can testify when queried by id, not via the overlay).
+func New(overlay *p2p.Overlay, consumers []core.ConsumerID, opts ...Option) *Mechanism {
+	if overlay == nil {
+		panic("yusingh: nil overlay")
+	}
+	m := &Mechanism{
+		overlay:     overlay,
+		depth:       3,
+		hopDiscount: 0.7,
+		sufficiency: 10,
+		agents:      map[core.ConsumerID]*agentState{},
+		counts:      map[core.EntityID]float64{},
+		shortcuts:   map[core.ConsumerID][]p2p.NodeID{},
+	}
+	for _, opt := range opts {
+		opt(m)
+	}
+	for _, c := range consumers {
+		m.ensureAgent(c)
+	}
+	return m
+}
+
+// Name implements core.Mechanism.
+func (m *Mechanism) Name() string { return "yu-singh" }
+
+func (m *Mechanism) ensureAgent(c core.ConsumerID) *agentState {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	ag, ok := m.agents[c]
+	if !ok {
+		ag = &agentState{pos: map[core.EntityID]float64{}, neg: map[core.EntityID]float64{}}
+		m.agents[c] = ag
+		agent := ag
+		m.overlay.Network().Join(p2p.NodeID(c), func(_ p2p.NodeID, kind string, payload any) any {
+			if kind != "ys.query" {
+				return nil
+			}
+			subject := payload.(core.EntityID)
+			mass, ok := agent.mass(subject)
+			if !ok {
+				return nil
+			}
+			return mass
+		})
+	}
+	return ag
+}
+
+// Submit implements core.Mechanism: the experience lands only in the
+// consuming agent's private store — there is no central registry.
+func (m *Mechanism) Submit(fb core.Feedback) error {
+	if err := fb.Validate(); err != nil {
+		return fmt.Errorf("yusingh: %w", err)
+	}
+	ag := m.ensureAgent(fb.Consumer)
+	ag.observe(fb.Service, fb.Overall())
+	m.mu.Lock()
+	m.counts[fb.Service]++
+	m.mu.Unlock()
+	return nil
+}
+
+// Score implements core.Mechanism. With a perspective: that agent's direct
+// belief, widened by witness testimonies when local evidence is thin. The
+// no-perspective (global) view fuses every agent's belief without discount
+// — the theoretical upper bound a fully-connected gossip would reach.
+func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
+	m.mu.Lock()
+	known := m.counts[q.Subject] > 0
+	m.mu.Unlock()
+	if !known {
+		return core.TrustValue{Score: 0.5, Confidence: 0}, false
+	}
+	if q.Perspective == "" {
+		return m.globalFuse(q.Subject), true
+	}
+	ag := m.ensureAgent(q.Perspective)
+	direct, hasDirect := ag.mass(q.Subject)
+	if hasDirect && ag.evidenceCount(q.Subject) >= float64(m.sufficiency) {
+		return direct.TrustValue(), true
+	}
+	fused := direct
+	if !hasDirect {
+		fused = VacuousMass()
+	}
+	for _, tm := range m.witnessTestimonies(q.Perspective, q.Subject) {
+		fused = Combine(fused, tm)
+	}
+	return fused.TrustValue(), true
+}
+
+// witnessTestimonies walks the referral network breadth-first from the
+// origin, querying each reached agent over the network and discounting
+// testimonies by referral depth.
+func (m *Mechanism) witnessTestimonies(origin core.ConsumerID, subject core.EntityID) []Mass {
+	net := m.overlay.Network()
+	originNode := p2p.NodeID(origin)
+	visited := map[p2p.NodeID]bool{originNode: true}
+	frontier := []p2p.NodeID{originNode}
+	var out []Mass
+	discount := m.hopDiscount
+	for depth := 0; depth < m.depth && len(frontier) > 0; depth++ {
+		var next []p2p.NodeID
+		for _, at := range frontier {
+			nbs := m.neighborsOf(at)
+			for _, nb := range nbs {
+				if visited[nb] {
+					continue
+				}
+				visited[nb] = true
+				reply, err := net.Send(at, nb, "ys.query", subject)
+				if err != nil {
+					continue
+				}
+				next = append(next, nb)
+				if mass, ok := reply.(Mass); ok {
+					out = append(out, Discount(mass, discount))
+					if depth > 0 {
+						// Adaptation [34]: remember the distant witness as a
+						// direct acquaintance for future queries.
+						m.addShortcut(origin, nb)
+					}
+				}
+			}
+		}
+		frontier = next
+		discount *= m.hopDiscount
+	}
+	return out
+}
+
+// neighborsOf merges overlay neighbours with the agent's learned shortcuts,
+// sorted for determinism.
+func (m *Mechanism) neighborsOf(at p2p.NodeID) []p2p.NodeID {
+	nbs := m.overlay.Neighbors(at)
+	m.mu.Lock()
+	nbs = append(nbs, m.shortcuts[core.ConsumerID(at)]...)
+	m.mu.Unlock()
+	sort.Slice(nbs, func(i, j int) bool { return nbs[i] < nbs[j] })
+	return nbs
+}
+
+// addShortcut records a useful witness as a direct acquaintance, bounded
+// by the adaptation budget.
+func (m *Mechanism) addShortcut(owner core.ConsumerID, witness p2p.NodeID) {
+	if m.maxShortcuts <= 0 {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	have := m.shortcuts[owner]
+	for _, w := range have {
+		if w == witness {
+			return
+		}
+	}
+	if len(have) >= m.maxShortcuts {
+		return
+	}
+	m.shortcuts[owner] = append(have, witness)
+}
+
+// Shortcuts reports the learned acquaintances of an agent, for tests and
+// diagnostics.
+func (m *Mechanism) Shortcuts(owner core.ConsumerID) []p2p.NodeID {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]p2p.NodeID, len(m.shortcuts[owner]))
+	copy(out, m.shortcuts[owner])
+	return out
+}
+
+// globalFuse combines every agent's undiscounted belief.
+func (m *Mechanism) globalFuse(subject core.EntityID) core.TrustValue {
+	m.mu.Lock()
+	ids := make([]core.ConsumerID, 0, len(m.agents))
+	for id := range m.agents {
+		ids = append(ids, id)
+	}
+	m.mu.Unlock()
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	fused := VacuousMass()
+	for _, id := range ids {
+		m.mu.Lock()
+		ag := m.agents[id]
+		m.mu.Unlock()
+		if mass, ok := ag.mass(subject); ok {
+			fused = Combine(fused, mass)
+		}
+	}
+	return fused.TrustValue()
+}
+
+// MessageCount implements core.CostReporter.
+func (m *Mechanism) MessageCount() int64 {
+	return m.overlay.Network().MessageCount()
+}
+
+// Reset implements core.Resetter: agents forget their experience but stay
+// joined to the overlay.
+func (m *Mechanism) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for _, ag := range m.agents {
+		ag.mu.Lock()
+		ag.pos = map[core.EntityID]float64{}
+		ag.neg = map[core.EntityID]float64{}
+		ag.mu.Unlock()
+	}
+	m.counts = map[core.EntityID]float64{}
+	m.shortcuts = map[core.ConsumerID][]p2p.NodeID{}
+}

@@ -1,0 +1,245 @@
+// Package typology is the paper's primary intellectual contribution made
+// executable: the three-criterion classification of trust and reputation
+// systems (Figure 4) — centralized vs. decentralized, person/agent vs.
+// resource, global vs. personalized — as data, with a registry of the
+// implemented mechanisms, a renderer that regenerates the figure, and a
+// coverage matrix showing which corners of the design space are populated
+// (the paper's observation that current web-service mechanisms crowd into
+// the centralized/resource/personalized corner drives its Section 5
+// research agenda).
+package typology
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Location is the first criterion.
+type Location int
+
+const (
+	// Centralized systems put reputation management on a central node.
+	Centralized Location = iota + 1
+	// Decentralized systems share the responsibility among peers.
+	Decentralized
+)
+
+// String implements fmt.Stringer.
+func (l Location) String() string {
+	if l == Centralized {
+		return "centralized"
+	}
+	return "decentralized"
+}
+
+// Focus is the second criterion.
+type Focus int
+
+const (
+	// Person systems model the reputation of people or agents.
+	Person Focus = iota + 1
+	// Resource systems model the reputation of products or services.
+	Resource
+	// PersonAndResource systems model both (e.g. Wang & Vassileva).
+	PersonAndResource
+)
+
+// String implements fmt.Stringer.
+func (f Focus) String() string {
+	switch f {
+	case Person:
+		return "person/agent"
+	case Resource:
+		return "resource"
+	default:
+		return "person/agent+resource"
+	}
+}
+
+// Scope is the third criterion.
+type Scope int
+
+const (
+	// Global reputation is one public value per entity.
+	Global Scope = iota + 1
+	// Personalized reputation depends on who is asking.
+	Personalized
+)
+
+// String implements fmt.Stringer.
+func (s Scope) String() string {
+	if s == Global {
+		return "global"
+	}
+	return "personalized"
+}
+
+// Coordinates places one system in the three-criterion space.
+type Coordinates struct {
+	Location Location
+	Focus    Focus
+	Scope    Scope
+}
+
+// Validate reports out-of-range criteria.
+func (c Coordinates) Validate() error {
+	if c.Location < Centralized || c.Location > Decentralized {
+		return fmt.Errorf("typology: bad location %d", c.Location)
+	}
+	if c.Focus < Person || c.Focus > PersonAndResource {
+		return fmt.Errorf("typology: bad focus %d", c.Focus)
+	}
+	if c.Scope < Global || c.Scope > Personalized {
+		return fmt.Errorf("typology: bad scope %d", c.Scope)
+	}
+	return nil
+}
+
+// String renders the coordinates as "location / focus / scope".
+func (c Coordinates) String() string {
+	return fmt.Sprintf("%s / %s / %s", c.Location, c.Focus, c.Scope)
+}
+
+// Entry is one classified system.
+type Entry struct {
+	// Name is the mechanism's short name (matches Mechanism.Name()).
+	Name string
+	// Cite is the literature reference as printed in Figure 4.
+	Cite string
+	// Coordinates is the classification.
+	Coordinates Coordinates
+	// ForWebServices marks the entries the figure prints in bold — the
+	// mechanisms that were proposed specifically for web services.
+	ForWebServices bool
+	// Module is the wstrust package implementing it.
+	Module string
+}
+
+// Registry holds classified systems. The zero value is ready to use.
+type Registry struct {
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// Register files an entry; duplicate names are rejected.
+func (r *Registry) Register(e Entry) error {
+	if e.Name == "" {
+		return fmt.Errorf("typology: entry without name")
+	}
+	if err := e.Coordinates.Validate(); err != nil {
+		return err
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, have := range r.entries {
+		if have.Name == e.Name {
+			return fmt.Errorf("typology: %q already registered", e.Name)
+		}
+	}
+	r.entries = append(r.entries, e)
+	return nil
+}
+
+// Entries returns all entries sorted by name.
+func (r *Registry) Entries() []Entry {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]Entry, len(r.entries))
+	copy(out, r.entries)
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// At returns the entries at the given coordinates, sorted by name.
+// PersonAndResource entries match both Person and Resource queries.
+func (r *Registry) At(c Coordinates) []Entry {
+	var out []Entry
+	for _, e := range r.Entries() {
+		if e.Coordinates.Location != c.Location || e.Coordinates.Scope != c.Scope {
+			continue
+		}
+		f := e.Coordinates.Focus
+		if f == c.Focus || f == PersonAndResource || c.Focus == PersonAndResource {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// RenderTree regenerates Figure 4: the three-level classification tree
+// with the registered systems as leaves; web-service mechanisms are marked
+// with ** as the figure marks them in bold.
+func (r *Registry) RenderTree() string {
+	var b strings.Builder
+	b.WriteString("Trust and Reputation System\n")
+	for _, loc := range []Location{Centralized, Decentralized} {
+		fmt.Fprintf(&b, "├─ %s\n", loc)
+		for _, focus := range []Focus{Person, Resource} {
+			fmt.Fprintf(&b, "│  ├─ %s\n", focus)
+			for _, scope := range []Scope{Global, Personalized} {
+				fmt.Fprintf(&b, "│  │  ├─ %s\n", scope)
+				for _, e := range r.At(Coordinates{loc, focus, scope}) {
+					marker := ""
+					if e.ForWebServices {
+						marker = " **"
+					}
+					fmt.Fprintf(&b, "│  │  │  ├─ %s %s%s\n", e.Name, e.Cite, marker)
+				}
+			}
+		}
+	}
+	b.WriteString("** = proposed for web services (bold in the paper's Figure 4)\n")
+	return b.String()
+}
+
+// CoverageMatrix reports how many systems occupy each corner of the
+// 2×2×2 criterion space, keyed by the coordinate string.
+func (r *Registry) CoverageMatrix() map[string]int {
+	out := map[string]int{}
+	for _, loc := range []Location{Centralized, Decentralized} {
+		for _, focus := range []Focus{Person, Resource} {
+			for _, scope := range []Scope{Global, Personalized} {
+				c := Coordinates{loc, focus, scope}
+				out[c.String()] = len(r.At(c))
+			}
+		}
+	}
+	return out
+}
+
+// Builtin returns the registry pre-populated with every mechanism wstrust
+// implements, classified exactly as the paper's Figure 4 places them (the
+// helper systems beta/subjective are algorithmic cores, not figure leaves,
+// and are not registered).
+func Builtin() *Registry {
+	r := &Registry{}
+	entries := []Entry{
+		{Name: "ebay", Cite: "[7]", Coordinates: Coordinates{Centralized, Person, Global}, Module: "internal/trust/ebay"},
+		{Name: "sporas", Cite: "[37]", Coordinates: Coordinates{Centralized, Person, Global}, Module: "internal/trust/sporas"},
+		{Name: "sporas+histos", Cite: "[37]", Coordinates: Coordinates{Centralized, Person, Personalized}, Module: "internal/trust/sporas"},
+		{Name: "pagerank", Cite: "[23]", Coordinates: Coordinates{Centralized, Resource, Global}, Module: "internal/trust/pagerank"},
+		{Name: "amazon", Cite: "[2]", Coordinates: Coordinates{Centralized, Resource, Global}, Module: "internal/trust/resource"},
+		{Name: "epinions", Cite: "[8]", Coordinates: Coordinates{Centralized, Resource, Global}, Module: "internal/trust/resource"},
+		{Name: "cf-pearson", Cite: "[3]", Coordinates: Coordinates{Centralized, Resource, Personalized}, Module: "internal/trust/cf"},
+		{Name: "cf-cosine", Cite: "[3,13]", Coordinates: Coordinates{Centralized, Resource, Personalized}, ForWebServices: true, Module: "internal/trust/cf"},
+		{Name: "maximilien", Cite: "[18-21]", Coordinates: Coordinates{Centralized, Resource, Personalized}, ForWebServices: true, Module: "internal/trust/maximilien"},
+		{Name: "qosrank", Cite: "[16]", Coordinates: Coordinates{Centralized, Resource, Personalized}, ForWebServices: true, Module: "internal/trust/qosrank"},
+		{Name: "expert-rules", Cite: "[6]", Coordinates: Coordinates{Centralized, Resource, Personalized}, ForWebServices: true, Module: "internal/trust/expert"},
+		{Name: "expert-bayes", Cite: "[6]", Coordinates: Coordinates{Centralized, Resource, Personalized}, ForWebServices: true, Module: "internal/trust/expert"},
+		{Name: "yu-singh", Cite: "[35,36]", Coordinates: Coordinates{Decentralized, Person, Personalized}, Module: "internal/trust/yusingh"},
+		{Name: "wang-vassileva", Cite: "[30,31]", Coordinates: Coordinates{Decentralized, PersonAndResource, Personalized}, Module: "internal/trust/bayesnet"},
+		{Name: "xrep", Cite: "[4]", Coordinates: Coordinates{Decentralized, Resource, Global}, Module: "internal/trust/xrep"},
+		{Name: "complaints", Cite: "[1]", Coordinates: Coordinates{Decentralized, Person, Global}, Module: "internal/trust/complaints"},
+		{Name: "peertrust", Cite: "[33]", Coordinates: Coordinates{Decentralized, Person, Global}, Module: "internal/trust/peertrust"},
+		{Name: "eigentrust", Cite: "[11]", Coordinates: Coordinates{Decentralized, Person, Global}, Module: "internal/trust/eigentrust"},
+		{Name: "vu-qos", Cite: "[28,29]", Coordinates: Coordinates{Decentralized, Resource, Personalized}, ForWebServices: true, Module: "internal/trust/vu"},
+	}
+	for _, e := range entries {
+		if err := r.Register(e); err != nil {
+			panic(err) // built-in table must be internally consistent
+		}
+	}
+	return r
+}

@@ -1,0 +1,104 @@
+package typology
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegisterValidation(t *testing.T) {
+	r := &Registry{}
+	ok := Entry{Name: "x", Coordinates: Coordinates{Centralized, Person, Global}}
+	if err := r.Register(ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Register(ok); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if err := r.Register(Entry{Coordinates: Coordinates{Centralized, Person, Global}}); err == nil {
+		t.Fatal("nameless entry accepted")
+	}
+	if err := r.Register(Entry{Name: "bad", Coordinates: Coordinates{}}); err == nil {
+		t.Fatal("invalid coordinates accepted")
+	}
+}
+
+func TestAtMatchesFocusUnion(t *testing.T) {
+	r := &Registry{}
+	_ = r.Register(Entry{Name: "both", Coordinates: Coordinates{Decentralized, PersonAndResource, Personalized}})
+	_ = r.Register(Entry{Name: "person-only", Coordinates: Coordinates{Decentralized, Person, Personalized}})
+	got := r.At(Coordinates{Decentralized, Person, Personalized})
+	if len(got) != 2 {
+		t.Fatalf("person query matched %d, want 2 (both+person-only)", len(got))
+	}
+	got = r.At(Coordinates{Decentralized, Resource, Personalized})
+	if len(got) != 1 || got[0].Name != "both" {
+		t.Fatalf("resource query = %+v", got)
+	}
+}
+
+func TestBuiltinMatchesFigure4(t *testing.T) {
+	r := Builtin()
+	entries := r.Entries()
+	if len(entries) != 19 {
+		t.Fatalf("builtin has %d entries", len(entries))
+	}
+	// The paper's headline observation: all current WS mechanisms except
+	// Vu et al. sit in centralized/resource/personalized.
+	wsCentral := 0
+	for _, e := range r.At(Coordinates{Centralized, Resource, Personalized}) {
+		if e.ForWebServices {
+			wsCentral++
+		}
+	}
+	if wsCentral < 5 {
+		t.Fatalf("centralized/resource/personalized WS mechanisms = %d, want ≥5", wsCentral)
+	}
+	vu := r.At(Coordinates{Decentralized, Resource, Personalized})
+	foundVu := false
+	for _, e := range vu {
+		if e.Name == "vu-qos" && e.ForWebServices {
+			foundVu = true
+		}
+	}
+	if !foundVu {
+		t.Fatal("vu-qos not at decentralized/resource/personalized")
+	}
+}
+
+func TestRenderTree(t *testing.T) {
+	out := Builtin().RenderTree()
+	for _, want := range []string{
+		"centralized", "decentralized", "person/agent", "resource",
+		"global", "personalized", "ebay", "eigentrust", "vu-qos", "**",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tree missing %q", want)
+		}
+	}
+}
+
+func TestCoverageMatrix(t *testing.T) {
+	m := Builtin().CoverageMatrix()
+	if len(m) != 8 {
+		t.Fatalf("matrix has %d corners, want 8", len(m))
+	}
+	if m["centralized / resource / personalized"] < 5 {
+		t.Fatalf("crowded corner count = %d", m["centralized / resource / personalized"])
+	}
+	// Every corner of the design space is populated by our implementations
+	// except centralized/person/personalized... which Histos fills. Verify
+	// no corner is empty — the survey's "space to research" is filled by
+	// this repository.
+	for corner, n := range m {
+		if n == 0 {
+			t.Errorf("corner %q empty", corner)
+		}
+	}
+}
+
+func TestCoordinateStrings(t *testing.T) {
+	c := Coordinates{Decentralized, PersonAndResource, Personalized}
+	if c.String() != "decentralized / person/agent+resource / personalized" {
+		t.Fatalf("String = %q", c.String())
+	}
+}

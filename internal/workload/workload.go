@@ -1,0 +1,349 @@
+// Package workload generates the populations the experiments run on:
+// services with hidden ground-truth QoS across quality tiers, providers
+// with portfolios, consumers with preference profiles of controllable
+// heterogeneity, honest grading of observations into feedback, and the
+// oracle utilities regret is measured against.
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/soa"
+)
+
+// Tier is a service quality class.
+type Tier int
+
+const (
+	// Good services deliver strong QoS on every metric.
+	Good Tier = iota + 1
+	// Medium services are serviceable but unremarkable.
+	Medium
+	// Bad services are slow, flaky and inaccurate.
+	Bad
+)
+
+// String implements fmt.Stringer.
+func (t Tier) String() string {
+	switch t {
+	case Good:
+		return "good"
+	case Medium:
+		return "medium"
+	case Bad:
+		return "bad"
+	default:
+		return fmt.Sprintf("Tier(%d)", int(t))
+	}
+}
+
+// refScale is the per-metric raw range used for grading and oracles; it
+// spans the generator's output range so normalized values use the full
+// [0,1] scale.
+var refScale = map[qos.MetricID][2]float64{
+	qos.ResponseTime: {50, 500},
+	qos.Availability: {0.4, 1},
+	qos.Accuracy:     {0, 1},
+	qos.Throughput:   {10, 100},
+	qos.Cost:         {1, 10},
+}
+
+// GradeScale returns the fixed normalizer used to turn raw observations
+// into [0,1] ratings. Fixed scales (rather than per-query populations)
+// keep honest consumers' grades comparable across rounds — the shared
+// "common ontology" understanding of Section 2.
+func GradeScale() *qos.Normalizer {
+	lo, hi := qos.Vector{}, qos.Vector{}
+	for m, r := range refScale {
+		lo[m], hi[m] = r[0], r[1]
+	}
+	return qos.NewNormalizer([]qos.Vector{lo, hi})
+}
+
+// ServiceSpec is one generated service: its public description (possibly
+// exaggerated) and its hidden behaviour.
+type ServiceSpec struct {
+	Desc     soa.Description
+	Behavior soa.Behavior
+	Tier     Tier
+	// Exaggerated marks dishonest advertising.
+	Exaggerated bool
+}
+
+// ServiceOptions configures generation.
+type ServiceOptions struct {
+	// N is the number of services (required).
+	N int
+	// Category is the functional category (default "compute").
+	Category string
+	// GoodFrac and BadFrac partition the population (default 0.3/0.3,
+	// remainder Medium).
+	GoodFrac, BadFrac float64
+	// ExaggerateFrac of services advertise Exaggeration better than truth.
+	ExaggerateFrac float64
+	// Exaggeration strength (default 0.5 = claims 50% better).
+	Exaggeration float64
+	// PortfolioSize is services per provider (default 1).
+	PortfolioSize int
+	// Jitter is per-invocation noise (default 0.08).
+	Jitter float64
+	// IDOffset offsets generated service/provider numbering so multiple
+	// populations can coexist.
+	IDOffset int
+}
+
+func (o *ServiceOptions) setDefaults() {
+	if o.Category == "" {
+		o.Category = "compute"
+	}
+	if o.GoodFrac == 0 && o.BadFrac == 0 {
+		o.GoodFrac, o.BadFrac = 0.3, 0.3
+	}
+	if o.Exaggeration == 0 {
+		o.Exaggeration = 0.5
+	}
+	if o.PortfolioSize <= 0 {
+		o.PortfolioSize = 1
+	}
+	if o.Jitter == 0 {
+		o.Jitter = 0.08
+	}
+}
+
+// tierTruth draws a ground-truth vector for a tier.
+func tierTruth(t Tier, rng *rand.Rand) qos.Vector {
+	u := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	switch t {
+	case Good:
+		return qos.Vector{
+			qos.ResponseTime: u(60, 150),
+			qos.Availability: u(0.93, 0.995),
+			qos.Accuracy:     u(0.85, 0.97),
+			qos.Throughput:   u(70, 95),
+			qos.Cost:         u(3, 7),
+		}
+	case Bad:
+		return qos.Vector{
+			qos.ResponseTime: u(320, 480),
+			qos.Availability: u(0.5, 0.75),
+			qos.Accuracy:     u(0.15, 0.45),
+			qos.Throughput:   u(12, 35),
+			qos.Cost:         u(3, 7),
+		}
+	default:
+		return qos.Vector{
+			qos.ResponseTime: u(180, 300),
+			qos.Availability: u(0.8, 0.92),
+			qos.Accuracy:     u(0.55, 0.8),
+			qos.Throughput:   u(40, 65),
+			qos.Cost:         u(3, 7),
+		}
+	}
+}
+
+// GenerateServices builds the service population deterministically from
+// rng. Tiers are assigned round-robin by the requested fractions so every
+// prefix of the population is representative.
+func GenerateServices(rng *rand.Rand, opts ServiceOptions) []ServiceSpec {
+	opts.setDefaults()
+	out := make([]ServiceSpec, 0, opts.N)
+	nGood := int(math.Round(opts.GoodFrac * float64(opts.N)))
+	nBad := int(math.Round(opts.BadFrac * float64(opts.N)))
+	nExaggerate := int(math.Round(opts.ExaggerateFrac * float64(opts.N)))
+	for i := 0; i < opts.N; i++ {
+		tier := Medium
+		switch {
+		case i < nGood:
+			tier = Good
+		case i < nGood+nBad:
+			tier = Bad
+		}
+		truth := tierTruth(tier, rng)
+		exaggerated := false
+		advertised := truth.Clone()
+		// Exaggerators are drawn from the worst services first — the ones
+		// with the most to gain, per the paper's incentive argument.
+		if nExaggerate > 0 && i >= opts.N-nExaggerate {
+			advertised = soa.Exaggerate(truth, opts.Exaggeration)
+			exaggerated = true
+		}
+		idx := opts.IDOffset + i + 1
+		provider := core.NewProviderID(opts.IDOffset + i/opts.PortfolioSize + 1)
+		spec := ServiceSpec{
+			Desc: soa.Description{
+				Service:    core.NewServiceID(idx),
+				Provider:   provider,
+				Name:       fmt.Sprintf("%s-%03d", opts.Category, idx),
+				Category:   opts.Category,
+				Operations: []soa.Operation{{Name: "Execute", Input: "request", Output: "response"}},
+				Advertised: advertised,
+				Endpoint:   fmt.Sprintf("sim://%s", core.NewServiceID(idx)),
+			},
+			Behavior:    soa.Behavior{True: truth, Jitter: opts.Jitter},
+			Tier:        tier,
+			Exaggerated: exaggerated,
+		}
+		out = append(out, spec)
+	}
+	return out
+}
+
+// GenerateSpecialists builds a population of trade-off services: each
+// service is independently strong or weak on every metric, so no service
+// dominates and consumers with different preferences genuinely prefer
+// different services. This is the population where personalization matters
+// (experiment C4); tier populations (GenerateServices) are where global
+// reputation suffices.
+func GenerateSpecialists(rng *rand.Rand, n int, category string) []ServiceSpec {
+	if category == "" {
+		category = "compute"
+	}
+	u := func(lo, hi float64) float64 { return lo + rng.Float64()*(hi-lo) }
+	pick := func(strongLo, strongHi, weakLo, weakHi float64) (float64, bool) {
+		if rng.Float64() < 0.5 {
+			return u(strongLo, strongHi), true
+		}
+		return u(weakLo, weakHi), false
+	}
+	out := make([]ServiceSpec, 0, n)
+	for i := 0; i < n; i++ {
+		rt, rtStrong := pick(60, 120, 350, 480)
+		av, avStrong := pick(0.95, 0.995, 0.62, 0.8)
+		acc, accStrong := pick(0.85, 0.97, 0.2, 0.5)
+		cost, costStrong := pick(1.2, 3, 7, 9.8)
+		truth := qos.Vector{
+			qos.ResponseTime: rt,
+			qos.Availability: av,
+			qos.Accuracy:     acc,
+			qos.Cost:         cost,
+			qos.Throughput:   u(40, 60),
+		}
+		strongs := 0
+		for _, s := range []bool{rtStrong, avStrong, accStrong, costStrong} {
+			if s {
+				strongs++
+			}
+		}
+		tier := Medium
+		switch {
+		case strongs >= 3:
+			tier = Good
+		case strongs <= 1:
+			tier = Bad
+		}
+		idx := i + 1
+		out = append(out, ServiceSpec{
+			Desc: soa.Description{
+				Service:    core.NewServiceID(idx),
+				Provider:   core.NewProviderID(idx),
+				Name:       fmt.Sprintf("%s-%03d", category, idx),
+				Category:   category,
+				Operations: []soa.Operation{{Name: "Execute", Input: "request", Output: "response"}},
+				Advertised: truth.Clone(),
+				Endpoint:   fmt.Sprintf("sim://%s", core.NewServiceID(idx)),
+			},
+			Behavior: soa.Behavior{True: truth, Jitter: 0.08},
+			Tier:     tier,
+		})
+	}
+	return out
+}
+
+// ConsumerSpec is one generated consumer.
+type ConsumerSpec struct {
+	ID    core.ConsumerID
+	Prefs qos.Preferences
+}
+
+// BasePreferences is the common-knowledge profile every consumer shares at
+// heterogeneity 0: "everyone prefers a short execution time and a low
+// price" (Section 3.1), plus dependability.
+func BasePreferences() qos.Preferences {
+	return qos.Preferences{
+		qos.ResponseTime: 1,
+		qos.Availability: 1,
+		qos.Accuracy:     1,
+		qos.Cost:         1,
+	}
+}
+
+// GenerateConsumers builds n consumers. heterogeneity in [0,1] blends each
+// consumer's weights between the shared base profile (0) and an individual
+// random profile (1).
+func GenerateConsumers(rng *rand.Rand, n int, heterogeneity float64) []ConsumerSpec {
+	heterogeneity = math.Max(0, math.Min(1, heterogeneity))
+	base := BasePreferences()
+	out := make([]ConsumerSpec, 0, n)
+	metrics := make([]qos.MetricID, 0, len(base))
+	for metric := range base {
+		metrics = append(metrics, metric)
+	}
+	// Draw weights in sorted metric order: pairing RNG draws with metrics
+	// through map iteration would differ between processes.
+	metrics = qos.SortIDs(metrics)
+	for i := 0; i < n; i++ {
+		prefs := qos.Preferences{}
+		for _, metric := range metrics {
+			individual := rng.Float64() * 2
+			prefs[metric] = (1-heterogeneity)*base[metric] + heterogeneity*individual
+		}
+		out = append(out, ConsumerSpec{ID: core.NewConsumerID(i + 1), Prefs: prefs})
+	}
+	return out
+}
+
+// Grade converts an observation into the honest facet ratings a consumer
+// with the given preferences would report: per-facet normalized values
+// plus an overall preference utility. Failed invocations rate overall 0.
+func Grade(obs qos.Observation, prefs qos.Preferences) map[core.Facet]float64 {
+	if !obs.Success {
+		return map[core.Facet]float64{core.FacetOverall: 0, qos.Availability: 0}
+	}
+	normalized := GradeScale().NormalizeVector(obs.Values)
+	ratings := make(map[core.Facet]float64, len(normalized)+1)
+	for metric, v := range normalized {
+		ratings[metric] = v
+	}
+	// The overall verdict of a SUCCESSFUL call excludes availability: a
+	// call that succeeded trivially "observed" availability 1, and counting
+	// it would inflate every up-but-awful service toward neutral. The
+	// availability signal enters through failed calls, which rate 0.
+	perCall := normalized.Clone()
+	delete(perCall, qos.Availability)
+	callPrefs := prefs.Clone()
+	delete(callPrefs, qos.Availability)
+	ratings[core.FacetOverall] = callPrefs.Utility(perCall)
+	return ratings
+}
+
+// TrueUtility is the oracle: the utility the consumer would experience
+// from the service's current ground truth, under the grading scale. The
+// availability is folded in as the expected success ratio.
+func TrueUtility(spec ServiceSpec, prefs qos.Preferences) float64 {
+	truth := spec.Behavior.True
+	normalized := GradeScale().NormalizeVector(truth)
+	u := prefs.Utility(normalized)
+	avail := 1.0
+	if a, ok := truth[qos.Availability]; ok {
+		avail = a
+	}
+	// A failed call yields utility 0, so expected utility scales with
+	// availability.
+	return u * avail
+}
+
+// BestUtility returns the maximum oracle utility over the population plus
+// the index achieving it.
+func BestUtility(specs []ServiceSpec, prefs qos.Preferences) (float64, int) {
+	best, bestIdx := math.Inf(-1), -1
+	for i, s := range specs {
+		if u := TrueUtility(s, prefs); u > best {
+			best, bestIdx = u, i
+		}
+	}
+	return best, bestIdx
+}
