@@ -1,0 +1,32 @@
+# wstrust build & CI entry points. `make ci` is the tier-1 gate: vet,
+# build, and full tests in one command; `make race` adds the race detector
+# (the parallel-runner determinism test sizes itself down automatically).
+
+GO ?= go
+
+.PHONY: all build vet test race bench bench-suite ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Package micro-benchmarks with allocation counts (Engine.Rank vs
+# RankSession, Scorer, mechanism benches).
+bench:
+	$(GO) test -bench . -benchmem ./internal/...
+
+# Whole-suite wall-clock: sequential vs parallel (speedup = seq/parallel).
+bench-suite:
+	$(GO) test -bench 'BenchmarkSuite' -benchtime 1x .
+
+ci: vet build test

@@ -11,12 +11,38 @@ package wstrust_test
 // fails if its experiment's measured shape stops matching the paper.
 
 import (
+	"runtime"
 	"testing"
 
 	"wstrust/internal/experiment"
 )
 
 const benchSeed = 42
+
+// benchmarkSuite runs the whole experiment suite per iteration, so the
+// sequential/parallel pair below measures the wall-clock payoff of
+// `wsxsim -parallel` directly (reports are byte-identical either way; see
+// experiment.RunAll). ns/op(sequential) ÷ ns/op(parallel) is the suite
+// speedup on this machine.
+func benchmarkSuite(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		for _, o := range experiment.RunAll(benchSeed, parallelism) {
+			if o.Err != nil {
+				b.Fatalf("%s: %v", o.Runner.ID, o.Err)
+			}
+			if !o.Report.Pass {
+				b.Fatalf("%s mismatched the paper's shape: %s", o.Runner.ID, o.Report.Shape)
+			}
+		}
+	}
+}
+
+// BenchmarkSuiteSequential is the full suite on one worker.
+func BenchmarkSuiteSequential(b *testing.B) { benchmarkSuite(b, 1) }
+
+// BenchmarkSuiteParallel fans the suite over all CPUs.
+func BenchmarkSuiteParallel(b *testing.B) { benchmarkSuite(b, runtime.NumCPU()) }
 
 func runExperiment(b *testing.B, id string, metrics ...string) {
 	b.Helper()

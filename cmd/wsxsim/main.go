@@ -5,10 +5,15 @@
 // Usage:
 //
 //	wsxsim                      # run everything
-//	wsxsim -experiment F4       # one experiment (F1..F4, C1..C9)
+//	wsxsim -experiment F4       # one experiment (F1..F4, C1..C10, A1..A5)
 //	wsxsim -seed 7              # change the simulation seed
+//	wsxsim -parallel 4          # fan independent experiments over 4 workers
 //	wsxsim -list                # list experiments
 //	wsxsim -json                # machine-readable output
+//
+// Experiments are independent seeded simulations, so -parallel N changes
+// only wall-clock time: reports are byte-identical to a sequential run at
+// the same seed, and are printed in suite order either way.
 //
 // The process exits non-zero if any executed experiment's measured shape
 // mismatches the paper's claim, so the suite doubles as a regression gate.
@@ -19,16 +24,18 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 
 	"wstrust/internal/experiment"
 )
 
 func main() {
 	var (
-		id     = flag.String("experiment", "all", "experiment id (F1..F4, C1..C9) or 'all'")
-		seed   = flag.Int64("seed", 42, "simulation seed")
-		list   = flag.Bool("list", false, "list experiments and exit")
-		asJSON = flag.Bool("json", false, "emit machine-readable JSON instead of text reports")
+		id       = flag.String("experiment", "all", "experiment id (F1..F4, C1..C10, A1..A5) or 'all'")
+		seed     = flag.Int64("seed", 42, "simulation seed")
+		parallel = flag.Int("parallel", 1, "worker count for independent experiments (0 = all CPUs); results stay byte-identical to sequential")
+		list     = flag.Bool("list", false, "list experiments and exit")
+		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text reports")
 	)
 	flag.Parse()
 
@@ -48,17 +55,22 @@ func main() {
 		}
 		runners = []experiment.Runner{r}
 	}
+	if *parallel == 0 {
+		*parallel = runtime.NumCPU()
+	}
+
+	outcomes := experiment.RunSuite(runners, *seed, *parallel)
 
 	failures := 0
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
-	for _, r := range runners {
-		rep, err := r.Run(*seed)
-		if err != nil {
-			fmt.Fprintf(os.Stderr, "%s failed: %v\n", r.ID, err)
+	for _, o := range outcomes {
+		if o.Err != nil {
+			fmt.Fprintf(os.Stderr, "%s failed: %v\n", o.Runner.ID, o.Err)
 			failures++
 			continue
 		}
+		rep := o.Report
 		if *asJSON {
 			if err := enc.Encode(struct {
 				ID    string             `json:"id"`

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"testing"
 
 	"wstrust/internal/qos"
@@ -16,27 +17,57 @@ func (m benchMech) Score(q Query) (TrustValue, bool) {
 	return tv, ok
 }
 
-// BenchmarkEngineRank measures ranking over candidate sets of the size the
-// experiments use.
+func benchFixture(n int) (benchMech, []Candidate, qos.Preferences) {
+	mech := benchMech{scores: map[EntityID]TrustValue{}}
+	cands := make([]Candidate, n)
+	for i := range cands {
+		id := NewServiceID(i)
+		cands[i] = Candidate{
+			Service: id, Provider: NewProviderID(i),
+			Advertised: qos.Vector{
+				qos.ResponseTime: float64(100 + i%379),
+				qos.Availability: 0.5 + float64(i%5)/10,
+				qos.Cost:         float64(1 + i%9),
+			},
+		}
+		mech.scores[id] = TrustValue{Score: float64(i%10) / 10, Confidence: 0.8}
+	}
+	prefs := qos.Preferences{qos.ResponseTime: 2, qos.Availability: 1, qos.Cost: 1}
+	return mech, cands, prefs
+}
+
+// BenchmarkEngineRank measures the one-shot ranking path, which rebuilds
+// the normalizer and re-normalizes every advertised vector per call, over
+// candidate sets up to production-registry size.
 func BenchmarkEngineRank(b *testing.B) {
-	for _, n := range []int{10, 50, 200} {
-		n := n
-		b.Run(map[int]string{10: "10", 50: "50", 200: "200"}[n], func(b *testing.B) {
-			mech := benchMech{scores: map[EntityID]TrustValue{}}
-			cands := make([]Candidate, n)
-			for i := range cands {
-				id := NewServiceID(i)
-				cands[i] = Candidate{
-					Service: id, Provider: NewProviderID(i),
-					Advertised: qos.Vector{qos.ResponseTime: float64(100 + i)},
-				}
-				mech.scores[id] = TrustValue{Score: float64(i%10) / 10, Confidence: 0.8}
-			}
+	for _, n := range []int{10, 50, 200, 1000} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			mech, cands, prefs := benchFixture(n)
 			e := NewEngine(mech, simclock.NewRand(1))
-			prefs := qos.NewUniformPreferences(qos.ResponseTime)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = e.Rank("c001", prefs, cands)
+			}
+		})
+	}
+}
+
+// BenchmarkRankSession measures the prepared-candidates path against the
+// same sets: the normalizer, normalized vectors and output buffer are
+// reused, so the allocation delta vs BenchmarkEngineRank is the payoff of
+// session reuse on an unchanged candidate set.
+func BenchmarkRankSession(b *testing.B) {
+	for _, n := range []int{10, 50, 200, 1000} {
+		b.Run(fmt.Sprint(n), func(b *testing.B) {
+			mech, cands, prefs := benchFixture(n)
+			e := NewEngine(mech, simclock.NewRand(1))
+			s := e.NewRankSession(cands)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.SetCandidates(cands)
+				_ = s.Rank("c001", prefs)
 			}
 		})
 	}

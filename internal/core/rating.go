@@ -68,6 +68,17 @@ func (f Feedback) Validate() error {
 	return nil
 }
 
+// sortedFacets returns the feedback's rated facets in sorted order. Sorted
+// iteration keeps floating-point accumulation and record order
+// process-independent; map order would not be.
+func (f Feedback) sortedFacets() []Facet {
+	facets := make([]Facet, 0, len(f.Ratings))
+	for facet := range f.Ratings {
+		facets = append(facets, facet)
+	}
+	return qos.SortIDs(facets)
+}
+
 // Overall returns the consumer's combined verdict: the FacetOverall rating
 // if present, otherwise the unweighted mean of the facet ratings, otherwise
 // 1/0 by invocation success.
@@ -76,14 +87,8 @@ func (f Feedback) Overall() float64 {
 		return v
 	}
 	if len(f.Ratings) > 0 {
-		// Sum in sorted facet order: map-order floating-point accumulation
-		// would make the overall rating process-dependent.
-		facets := make([]Facet, 0, len(f.Ratings))
-		for facet := range f.Ratings {
-			facets = append(facets, facet)
-		}
 		sum := 0.0
-		for _, facet := range qos.SortIDs(facets) {
+		for _, facet := range f.sortedFacets() {
 			sum += f.Ratings[facet]
 		}
 		return sum / float64(len(f.Ratings))
@@ -97,12 +102,9 @@ func (f Feedback) Overall() float64 {
 // RatingsOf flattens the feedback into per-facet Rating records about the
 // service, for mechanisms that consume plain ratings.
 func (f Feedback) RatingsOf() []Rating {
-	facets := make([]Facet, 0, len(f.Ratings))
-	for facet := range f.Ratings {
-		facets = append(facets, facet)
-	}
+	facets := f.sortedFacets()
 	out := make([]Rating, 0, len(facets))
-	for _, facet := range qos.SortIDs(facets) {
+	for _, facet := range facets {
 		out = append(out, Rating{
 			Rater:   f.Consumer,
 			Subject: f.Service,

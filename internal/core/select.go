@@ -102,6 +102,10 @@ type Engine struct {
 
 	providerBootstrap  bool
 	advertisedFallback bool
+
+	// softmaxBuf is reused across softmaxPick calls to avoid per-selection
+	// weight allocations.
+	softmaxBuf []float64
 }
 
 // NewEngine builds a selection engine over mech. rng drives the stochastic
@@ -135,9 +139,15 @@ func (e *Engine) Rank(consumer ConsumerID, prefs qos.Preferences, cands []Candid
 		pop = append(pop, c.Advertised)
 	}
 	norm := qos.NewNormalizer(pop)
+	return e.rankInto(make([]Ranked, 0, len(cands)), consumer, prefs, cands, norm, nil)
+}
 
-	out := make([]Ranked, 0, len(cands))
-	for _, c := range cands {
+// rankInto scores cands into dst (reusing its capacity) and sorts it
+// best-first. normAdv, when non-nil, holds each candidate's pre-normalized
+// advertised vector; otherwise vectors are normalized per call via norm.
+func (e *Engine) rankInto(dst []Ranked, consumer ConsumerID, prefs qos.Preferences, cands []Candidate, norm *qos.Normalizer, normAdv []qos.Vector) []Ranked {
+	scorer := prefs.Scorer()
+	for i, c := range cands {
 		tv, known := e.mech.Score(Query{
 			Perspective: consumer,
 			Subject:     c.Service,
@@ -163,17 +173,23 @@ func (e *Engine) Rank(consumer ConsumerID, prefs qos.Preferences, cands []Candid
 				}
 			}
 		}
-		util := prefs.Utility(norm.NormalizeVector(c.Advertised))
-		score := e.combine(tv, util, known)
-		out = append(out, Ranked{Candidate: c, Trust: tv.Clamp(), Utility: util, Score: score})
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Score != out[j].Score {
-			return out[i].Score > out[j].Score
+		var nv qos.Vector
+		if normAdv != nil {
+			nv = normAdv[i]
+		} else {
+			nv = norm.NormalizeVector(c.Advertised)
 		}
-		return out[i].Service < out[j].Service
+		util := scorer.Utility(nv)
+		score := e.combine(tv, util, known)
+		dst = append(dst, Ranked{Candidate: c, Trust: tv.Clamp(), Utility: util, Score: score})
+	}
+	sort.Slice(dst, func(i, j int) bool {
+		if dst[i].Score != dst[j].Score {
+			return dst[i].Score > dst[j].Score
+		}
+		return dst[i].Service < dst[j].Service
 	})
-	return out
+	return dst
 }
 
 // combine merges trust and advertised utility. Trust dominates as evidence
@@ -199,18 +215,25 @@ func (e *Engine) Select(consumer ConsumerID, prefs qos.Preferences, cands []Cand
 	if len(ranked) == 0 {
 		return Ranked{}, nil, fmt.Errorf("core: no candidates to select from")
 	}
+	return ranked[e.pick(ranked)], ranked, nil
+}
+
+// pick applies the configured policy to a non-empty best-first ranking and
+// returns the chosen index. It is the single place policies consume RNG
+// draws, so Engine.Select and RankSession.Select stay bit-identical.
+func (e *Engine) pick(ranked []Ranked) int {
 	switch e.policy {
 	case PolicyEpsilonGreedy:
 		if e.rng.Float64() < e.epsilon {
-			return ranked[e.rng.Intn(len(ranked))], ranked, nil
+			return e.rng.Intn(len(ranked))
 		}
-		return ranked[0], ranked, nil
+		return 0
 	case PolicySoftmax:
-		return ranked[e.softmaxPick(ranked)], ranked, nil
+		return e.softmaxPick(ranked)
 	case PolicyUCB:
-		return ranked[e.ucbPick(ranked)], ranked, nil
+		return e.ucbPick(ranked)
 	default:
-		return ranked[0], ranked, nil
+		return 0
 	}
 }
 
@@ -232,7 +255,10 @@ func (e *Engine) softmaxPick(ranked []Ranked) int {
 	if tau <= 0 {
 		tau = 1e-6
 	}
-	weights := make([]float64, len(ranked))
+	if cap(e.softmaxBuf) < len(ranked) {
+		e.softmaxBuf = make([]float64, len(ranked))
+	}
+	weights := e.softmaxBuf[:len(ranked)]
 	maxScore := ranked[0].Score
 	total := 0.0
 	for i, r := range ranked {
@@ -247,4 +273,78 @@ func (e *Engine) softmaxPick(ranked []Ranked) int {
 		}
 	}
 	return len(ranked) - 1
+}
+
+// RankSession amortizes ranking over repeated calls against the same
+// candidate set: the QoS normalizer, each candidate's normalized advertised
+// vector, and the output buffer are computed once and reused until the set
+// changes. Per-call work drops to the trust queries plus the sort, and
+// per-call allocations drop to (amortized) zero — the selection-loop hot
+// path the experiments spend most of their time in.
+//
+// A session is bound to one Engine and, like the Engine, is not safe for
+// concurrent use. Rankings returned by Rank/Select alias an internal buffer
+// that the next Rank/Select call overwrites; copy them to retain.
+type RankSession struct {
+	engine  *Engine
+	cands   []Candidate
+	norm    *qos.Normalizer
+	normAdv []qos.Vector
+	scratch []Ranked
+}
+
+// NewRankSession prepares a session over cands (which may be nil or empty;
+// install a real set later with SetCandidates).
+func (e *Engine) NewRankSession(cands []Candidate) *RankSession {
+	s := &RankSession{engine: e}
+	s.SetCandidates(cands)
+	return s
+}
+
+// SetCandidates installs the candidate set, recomputing the prepared state
+// only when the set actually changed. Identity of the slice header (base
+// pointer + length) is the change check, so callers that cache candidate
+// slices — e.g. a registry view that returns the same slice until a
+// publish — get the fast path for free. Callers that mutate candidates in
+// place must pass a freshly built slice.
+func (s *RankSession) SetCandidates(cands []Candidate) {
+	if s.norm != nil && len(cands) == len(s.cands) &&
+		(len(cands) == 0 || &cands[0] == &s.cands[0]) {
+		return
+	}
+	s.cands = cands
+	pop := make([]qos.Vector, 0, len(cands))
+	for _, c := range cands {
+		pop = append(pop, c.Advertised)
+	}
+	s.norm = qos.NewNormalizer(pop)
+	s.normAdv = s.normAdv[:0]
+	for _, c := range cands {
+		s.normAdv = append(s.normAdv, s.norm.NormalizeVector(c.Advertised))
+	}
+}
+
+// Candidates returns the currently installed candidate set.
+func (s *RankSession) Candidates() []Candidate { return s.cands }
+
+// Rank scores the prepared candidates for the consumer, sorted best-first;
+// results are bit-identical to Engine.Rank on the same set. The returned
+// slice is reused by the next Rank/Select call.
+func (s *RankSession) Rank(consumer ConsumerID, prefs qos.Preferences) []Ranked {
+	if len(s.cands) == 0 {
+		return nil
+	}
+	s.scratch = s.engine.rankInto(s.scratch[:0], consumer, prefs, s.cands, s.norm, s.normAdv)
+	return s.scratch
+}
+
+// Select ranks the prepared candidates and applies the engine's policy,
+// mirroring Engine.Select (same RNG draws, same choice). The returned
+// ranking aliases the session buffer; see Rank.
+func (s *RankSession) Select(consumer ConsumerID, prefs qos.Preferences) (Ranked, []Ranked, error) {
+	ranked := s.Rank(consumer, prefs)
+	if len(ranked) == 0 {
+		return Ranked{}, nil, fmt.Errorf("core: no candidates to select from")
+	}
+	return ranked[s.engine.pick(ranked)], ranked, nil
 }

@@ -84,8 +84,7 @@ func C7(seed int64) (Report, error) {
 			if err := env.Fabric.Register(s.Desc, s.Behavior); err != nil {
 				return Report{}, err
 			}
-			env.Specs = append(env.Specs, s)
-			env.specByID[s.Desc.Service] = s
+			env.AddSpec(s)
 		}
 		// Immediate ranking of just the two newcomers.
 		engine := core.NewEngine(mech, simclock.Stream(seed, fmt.Sprintf("c7-%v", bootstrap)), opts...)
@@ -229,8 +228,7 @@ func C9(seed int64) (Report, error) {
 		if err := env.Fabric.Register(phoenix.Desc, phoenix.Behavior); err != nil {
 			return 0, err
 		}
-		env.Specs = append(env.Specs, phoenix)
-		env.specByID[phoenix.Desc.Service] = phoenix
+		env.AddSpec(phoenix)
 
 		mech := beta.New(beta.WithHalfLife(3 * RoundDuration))
 		var explorer *monitor.Explorer

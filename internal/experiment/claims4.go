@@ -57,12 +57,7 @@ func C10(seed int64) (Report, error) {
 				}
 				spec := s
 				spec.Behavior = decayed
-				env.specByID[s.Desc.Service] = spec
-				for i := range env.Specs {
-					if env.Specs[i].Desc.Service == s.Desc.Service {
-						env.Specs[i] = spec
-					}
-				}
+				env.ReplaceSpec(spec)
 			}
 		}
 

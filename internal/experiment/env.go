@@ -22,16 +22,41 @@ import (
 // RoundDuration is the simulated time between selection rounds.
 const RoundDuration = time.Hour
 
-// Env is one complete simulated marketplace.
+// Env is one complete simulated marketplace. Like the selection loop that
+// drives it, an Env is single-goroutine; parallel suite runs give every
+// experiment its own Env.
 type Env struct {
-	Clock     *simclock.Virtual
-	Rng       *rand.Rand
-	Fabric    *soa.Fabric
+	Clock  *simclock.Virtual
+	Rng    *rand.Rand
+	Fabric *soa.Fabric
+	// Specs is the ground-truth service population. Mutate it through
+	// AddSpec/ReplaceSpec so the oracle caches stay coherent.
 	Specs     []workload.ServiceSpec
 	Consumers []workload.ConsumerSpec
 	Liars     attack.Assignment
 
 	specByID map[core.ServiceID]workload.ServiceSpec
+
+	// candCache holds per-category candidate sets, valid while the UDDI
+	// version is unchanged; candVersion is the version it was built at.
+	candCache   map[string][]core.Candidate
+	candVersion int64
+
+	// oracle memoizes bestFor per (preference fingerprint, category);
+	// specsGen invalidates it when the spec population changes.
+	oracle   map[oracleKey]oracleEntry
+	specsGen int64
+}
+
+type oracleKey struct {
+	prefs    string
+	category string
+}
+
+type oracleEntry struct {
+	gen  int64
+	best float64
+	id   core.ServiceID
 }
 
 // EnvConfig parameterizes environment construction.
@@ -90,15 +115,48 @@ func (e *Env) Spec(id core.ServiceID) (workload.ServiceSpec, bool) {
 	return s, ok
 }
 
+// AddSpec adds a service to the ground-truth population (the service must
+// already be registered on the fabric) and invalidates the oracle caches.
+func (e *Env) AddSpec(s workload.ServiceSpec) {
+	e.Specs = append(e.Specs, s)
+	e.specByID[s.Desc.Service] = s
+	e.specsGen++
+}
+
+// ReplaceSpec swaps the stored ground truth for an already-known service
+// and invalidates the oracle caches.
+func (e *Env) ReplaceSpec(s workload.ServiceSpec) {
+	for i := range e.Specs {
+		if e.Specs[i].Desc.Service == s.Desc.Service {
+			e.Specs[i] = s
+		}
+	}
+	e.specByID[s.Desc.Service] = s
+	e.specsGen++
+}
+
 // Candidates returns the selection candidates (every published service in
-// the category; empty category = all).
+// the category; empty category = all). The result is cached per category
+// and reused until the registry changes — selection loops call this once
+// per consumer per round, and rebuilding the set dominated their profiles.
+// The returned slice is shared: callers must not mutate it. Reuse of the
+// same backing array also lets core.RankSession detect an unchanged set by
+// identity and skip re-normalizing.
 func (e *Env) Candidates(category string) []core.Candidate {
+	if v := e.Fabric.UDDI().Version(); e.candCache == nil || v != e.candVersion {
+		e.candCache = map[string][]core.Candidate{}
+		e.candVersion = v
+	}
+	if out, ok := e.candCache[category]; ok {
+		return out
+	}
 	var out []core.Candidate
 	for _, d := range e.Fabric.UDDI().All() {
 		if category == "" || d.Category == category {
 			out = append(out, d.Candidate())
 		}
 	}
+	e.candCache[category] = out
 	return out
 }
 

@@ -1,0 +1,7 @@
+//go:build race
+
+package experiment
+
+// raceEnabled reports whether the race detector is compiled in; tests use
+// it to size suite runs so `go test -race` stays tractable.
+const raceEnabled = true

@@ -3,6 +3,8 @@ package experiment
 import (
 	"fmt"
 	"math"
+	"strconv"
+	"strings"
 
 	"wstrust/internal/attack"
 	"wstrust/internal/core"
@@ -42,9 +44,6 @@ type RunOptions struct {
 	SubmitTo func(core.Feedback) error
 	// OnRound runs after each round (explorer sweeps, behaviour switches).
 	OnRound func(round int)
-	// PerspectiveQueries makes the engine query with each consumer's
-	// perspective (default true; the engine handles it automatically).
-	_ struct{}
 }
 
 // Run drives the marketplace: each round every consumer selects a service
@@ -59,6 +58,10 @@ func (e *Env) Run(mech core.Mechanism, opts RunOptions) (RunResult, error) {
 		submit = mech.Submit
 	}
 	engine := core.NewEngine(mech, e.Rng, opts.EngineOpts...)
+	// The candidate set only changes when the registry does, so rank
+	// through a session: Env.Candidates returns the same cached slice until
+	// a publish, and the session re-normalizes only on a new slice.
+	session := engine.NewRankSession(nil)
 
 	res := RunResult{RegretSeries: make([]float64, 0, opts.Rounds)}
 	hits, selections := 0, 0
@@ -73,7 +76,8 @@ func (e *Env) Run(mech core.Mechanism, opts RunOptions) (RunResult, error) {
 			if len(cands) == 0 {
 				return res, fmt.Errorf("experiment: no candidates in category %q", opts.Category)
 			}
-			chosen, _, err := engine.Select(consumer.ID, consumer.Prefs, cands)
+			session.SetCandidates(cands)
+			chosen, _, err := session.Select(consumer.ID, consumer.Prefs)
 			if err != nil {
 				return res, err
 			}
@@ -144,8 +148,17 @@ func (e *Env) Run(mech core.Mechanism, opts RunOptions) (RunResult, error) {
 	return res, nil
 }
 
-// bestFor returns the best oracle utility among published candidates.
+// bestFor returns the best oracle utility among published candidates. The
+// scan over the spec population is memoized per (preference profile,
+// category): the selection loop calls bestFor once per consumer per round,
+// but consumers keep their profiles and the ground truth only changes
+// through AddSpec/ReplaceSpec, so the O(rounds × consumers × services)
+// oracle recompute collapses to one pass per distinct profile.
 func (e *Env) bestFor(prefs qos.Preferences, category string) (float64, core.ServiceID) {
+	key := oracleKey{prefs: prefsFingerprint(prefs), category: category}
+	if hit, ok := e.oracle[key]; ok && hit.gen == e.specsGen {
+		return hit.best, hit.id
+	}
 	best, id := math.Inf(-1), core.ServiceID("")
 	for _, s := range e.Specs {
 		if category != "" && s.Desc.Category != category {
@@ -155,7 +168,29 @@ func (e *Env) bestFor(prefs qos.Preferences, category string) (float64, core.Ser
 			best, id = u, s.Desc.Service
 		}
 	}
+	if e.oracle == nil {
+		e.oracle = map[oracleKey]oracleEntry{}
+	}
+	e.oracle[key] = oracleEntry{gen: e.specsGen, best: best, id: id}
 	return best, id
+}
+
+// prefsFingerprint renders a preference profile as a canonical string key:
+// sorted metric order, exact (bit-preserving) weight encoding. Profiles
+// with equal fingerprints yield identical utilities for every spec.
+func prefsFingerprint(prefs qos.Preferences) string {
+	ids := make([]qos.MetricID, 0, len(prefs))
+	for id := range prefs {
+		ids = append(ids, id)
+	}
+	var b strings.Builder
+	for _, id := range qos.SortIDs(ids) {
+		b.WriteString(string(id))
+		b.WriteByte('=')
+		b.WriteString(strconv.FormatFloat(prefs[id], 'x', -1, 64))
+		b.WriteByte(';')
+	}
+	return b.String()
 }
 
 // scoreMAE compares global mechanism scores to true utilities under the

@@ -1,0 +1,57 @@
+package experiment
+
+import "sync"
+
+// Outcome is one experiment's result within a suite run.
+type Outcome struct {
+	Runner Runner
+	Report Report
+	Err    error
+}
+
+// RunAll executes every experiment in All() at the given seed, fanning the
+// independent runs out over at most parallelism workers (parallelism < 1
+// and 1 both run sequentially, in the caller's goroutine).
+//
+// Determinism: each experiment builds its own Env — clock, fabric, seeded
+// RNG streams — and shares no mutable state with the others, so the report
+// for every experiment is byte-identical to a sequential run at the same
+// seed regardless of parallelism or scheduling. Outcomes are returned in
+// All() order.
+func RunAll(seed int64, parallelism int) []Outcome {
+	return RunSuite(All(), seed, parallelism)
+}
+
+// RunSuite is RunAll over an explicit runner list.
+func RunSuite(runners []Runner, seed int64, parallelism int) []Outcome {
+	out := make([]Outcome, len(runners))
+	if parallelism > len(runners) {
+		parallelism = len(runners)
+	}
+	if parallelism <= 1 {
+		for i, r := range runners {
+			rep, err := r.Run(seed)
+			out[i] = Outcome{Runner: r, Report: rep, Err: err}
+		}
+		return out
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				rep, err := runners[i].Run(seed)
+				out[i] = Outcome{Runner: runners[i], Report: rep, Err: err}
+			}
+		}()
+	}
+	for i := range runners {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return out
+}

@@ -1,0 +1,161 @@
+package experiment
+
+import (
+	"errors"
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/soa"
+	"wstrust/internal/workload"
+)
+
+var errTest = errors.New("boom")
+
+func newCacheEnv(t *testing.T) *Env {
+	t.Helper()
+	env, err := NewEnv(EnvConfig{
+		Seed:      11,
+		Services:  workload.ServiceOptions{N: 8, Category: "compute"},
+		Consumers: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+// perfectSpec is a service at the top of every metric's grade scale.
+func perfectSpec(id string) workload.ServiceSpec {
+	truth := qos.Vector{
+		qos.ResponseTime: 50, qos.Availability: 1,
+		qos.Accuracy: 1, qos.Throughput: 100, qos.Cost: 1,
+	}
+	return workload.ServiceSpec{
+		Desc: soa.Description{
+			Service: core.ServiceID(id), Provider: "p-star", Name: id, Category: "compute",
+			Operations: []soa.Operation{{Name: "Execute"}}, Advertised: truth.Clone(),
+		},
+		Behavior: soa.Behavior{True: truth},
+		Tier:     workload.Good,
+	}
+}
+
+// fastSuite is the subset of runners cheap enough to execute twice under
+// the race detector. It deliberately includes the registry-mutating
+// experiments (C9 registers mid-market, C10 deregisters and re-registers,
+// A4 churns the overlay) so the candidate-cache invalidation path runs
+// under -race too.
+func fastSuite(t *testing.T) []Runner {
+	t.Helper()
+	ids := []string{"C3", "C6", "C7", "C8", "C9", "C10", "A1", "A2", "A3", "A4", "A5"}
+	out := make([]Runner, 0, len(ids))
+	for _, id := range ids {
+		r, err := ByID(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, r)
+	}
+	return out
+}
+
+// TestRunAllParallelMatchesSequential is the determinism guarantee behind
+// `wsxsim -parallel`: every experiment owns its Env and seeded RNG streams,
+// so a parallel suite run must render per-experiment reports byte-identical
+// to the sequential run at the same seed. Under the race detector (or
+// -short) it runs the fast subset; otherwise the full suite.
+func TestRunAllParallelMatchesSequential(t *testing.T) {
+	const seed = 42
+	var seq, par []Outcome
+	if raceEnabled || testing.Short() {
+		runners := fastSuite(t)
+		seq = RunSuite(runners, seed, 1)
+		par = RunSuite(runners, seed, 4)
+	} else {
+		seq = RunAll(seed, 1)
+		par = RunAll(seed, 4)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("outcome counts differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i].Runner.ID != par[i].Runner.ID {
+			t.Fatalf("outcome %d ordering differs: %s vs %s", i, seq[i].Runner.ID, par[i].Runner.ID)
+		}
+		if (seq[i].Err == nil) != (par[i].Err == nil) {
+			t.Fatalf("%s: error mismatch: %v vs %v", seq[i].Runner.ID, seq[i].Err, par[i].Err)
+		}
+		if seq[i].Err != nil {
+			t.Fatalf("%s: failed: %v", seq[i].Runner.ID, seq[i].Err)
+		}
+		if got, want := par[i].Report.String(), seq[i].Report.String(); got != want {
+			t.Errorf("%s: parallel report differs from sequential.\nsequential:\n%s\nparallel:\n%s",
+				seq[i].Runner.ID, want, got)
+		}
+	}
+}
+
+// TestRunSuiteWorkerCapAndErrors checks the pool clamps parallelism and
+// reports per-runner errors in order.
+func TestRunSuiteWorkerCapAndErrors(t *testing.T) {
+	boom := Runner{ID: "X1", Desc: "always fails", Run: func(int64) (Report, error) {
+		return Report{}, errTest
+	}}
+	okRun := Runner{ID: "X2", Desc: "always passes", Run: func(int64) (Report, error) {
+		return Report{ID: "X2", Pass: true}, nil
+	}}
+	outs := RunSuite([]Runner{boom, okRun}, 1, 64) // far more workers than jobs
+	if len(outs) != 2 {
+		t.Fatalf("outcomes = %d", len(outs))
+	}
+	if outs[0].Err == nil || outs[0].Runner.ID != "X1" {
+		t.Fatalf("first outcome should carry the failure: %+v", outs[0])
+	}
+	if outs[1].Err != nil || outs[1].Report.ID != "X2" {
+		t.Fatalf("second outcome should pass: %+v", outs[1])
+	}
+}
+
+// TestCandidatesCacheInvalidation covers the registry-version invalidation
+// behind Env.Candidates: the cached slice is reused while the registry is
+// quiet and rebuilt after any publish or unpublish.
+func TestCandidatesCacheInvalidation(t *testing.T) {
+	env := newCacheEnv(t)
+	a := env.Candidates("compute")
+	b := env.Candidates("compute")
+	if len(a) == 0 || len(a) != len(b) || &a[0] != &b[0] {
+		t.Fatal("unchanged registry should return the cached candidate slice")
+	}
+	env.Fabric.Deregister(a[0].Service)
+	c := env.Candidates("compute")
+	if len(c) != len(a)-1 {
+		t.Fatalf("after deregister: %d candidates, want %d", len(c), len(a)-1)
+	}
+	for _, cand := range c {
+		if cand.Service == a[0].Service {
+			t.Fatal("deregistered service still in candidate set")
+		}
+	}
+}
+
+// TestBestForMemoInvalidation covers the oracle memo: AddSpec must
+// invalidate the cached best utility.
+func TestBestForMemoInvalidation(t *testing.T) {
+	env := newCacheEnv(t)
+	prefs := env.Consumers[0].Prefs
+	before, _ := env.bestFor(prefs, "compute")
+	if again, _ := env.bestFor(prefs, "compute"); again != before {
+		t.Fatalf("memoized bestFor changed without a spec change: %g vs %g", again, before)
+	}
+	// A clearly dominant newcomer must displace the cached best.
+	star := perfectSpec("s-star")
+	if err := env.Fabric.Register(star.Desc, star.Behavior); err != nil {
+		t.Fatal(err)
+	}
+	env.AddSpec(star)
+	after, id := env.bestFor(prefs, "compute")
+	if id != "s-star" || after <= before {
+		t.Fatalf("bestFor ignored new dominant spec: best=%g id=%s (was %g)", after, id, before)
+	}
+}

@@ -18,8 +18,23 @@ func BenchmarkNormalizeVector(b *testing.B) {
 func BenchmarkUtility(b *testing.B) {
 	p := Preferences{ResponseTime: 2, Availability: 1, Cost: 1, Accuracy: 3}
 	v := Vector{ResponseTime: 0.8, Availability: 0.9, Cost: 0.4, Accuracy: 0.7}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = p.Utility(v)
+	}
+}
+
+// BenchmarkScorerUtility is the amortized path selection engines use: the
+// sorted iteration order is built once, so repeated scoring against one
+// profile allocates nothing.
+func BenchmarkScorerUtility(b *testing.B) {
+	p := Preferences{ResponseTime: 2, Availability: 1, Cost: 1, Accuracy: 3}
+	v := Vector{ResponseTime: 0.8, Availability: 0.9, Cost: 0.4, Accuracy: 0.7}
+	s := p.Scorer()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = s.Utility(v)
 	}
 }

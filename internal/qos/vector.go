@@ -165,10 +165,33 @@ func (p Preferences) Validate() error {
 // Metrics missing from the vector contribute the neutral 0.5, so a service
 // that does not advertise a metric is neither rewarded nor punished for it.
 func (p Preferences) Utility(normalized Vector) float64 {
-	// Accumulation follows sorted key order: floating-point addition is not
-	// associative, and map-order sums would make utilities (hence rankings)
-	// differ between processes.
-	if len(p) == 0 {
+	return p.Scorer().Utility(normalized)
+}
+
+// Scorer evaluates Utility repeatedly for one preference profile. It pays
+// the sorted-metric iteration order (floating-point addition is not
+// associative, so a stable order keeps utilities process-independent) once
+// at construction instead of once per candidate, which matters when a
+// selection engine scores hundreds of candidates against the same profile.
+// Results are bit-identical to Preferences.Utility. A Scorer is read-only
+// after construction; the profile must not be mutated while in use.
+type Scorer struct {
+	prefs Preferences
+	ids   []MetricID
+}
+
+// Scorer precomputes the iteration order for p.
+func (p Preferences) Scorer() Scorer {
+	ids := make([]MetricID, 0, len(p))
+	for id := range p {
+		ids = append(ids, id)
+	}
+	return Scorer{prefs: p, ids: SortIDs(ids)}
+}
+
+// Utility scores one normalized vector; see Preferences.Utility.
+func (s Scorer) Utility(normalized Vector) float64 {
+	if len(s.prefs) == 0 {
 		// No expressed preference: plain mean of whatever is present.
 		if len(normalized) == 0 {
 			return 0.5
@@ -179,13 +202,9 @@ func (p Preferences) Utility(normalized Vector) float64 {
 		}
 		return sum / float64(len(normalized))
 	}
-	ids := make([]MetricID, 0, len(p))
-	for id := range p {
-		ids = append(ids, id)
-	}
 	var num, den float64
-	for _, id := range SortIDs(ids) {
-		w := p[id]
+	for _, id := range s.ids {
+		w := s.prefs[id]
 		if w == 0 {
 			continue
 		}

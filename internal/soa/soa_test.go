@@ -176,6 +176,27 @@ func TestUDDIPublishFindGet(t *testing.T) {
 	}
 }
 
+func TestUDDIVersion(t *testing.T) {
+	u := NewUDDI()
+	if u.Version() != 0 {
+		t.Fatalf("fresh registry version = %d", u.Version())
+	}
+	if err := u.Publish(sampleDescription()); err != nil {
+		t.Fatal(err)
+	}
+	afterPublish := u.Version()
+	if afterPublish == 0 {
+		t.Fatal("Publish did not bump version")
+	}
+	if u.Version() != afterPublish {
+		t.Fatal("read-only calls must not bump version")
+	}
+	u.Unpublish("s001")
+	if u.Version() <= afterPublish {
+		t.Fatal("Unpublish did not bump version")
+	}
+}
+
 func TestUDDIPublishInvalid(t *testing.T) {
 	u := NewUDDI()
 	if err := u.Publish(Description{}); err == nil {

@@ -21,6 +21,7 @@ import (
 type UDDI struct {
 	mu       sync.RWMutex
 	byID     map[core.ServiceID]Description
+	version  int64
 	publishN int64
 	findN    int64
 }
@@ -38,6 +39,7 @@ func (u *UDDI) Publish(d Description) error {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	u.byID[d.Service] = d
+	u.version++
 	u.publishN++
 	return nil
 }
@@ -48,6 +50,16 @@ func (u *UDDI) Unpublish(id core.ServiceID) {
 	u.mu.Lock()
 	defer u.mu.Unlock()
 	delete(u.byID, id)
+	u.version++
+}
+
+// Version is a monotonically increasing counter bumped by every Publish and
+// Unpublish. Callers that cache query results (candidate sets, catalog
+// views) compare versions to invalidate without re-reading the registry.
+func (u *UDDI) Version() int64 {
+	u.mu.RLock()
+	defer u.mu.RUnlock()
+	return u.version
 }
 
 // Get returns the description for id.

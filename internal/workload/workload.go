@@ -52,16 +52,24 @@ var refScale = map[qos.MetricID][2]float64{
 	qos.Cost:         {1, 10},
 }
 
-// GradeScale returns the fixed normalizer used to turn raw observations
-// into [0,1] ratings. Fixed scales (rather than per-query populations)
-// keep honest consumers' grades comparable across rounds — the shared
-// "common ontology" understanding of Section 2.
-func GradeScale() *qos.Normalizer {
+// gradeScale is built once: the scale is fixed, the Normalizer is read-only
+// after construction, and grading sits on the per-feedback hot path —
+// rebuilding it per call dominated Grade and TrueUtility profiles.
+var gradeScale = func() *qos.Normalizer {
 	lo, hi := qos.Vector{}, qos.Vector{}
 	for m, r := range refScale {
 		lo[m], hi[m] = r[0], r[1]
 	}
 	return qos.NewNormalizer([]qos.Vector{lo, hi})
+}()
+
+// GradeScale returns the fixed normalizer used to turn raw observations
+// into [0,1] ratings. Fixed scales (rather than per-query populations)
+// keep honest consumers' grades comparable across rounds — the shared
+// "common ontology" understanding of Section 2. The returned Normalizer is
+// shared and immutable; it is safe for concurrent use.
+func GradeScale() *qos.Normalizer {
+	return gradeScale
 }
 
 // ServiceSpec is one generated service: its public description (possibly
