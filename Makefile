@@ -1,10 +1,11 @@
 # wstrust build & CI entry points. `make ci` is the tier-1 gate: vet,
-# build, and full tests in one command; `make race` adds the race detector
-# (the parallel-runner determinism test sizes itself down automatically).
+# lint, build, and full tests in one command; `make race` adds the race
+# detector (the parallel-runner determinism test sizes itself down
+# automatically).
 
 GO ?= go
 
-.PHONY: all build vet test race bench bench-suite ci
+.PHONY: all build vet lint test race bench bench-suite ci
 
 all: ci
 
@@ -13,6 +14,13 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# wsxlint checks the repo's determinism & invariant rules (see DESIGN.md
+# §"Determinism invariants"): no ambient randomness or wall-clock reads
+# outside simclock, no unsorted map iteration in the experiment harness,
+# guarded fields locked, no dropped errors on persistence paths.
+lint:
+	$(GO) run ./cmd/wsxlint ./...
 
 test:
 	$(GO) test ./...
@@ -29,4 +37,4 @@ bench:
 bench-suite:
 	$(GO) test -bench 'BenchmarkSuite' -benchtime 1x .
 
-ci: vet build test
+ci: vet lint build test

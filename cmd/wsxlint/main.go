@@ -1,0 +1,66 @@
+// Command wsxlint checks the repository's determinism and concurrency
+// invariants (see DESIGN.md §"Determinism invariants"). The experiment
+// suite's reports must be byte-identical for a given seed at any
+// -parallel N; wsxlint turns the conventions that guarantee into
+// machine-checked rules:
+//
+//	determinism   no global math/rand draws, wall-clock reads, or env
+//	              lookups outside internal/simclock
+//	mapiter       no unsorted map iteration in the experiment harness
+//	guardedfield  fields commented 'guarded by <mu>' are only accessed
+//	              under that mutex
+//	errdrop       no discarded errors in registry persistence and wsxsim
+//	              I/O paths
+//
+// Usage:
+//
+//	wsxlint ./...              # lint the whole module (CI entry point)
+//	wsxlint ./internal/...     # lint a subtree
+//	wsxlint -list              # list analyzers and exit
+//
+// Deliberate exceptions are annotated in source with //lint:<rule>
+// comments carrying a justification; wsxlint stays silent on them.
+// Exit status: 0 clean, 1 findings, 2 usage or load failure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wstrust/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-13s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	diags, err := lint.LoadAndRun(cwd, patterns, lint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "wsxlint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}

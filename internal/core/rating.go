@@ -68,15 +68,20 @@ func (f Feedback) Validate() error {
 	return nil
 }
 
-// sortedFacets returns the feedback's rated facets in sorted order. Sorted
-// iteration keeps floating-point accumulation and record order
+// SortedFacets returns the map's facets in sorted order. Sorted iteration
+// keeps floating-point accumulation, RNG draw order, and record order
 // process-independent; map order would not be.
-func (f Feedback) sortedFacets() []Facet {
-	facets := make([]Facet, 0, len(f.Ratings))
-	for facet := range f.Ratings {
+func SortedFacets(ratings map[Facet]float64) []Facet {
+	facets := make([]Facet, 0, len(ratings))
+	for facet := range ratings {
 		facets = append(facets, facet)
 	}
 	return qos.SortIDs(facets)
+}
+
+// sortedFacets returns the feedback's rated facets in sorted order.
+func (f Feedback) sortedFacets() []Facet {
+	return SortedFacets(f.Ratings)
 }
 
 // Overall returns the consumer's combined verdict: the FacetOverall rating

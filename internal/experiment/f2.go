@@ -206,11 +206,11 @@ type slaMechanism struct {
 	ledger *sla.Ledger
 
 	mu         sync.Mutex
-	agreements map[core.ServiceID]bool
-	uses       map[core.ServiceID]float64
-	violations map[core.ServiceID]float64
+	agreements map[core.ServiceID]bool    // guarded by mu
+	uses       map[core.ServiceID]float64 // guarded by mu
+	violations map[core.ServiceID]float64 // guarded by mu
 	env        *Env
-	seq        int
+	seq        int // guarded by mu
 }
 
 func newSLAMechanism(env *Env, ledger *sla.Ledger) *slaMechanism {

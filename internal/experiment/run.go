@@ -102,8 +102,11 @@ func (e *Env) Run(mech core.Mechanism, opts RunOptions) (RunResult, error) {
 			}
 			honest := workload.Grade(result.Observation, consumer.Prefs)
 			ratings := make(map[core.Facet]float64, len(honest))
-			for facet, v := range honest {
-				ratings[facet] = e.Liars.Distort(consumer.ID, chosen.Service, v)
+			// Iterate facets in sorted order: stateful liars (attack.Random)
+			// consume RNG draws per facet, and map order would hand different
+			// draws to different facets between runs.
+			for _, facet := range core.SortedFacets(honest) {
+				ratings[facet] = e.Liars.Distort(consumer.ID, chosen.Service, honest[facet])
 			}
 			// Liars also forge the measured QoS data to back their story —
 			// dishonest reports in [29] are fake measurements, which is what
@@ -180,7 +183,7 @@ func (e *Env) bestFor(prefs qos.Preferences, category string) (float64, core.Ser
 // with equal fingerprints yield identical utilities for every spec.
 func prefsFingerprint(prefs qos.Preferences) string {
 	ids := make([]qos.MetricID, 0, len(prefs))
-	for id := range prefs {
+	for id := range prefs { //lint:sorted key collection; qos.SortIDs orders them below
 		ids = append(ids, id)
 	}
 	var b strings.Builder

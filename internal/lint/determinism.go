@@ -1,0 +1,120 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// Determinism forbids the ambient-nondeterminism entry points outside
+// internal/simclock: top-level math/rand draws (the process-global source),
+// wall-clock reads, and environment lookups. Every stochastic or temporal
+// input to a simulation must flow through a seeded simclock stream or a
+// simclock.Clock so that one seed replays the whole suite byte-for-byte.
+var Determinism = &Analyzer{
+	Name: "determinism",
+	Doc:  "forbid global math/rand draws, wall-clock reads, and env lookups outside internal/simclock",
+	Applies: func(path string) bool {
+		return path != "wstrust/internal/simclock"
+	},
+	Run: runDeterminism,
+}
+
+// randAllowed lists math/rand{,/v2} functions that do not touch the
+// process-global source: constructors for explicitly seeded generators.
+var randAllowed = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true, // math/rand/v2
+}
+
+// timeForbidden lists the time package's wall-clock and scheduler entry
+// points. Duration arithmetic, formatting, and time.Date construction stay
+// allowed — they are pure.
+var timeForbidden = map[string]string{
+	"Now":       "reads the wall clock",
+	"Since":     "reads the wall clock",
+	"Until":     "reads the wall clock",
+	"After":     "schedules on the wall clock",
+	"AfterFunc": "schedules on the wall clock",
+	"Tick":      "schedules on the wall clock",
+	"NewTicker": "schedules on the wall clock",
+	"NewTimer":  "schedules on the wall clock",
+	"Sleep":     "blocks on the wall clock",
+}
+
+// osForbidden lists environment-reading functions: control flow keyed on
+// the environment makes a run irreproducible from its seed alone.
+var osForbidden = map[string]bool{
+	"Getenv":    true,
+	"LookupEnv": true,
+	"Environ":   true,
+}
+
+func runDeterminism(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, ok := pass.packageQualifier(sel)
+			if !ok {
+				return true
+			}
+			name := sel.Sel.Name
+			switch pkgPath {
+			case "math/rand", "math/rand/v2":
+				if !randAllowed[name] {
+					pass.Reportf(call.Pos(),
+						"call to %s.%s draws from the process-global source; take a seeded *rand.Rand from simclock.NewRand/Stream instead",
+						baseName(pkgPath), name)
+				}
+			case "time":
+				if why, bad := timeForbidden[name]; bad {
+					pass.Reportf(call.Pos(),
+						"time.%s %s; use a simclock.Clock so runs replay from their seed", name, why)
+				}
+			case "os":
+				if osForbidden[name] {
+					pass.Reportf(call.Pos(),
+						"os.%s makes behaviour depend on the environment; thread configuration through explicit options", name)
+				}
+			}
+			return true
+		})
+	}
+}
+
+// packageQualifier resolves sel's receiver to an imported package path.
+// It returns false when the selector is a method call or field access on a
+// value (e.g. r.Float64() on a *rand.Rand), which is exactly the allowed
+// seeded-stream usage.
+func (p *Pass) packageQualifier(sel *ast.SelectorExpr) (string, bool) {
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", false
+	}
+	obj := p.TypesInfo.Uses[id]
+	pkgName, ok := obj.(*types.PkgName)
+	if !ok {
+		return "", false
+	}
+	return pkgName.Imported().Path(), true
+}
+
+func baseName(path string) string {
+	if path == "math/rand" || path == "math/rand/v2" {
+		return "rand"
+	}
+	if i := strings.LastIndex(path, "/"); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,175 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// The driver is self-contained: it resolves packages with `go list
+// -deps -export -json` (which also compiles export data into the build
+// cache), parses each target package from source, and type-checks it
+// against the export data of its dependencies via the stdlib gc importer.
+// No module downloads, no golang.org/x/tools dependency — it works in the
+// same offline environment as the rest of the repo.
+
+// listPkg is the subset of `go list -json` output the driver consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	DepOnly    bool
+	Error      *listPkgError
+}
+
+type listPkgError struct {
+	Err string
+}
+
+// LoadAndRun lints the packages matched by patterns (resolved relative to
+// dir) with the given analyzers and returns the findings sorted by
+// position.
+func LoadAndRun(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	exports, targets, err := goListExports(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	fset := token.NewFileSet()
+	imp := newImporter(fset, exports)
+
+	var diags []Diagnostic
+	for _, pkg := range targets {
+		files, err := parsePackage(fset, pkg)
+		if err != nil {
+			return nil, err
+		}
+		pass, err := CheckPackage(fset, pkg.ImportPath, files, imp)
+		if err != nil {
+			return nil, fmt.Errorf("wsxlint: type-checking %s: %w", pkg.ImportPath, err)
+		}
+		diags = append(diags, RunAnalyzers(pass, analyzers)...)
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// goListExports resolves patterns plus their dependency closure, returning
+// the export-data file per import path and the target (non-dependency)
+// packages sorted by import path.
+func goListExports(dir string, patterns []string) (map[string]string, []*listPkg, error) {
+	args := append([]string{"list", "-deps", "-export", "-json=ImportPath,Dir,GoFiles,Export,DepOnly,Error"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, nil, fmt.Errorf("wsxlint: go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	exports := map[string]string{}
+	var targets []*listPkg
+	dec := json.NewDecoder(&stdout)
+	for {
+		var pkg listPkg
+		if err := dec.Decode(&pkg); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, nil, fmt.Errorf("wsxlint: decoding go list output: %w", err)
+		}
+		if pkg.Error != nil {
+			return nil, nil, fmt.Errorf("wsxlint: loading %s: %s", pkg.ImportPath, pkg.Error.Err)
+		}
+		if pkg.Export != "" {
+			exports[pkg.ImportPath] = pkg.Export
+		}
+		if !pkg.DepOnly {
+			p := pkg
+			targets = append(targets, &p)
+		}
+	}
+	sort.Slice(targets, func(i, j int) bool { return targets[i].ImportPath < targets[j].ImportPath })
+	return exports, targets, nil
+}
+
+func parsePackage(fset *token.FileSet, pkg *listPkg) ([]*ast.File, error) {
+	files := make([]*ast.File, 0, len(pkg.GoFiles))
+	for _, name := range pkg.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(pkg.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("wsxlint: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// newImporter builds a types.Importer that resolves dependencies from
+// compiled export data.
+func newImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return unsafeAwareImporter{base: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+// unsafeAwareImporter short-circuits "unsafe", which has no export data.
+type unsafeAwareImporter struct {
+	base types.Importer
+}
+
+func (i unsafeAwareImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.base.Import(path)
+}
+
+// CheckPackage type-checks one parsed package and assembles the Pass the
+// analyzers consume. Exported for the fixture tests, which feed it
+// testdata packages the module never builds.
+func CheckPackage(fset *token.FileSet, path string, files []*ast.File, imp types.Importer) (Pass, error) {
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+	}
+	conf := types.Config{Importer: imp}
+	pkg, err := conf.Check(path, fset, files, info)
+	if err != nil {
+		return Pass{}, err
+	}
+	return Pass{Fset: fset, Files: files, Pkg: pkg, TypesInfo: info}, nil
+}
+
+// NewStdImporter returns an importer for a set of stdlib import paths,
+// resolving export data through `go list` run in dir. Fixture tests use it
+// to type-check testdata packages whose imports are stdlib-only.
+func NewStdImporter(fset *token.FileSet, dir string, paths []string) (types.Importer, error) {
+	if len(paths) == 0 {
+		return unsafeAwareImporter{base: importer.ForCompiler(fset, "gc", func(string) (io.ReadCloser, error) {
+			return nil, fmt.Errorf("no imports expected")
+		})}, nil
+	}
+	exports, _, err := goListExports(dir, paths)
+	if err != nil {
+		return nil, err
+	}
+	return newImporter(fset, exports), nil
+}

@@ -1,0 +1,133 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// ErrDrop forbids silently discarded error returns on the persistence and
+// CLI I/O paths (internal/registry, cmd/wsxsim). A swallowed Export/Import
+// or report-write error means a truncated feedback log or a half-printed
+// suite that still exits 0 — corruption the determinism tests cannot see.
+// Errors must be handled, returned, or justified with `//lint:errdrop`.
+// Terminal reporting through the fmt package is exempt: wsxsim's printf
+// diagnostics to stdout/stderr have no recovery path.
+var ErrDrop = &Analyzer{
+	Name: "errdrop",
+	Doc:  "no discarded error returns in registry persistence and wsxsim I/O paths",
+	Applies: func(path string) bool {
+		return path == "wstrust/internal/registry" || path == "wstrust/cmd/wsxsim"
+	},
+	Run: runErrDrop,
+}
+
+func runErrDrop(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch stmt := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := stmt.X.(*ast.CallExpr); ok {
+					pass.checkDiscardedCall(call, "")
+				}
+			case *ast.DeferStmt:
+				pass.checkDiscardedCall(stmt.Call, "deferred ")
+			case *ast.GoStmt:
+				pass.checkDiscardedCall(stmt.Call, "spawned ")
+			case *ast.AssignStmt:
+				pass.checkBlankError(stmt)
+			}
+			return true
+		})
+	}
+}
+
+// checkDiscardedCall flags a call statement whose results include an error
+// that nobody receives.
+func (p *Pass) checkDiscardedCall(call *ast.CallExpr, kind string) {
+	if p.fmtCall(call) {
+		return
+	}
+	tv, ok := p.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	if !resultsIncludeError(tv.Type) {
+		return
+	}
+	p.Reportf(call.Pos(),
+		"%scall to %s discards its error result; handle it or justify with //lint:errdrop",
+		kind, callName(call))
+}
+
+// checkBlankError flags `_`-assignments whose corresponding value is an
+// error.
+func (p *Pass) checkBlankError(stmt *ast.AssignStmt) {
+	rhsType := func(i int) types.Type {
+		if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+			// multi-value call: x, _ := f()
+			tuple, ok := p.TypesInfo.Types[stmt.Rhs[0]].Type.(*types.Tuple)
+			if !ok || i >= tuple.Len() {
+				return nil
+			}
+			return tuple.At(i).Type()
+		}
+		if i < len(stmt.Rhs) {
+			return p.TypesInfo.Types[stmt.Rhs[i]].Type
+		}
+		return nil
+	}
+	for i, lhs := range stmt.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if len(stmt.Rhs) == 1 && len(stmt.Lhs) > 1 {
+			if call, ok := stmt.Rhs[0].(*ast.CallExpr); ok && p.fmtCall(call) {
+				continue
+			}
+		}
+		if t := rhsType(i); t != nil && isErrorType(t) {
+			p.Reportf(id.Pos(),
+				"error result assigned to _; handle it or justify with //lint:errdrop")
+		}
+	}
+}
+
+// fmtCall reports whether call invokes a function from package fmt —
+// terminal print statements are exempt from errdrop.
+func (p *Pass) fmtCall(call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	path, ok := p.packageQualifier(sel)
+	return ok && path == "fmt"
+}
+
+func resultsIncludeError(t types.Type) bool {
+	switch rt := t.(type) {
+	case *types.Tuple:
+		for i := 0; i < rt.Len(); i++ {
+			if isErrorType(rt.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	default:
+		return isErrorType(t)
+	}
+}
+
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+func callName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		return fun.Sel.Name
+	}
+	return "function"
+}

@@ -1,0 +1,151 @@
+package lint
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// Each analyzer ships a pair of fixture packages under testdata/src/<name>:
+// `bad` seeds violations annotated with `// want `regexp`` comments on the
+// offending lines, `good` is the compliant twin that must stay silent.
+// The test proves both directions: the analyzer fires exactly where the
+// wants say, and produces nothing on code that follows the convention
+// (including justified //lint: suppressions).
+
+func TestAnalyzerFixtures(t *testing.T) {
+	cases := []struct {
+		name     string
+		analyzer *Analyzer
+	}{
+		{"determinism", Determinism},
+		{"mapiter", MapIter},
+		{"guardedfield", GuardedField},
+		{"errdrop", ErrDrop},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name+"/bad", func(t *testing.T) {
+			pass := loadFixture(t, filepath.Join("testdata", "src", tc.name, "bad"))
+			diags := RunOne(pass, tc.analyzer)
+			if len(diags) == 0 {
+				t.Fatalf("%s produced no findings on its bad fixture", tc.name)
+			}
+			checkWants(t, pass, diags)
+		})
+		t.Run(tc.name+"/good", func(t *testing.T) {
+			pass := loadFixture(t, filepath.Join("testdata", "src", tc.name, "good"))
+			for _, d := range RunOne(pass, tc.analyzer) {
+				t.Errorf("unexpected finding on compliant fixture: %s", d)
+			}
+		})
+	}
+}
+
+// loadFixture parses and type-checks one fixture package. Fixture imports
+// are stdlib-only, resolved through the same export-data importer the real
+// driver uses.
+func loadFixture(t *testing.T, dir string) Pass {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	fset := token.NewFileSet()
+	var files []*ast.File
+	importSet := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			path, err := strconv.Unquote(imp.Path.Value)
+			if err != nil {
+				t.Fatalf("bad import path %s: %v", imp.Path.Value, err)
+			}
+			importSet[path] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("fixture dir %s holds no Go files", dir)
+	}
+	paths := make([]string, 0, len(importSet))
+	for p := range importSet {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	imp, err := NewStdImporter(fset, ".", paths)
+	if err != nil {
+		t.Fatalf("building fixture importer: %v", err)
+	}
+	pass, err := CheckPackage(fset, "fixture/"+filepath.ToSlash(dir), files, imp)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	return pass
+}
+
+var wantRE = regexp.MustCompile("want `([^`]+)`")
+
+// checkWants asserts a one-to-one correspondence between diagnostics and
+// the fixture's `// want` comments: every finding matches a want on its
+// line, and every want is hit by a finding.
+func checkWants(t *testing.T, pass Pass, ds []Diagnostic) {
+	t.Helper()
+	type key struct {
+		file string
+		line int
+	}
+	type want struct {
+		re  *regexp.Regexp
+		hit bool
+	}
+	wants := map[key][]*want{}
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				for _, m := range wantRE.FindAllStringSubmatch(c.Text, -1) {
+					re, err := regexp.Compile(m[1])
+					if err != nil {
+						t.Fatalf("bad want pattern %q: %v", m[1], err)
+					}
+					pos := pass.Fset.Position(c.Pos())
+					k := key{filepath.Base(pos.Filename), pos.Line}
+					wants[k] = append(wants[k], &want{re: re})
+				}
+			}
+		}
+	}
+	for _, d := range ds {
+		k := key{filepath.Base(d.Pos.Filename), d.Pos.Line}
+		matched := false
+		for _, w := range wants[k] {
+			if !w.hit && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			if !w.hit {
+				t.Errorf("%s:%d: expected finding matching %q, got none", k.file, k.line, w.re)
+			}
+		}
+	}
+}

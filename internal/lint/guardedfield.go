@@ -1,0 +1,153 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// GuardedField enforces `// guarded by <mu>` field annotations: every
+// function that reads or writes such a field must also lock the named
+// mutex (Lock or RLock) somewhere in its body. The check is intentionally
+// not path-sensitive — it catches the realistic failure mode of a new
+// accessor added without any locking at all, which under `wsxsim
+// -parallel N` turns into a data race perturbing reports. Helpers that run
+// with the caller's lock held carry a `//lint:guarded` justification on
+// their doc comment. Struct-literal construction is exempt: a value not
+// yet shared needs no lock, and literals never spell the field as a
+// selector.
+var GuardedField = &Analyzer{
+	Name:     "guardedfield",
+	Suppress: "guarded",
+	Doc:      "fields commented 'guarded by <mu>' must only be accessed under the named mutex",
+	Applies:  func(string) bool { return true },
+	Run:      runGuardedField,
+}
+
+var guardedByRE = regexp.MustCompile(`guarded by (\w+)`)
+
+func runGuardedField(pass *Pass) {
+	// guarded maps each annotated field object to the mutex field object
+	// (in the same struct) that must be held.
+	guarded := map[types.Object]types.Object{}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			st, ok := n.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			pass.collectGuarded(st, guarded)
+			return true
+		})
+	}
+	if len(guarded) == 0 {
+		return
+	}
+
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			if pass.FuncSuppressed(fn) {
+				continue
+			}
+			held := pass.lockedMutexes(fn.Body)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				selection, ok := pass.TypesInfo.Selections[sel]
+				if !ok || selection.Kind() != types.FieldVal {
+					return true
+				}
+				mu, isGuarded := guarded[selection.Obj()]
+				if !isGuarded || held[mu] {
+					return true
+				}
+				pass.Reportf(sel.Sel.Pos(),
+					"field %s is guarded by %s but %s never locks it; lock the mutex or justify with //lint:guarded",
+					selection.Obj().Name(), mu.Name(), funcTitle(fn))
+				return true
+			})
+		}
+	}
+}
+
+// collectGuarded records, for each field annotated `guarded by <mu>`, the
+// mutex field of the same struct the annotation names.
+func (p *Pass) collectGuarded(st *ast.StructType, out map[types.Object]types.Object) {
+	fieldObj := func(name *ast.Ident) types.Object { return p.TypesInfo.Defs[name] }
+	lookup := func(muName string) types.Object {
+		for _, f := range st.Fields.List {
+			for _, name := range f.Names {
+				if name.Name == muName {
+					return fieldObj(name)
+				}
+			}
+		}
+		return nil
+	}
+	for _, f := range st.Fields.List {
+		text := ""
+		if f.Doc != nil {
+			text += f.Doc.Text()
+		}
+		if f.Comment != nil {
+			text += f.Comment.Text()
+		}
+		m := guardedByRE.FindStringSubmatch(text)
+		if m == nil {
+			continue
+		}
+		mu := lookup(m[1])
+		if mu == nil {
+			for _, name := range f.Names {
+				p.Reportf(name.Pos(), "field %s is annotated 'guarded by %s' but the struct has no field %s", name.Name, m[1], m[1])
+			}
+			continue
+		}
+		for _, name := range f.Names {
+			if obj := fieldObj(name); obj != nil && obj != mu {
+				out[obj] = mu
+			}
+		}
+	}
+}
+
+// lockedMutexes returns the set of mutex field objects on which body calls
+// Lock or RLock.
+func (p *Pass) lockedMutexes(body *ast.BlockStmt) map[types.Object]bool {
+	held := map[types.Object]bool{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch recv := sel.X.(type) {
+		case *ast.SelectorExpr: // s.mu.Lock()
+			if selection, ok := p.TypesInfo.Selections[recv]; ok && selection.Kind() == types.FieldVal {
+				held[selection.Obj()] = true
+			}
+		case *ast.Ident: // mu.Lock() via a local alias or promoted field
+			if obj := p.TypesInfo.Uses[recv]; obj != nil {
+				held[obj] = true
+			}
+		}
+		return true
+	})
+	return held
+}
+
+func funcTitle(fn *ast.FuncDecl) string {
+	if fn.Recv != nil && len(fn.Recv.List) > 0 {
+		return "method " + fn.Name.Name
+	}
+	return "function " + fn.Name.Name
+}

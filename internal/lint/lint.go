@@ -1,0 +1,190 @@
+// Package lint implements wsxlint, the repository's determinism and
+// invariant checker (see DESIGN.md §"Determinism invariants").
+//
+// The experiment harness promises byte-identical reports for a given seed
+// at any -parallel N. That promise rests on conventions — all randomness
+// flows through simclock, no wall-clock reads, no unsorted map iteration
+// feeding a report, mutex-guarded state locked on every access, no
+// silently dropped persistence errors. Each convention is encoded here as
+// one Analyzer over go/ast + go/types so a careless change fails `make
+// lint` (and `go test ./...`, via lint_clean_test.go) instead of silently
+// perturbing the paper's figures.
+//
+// Suppression: a finding that is deliberate carries a `//lint:<analyzer>`
+// comment on the flagged line (or the enclosing function's doc comment for
+// guardedfield) with a justification, e.g.
+//
+//	for id := range prefs { //lint:sorted keys are sorted below via qos.SortIDs
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant check.
+type Analyzer struct {
+	// Name is the analyzer identifier.
+	Name string
+	// Suppress is the //lint:<key> comment key that silences a finding;
+	// it defaults to Name when empty.
+	Suppress string
+	// Doc is a one-line description of the invariant.
+	Doc string
+	// Applies reports whether the analyzer checks the given import path.
+	// The driver consults it; fixture tests bypass it and call Run
+	// directly.
+	Applies func(importPath string) bool
+	// Run inspects one type-checked package and reports findings.
+	Run func(*Pass)
+}
+
+// Pass carries one type-checked package through an analyzer.
+type Pass struct {
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	analyzer *Analyzer
+	report   func(Diagnostic)
+
+	// suppressed maps file → set of lines carrying a //lint:<name>
+	// comment for the running analyzer, built lazily per pass.
+	suppressed map[*ast.File]map[int]bool
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the finding in the conventional file:line:col form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s: %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Analyzer, d.Message)
+}
+
+// Reportf records a finding at pos unless the line carries a
+// //lint:<analyzer> suppression comment.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	if p.lineSuppressed(pos) {
+		return
+	}
+	p.report(Diagnostic{Pos: position, Analyzer: p.analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// lineSuppressed reports whether the line holding pos carries a
+// //lint:<analyzer> comment (on the line itself or as a line-comment
+// trailing it).
+func (p *Pass) lineSuppressed(pos token.Pos) bool {
+	file := p.fileOf(pos)
+	if file == nil {
+		return false
+	}
+	if p.suppressed == nil {
+		p.suppressed = map[*ast.File]map[int]bool{}
+	}
+	lines, ok := p.suppressed[file]
+	if !ok {
+		lines = map[int]bool{}
+		marker := "//lint:" + p.analyzer.suppressKey()
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if strings.HasPrefix(c.Text, marker) {
+					lines[p.Fset.Position(c.Pos()).Line] = true
+				}
+			}
+		}
+		p.suppressed[file] = lines
+	}
+	return lines[p.Fset.Position(pos).Line]
+}
+
+// FuncSuppressed reports whether fn's doc comment carries a
+// //lint:<analyzer> suppression, blessing the whole function body.
+func (p *Pass) FuncSuppressed(fn *ast.FuncDecl) bool {
+	if fn.Doc == nil {
+		return false
+	}
+	marker := "//lint:" + p.analyzer.suppressKey()
+	for _, c := range fn.Doc.List {
+		if strings.HasPrefix(c.Text, marker) {
+			return true
+		}
+	}
+	return false
+}
+
+func (p *Pass) fileOf(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+func (a *Analyzer) suppressKey() string {
+	if a.Suppress != "" {
+		return a.Suppress
+	}
+	return a.Name
+}
+
+// All returns every analyzer in the suite, in stable order.
+func All() []*Analyzer {
+	return []*Analyzer{Determinism, MapIter, GuardedField, ErrDrop}
+}
+
+// RunAnalyzers applies every analyzer whose Applies accepts the package
+// path and returns the findings sorted by position.
+func RunAnalyzers(pass Pass, analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.Applies != nil && !a.Applies(pass.Pkg.Path()) {
+			continue
+		}
+		p := pass // copy so each analyzer gets its own suppression cache
+		p.analyzer = a
+		p.suppressed = nil
+		p.report = func(d Diagnostic) { out = append(out, d) }
+		a.Run(&p)
+	}
+	SortDiagnostics(out)
+	return out
+}
+
+// RunOne applies a single analyzer unconditionally (ignoring Applies) —
+// the entry point fixture tests use.
+func RunOne(pass Pass, a *Analyzer) []Diagnostic {
+	var out []Diagnostic
+	pass.analyzer = a
+	pass.report = func(d Diagnostic) { out = append(out, d) }
+	a.Run(&pass)
+	SortDiagnostics(out)
+	return out
+}
+
+// SortDiagnostics orders findings by file, line, column, analyzer.
+func SortDiagnostics(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,46 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// MapIter flags `for … range` over a map value inside the experiment
+// harness. Map iteration order is randomized by the runtime, so any map
+// walk on the path from a simulation to a rendered report either reorders
+// output lines or — worse — reorders side effects such as RNG draws,
+// silently changing the figures between runs. Loops over keys that were
+// sorted first do not range over the map itself and pass untouched; a
+// deliberately order-insensitive walk carries a `//lint:sorted`
+// justification.
+var MapIter = &Analyzer{
+	Name:     "mapiter",
+	Suppress: "sorted",
+	Doc:      "flag map range loops in the experiment harness unless keys are sorted or justified with //lint:sorted",
+	Applies: func(path string) bool {
+		return path == "wstrust/internal/experiment"
+	},
+	Run: runMapIter,
+}
+
+func runMapIter(pass *Pass) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			rng, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[rng.X]
+			if !ok {
+				return true
+			}
+			if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			pass.Reportf(rng.Pos(),
+				"range over map %s iterates in randomized order; sort the keys first (qos.SortIDs, sort.Slice) or justify with //lint:sorted",
+				types.ExprString(rng.X))
+			return true
+		})
+	}
+}

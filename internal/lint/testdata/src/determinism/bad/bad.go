@@ -1,0 +1,39 @@
+// Package bad seeds behaviour from ambient process state — every function
+// here breaks seed-replayability and must be flagged.
+package bad
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Draw uses the process-global source: two runs disagree.
+func Draw() float64 {
+	return rand.Float64() // want `process-global source`
+}
+
+// Shuffled perturbs order from the global source.
+func Shuffled(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `process-global source`
+}
+
+// WallSeeded hides the wall clock inside a seed expression.
+func WallSeeded() *rand.Rand {
+	return rand.New(rand.NewSource(time.Now().UnixNano())) // want `wall clock`
+}
+
+// Elapsed reads the wall clock.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wall clock`
+}
+
+// Nap blocks on the wall clock.
+func Nap() {
+	time.Sleep(time.Millisecond) // want `wall clock`
+}
+
+// Debug keys behaviour on the environment.
+func Debug() bool {
+	return os.Getenv("WSX_DEBUG") != "" // want `environment`
+}

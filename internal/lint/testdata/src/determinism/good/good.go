@@ -1,0 +1,30 @@
+// Package good is the compliant twin of determinism/bad: every stochastic
+// and temporal input arrives explicitly, so a seed replays the run.
+package good
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Draw reads from an explicitly seeded stream — methods on a *rand.Rand
+// are the sanctioned usage.
+func Draw(r *rand.Rand) float64 {
+	return r.Float64()
+}
+
+// Seeded builds a generator from a caller-supplied seed; rand.New and
+// rand.NewSource never touch the global source.
+func Seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// Shuffled perturbs order from the caller's stream.
+func Shuffled(r *rand.Rand, xs []int) {
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+}
+
+// Horizon does pure duration arithmetic on an injected instant.
+func Horizon(now time.Time) time.Time {
+	return now.Add(time.Hour)
+}

@@ -1,0 +1,31 @@
+// Package bad swallows errors on I/O paths: a failed write leaves a
+// truncated log behind and nobody notices.
+package bad
+
+import (
+	"encoding/json"
+	"io"
+)
+
+type record struct {
+	X int
+}
+
+// Export drops every encode error.
+func Export(w io.Writer, recs []record) {
+	enc := json.NewEncoder(w)
+	for _, r := range recs {
+		enc.Encode(r) // want `discards its error`
+	}
+}
+
+// CloseQuietly drops the close error of a writable handle.
+func CloseQuietly(c io.Closer) {
+	defer c.Close() // want `discards its error`
+}
+
+// ReadSome discards the error through a blank assignment.
+func ReadSome(r io.Reader, buf []byte) int {
+	n, _ := r.Read(buf) // want `assigned to _`
+	return n
+}

@@ -1,0 +1,34 @@
+// Package good is the compliant twin of errdrop/bad: errors are returned,
+// explicitly justified, or exempt terminal prints.
+package good
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+type record struct {
+	X int
+}
+
+// Export propagates the first encode failure.
+func Export(w io.Writer, recs []record) error {
+	enc := json.NewEncoder(w)
+	for i, r := range recs {
+		if err := enc.Encode(r); err != nil {
+			return fmt.Errorf("export record %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// CloseQuietly documents why the close error is unrecoverable here.
+func CloseQuietly(c io.Closer) {
+	defer c.Close() //lint:errdrop read-only handle; close failure has no recovery path
+}
+
+// Report prints a summary: fmt terminal output is exempt by rule.
+func Report(n int) {
+	fmt.Println("records:", n)
+}

@@ -1,0 +1,32 @@
+// Package bad accesses a mutex-guarded field without the lock — the data
+// race a new accessor introduces when its author forgets the convention.
+package bad
+
+import "sync"
+
+// Counter is a shared tally.
+type Counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// hits is annotated against a mutex that does not exist.
+	hits int // guarded by lock // want `no field lock`
+}
+
+// Inc locks correctly.
+func (c *Counter) Inc() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+}
+
+// Peek reads n with no lock at all.
+func (c *Counter) Peek() int {
+	return c.n // want `never locks`
+}
+
+// Drain writes n with no lock either.
+func Drain(c *Counter) int {
+	v := c.n // want `never locks`
+	c.n = 0  // want `never locks`
+	return v
+}

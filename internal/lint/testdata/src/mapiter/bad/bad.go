@@ -1,0 +1,24 @@
+// Package bad feeds map-ordered data into rendered output — the exact
+// failure mode that makes two runs of the suite print different reports.
+package bad
+
+import "fmt"
+
+// Render walks the map directly: line order changes between runs.
+func Render(data map[string]float64) []string {
+	var out []string
+	for k, v := range data { // want `randomized order`
+		out = append(out, fmt.Sprintf("%s=%g", k, v))
+	}
+	return out
+}
+
+// Sum looks order-insensitive but is not: float accumulation order changes
+// the low bits, and the rule demands sorting or a justification either way.
+func Sum(data map[string]float64) float64 {
+	var sum float64
+	for _, v := range data { // want `randomized order`
+		sum += v
+	}
+	return sum
+}

@@ -1,0 +1,23 @@
+// Package good is the compliant twin of mapiter/bad: keys are collected
+// (with justification), sorted, and only then iterated.
+package good
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Render sorts the keys before walking them; the loop over the sorted
+// slice is not a map range and needs no annotation.
+func Render(data map[string]float64) []string {
+	keys := make([]string, 0, len(data))
+	for k := range data { //lint:sorted key collection; sort.Strings orders them below
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]string, 0, len(keys))
+	for _, k := range keys {
+		out = append(out, fmt.Sprintf("%s=%g", k, data[k]))
+	}
+	return out
+}

@@ -43,12 +43,12 @@ type ThirdParty struct {
 	fabric *soa.Fabric
 
 	mu         sync.Mutex
-	sensors    map[core.ServiceID]struct{}
-	history    map[core.ServiceID][]qos.Observation
+	sensors    map[core.ServiceID]struct{}          // guarded by mu
+	history    map[core.ServiceID][]qos.Observation // guarded by mu
 	probeCost  float64
 	deployCost float64
-	totalCost  float64
-	probes     int64
+	totalCost  float64 // guarded by mu
+	probes     int64   // guarded by mu
 }
 
 // NewThirdParty builds a monitor over the fabric.

@@ -22,11 +22,11 @@ import (
 // with NewStore. Store is safe for concurrent use.
 type Store struct {
 	mu         sync.RWMutex
-	log        []core.Feedback
-	byService  map[core.ServiceID][]int
-	byConsumer map[core.ConsumerID][]int
-	byPair     map[pairKey][]int
-	messages   int64
+	log        []core.Feedback           // guarded by mu
+	byService  map[core.ServiceID][]int  // guarded by mu
+	byConsumer map[core.ConsumerID][]int // guarded by mu
+	byPair     map[pairKey][]int         // guarded by mu
+	messages   int64                     // guarded by mu
 }
 
 type pairKey struct {
@@ -107,6 +107,9 @@ func (s *Store) ForPair(consumer core.ConsumerID, service core.ServiceID) []core
 	return s.collect(s.byPair[pairKey{consumer, service}])
 }
 
+// collect copies the records at idxs out of the log.
+//
+//lint:guarded collect runs with s.mu read-held by its callers
 func (s *Store) collect(idxs []int) []core.Feedback {
 	out := make([]core.Feedback, len(idxs))
 	for i, idx := range idxs {

@@ -32,7 +32,7 @@ type Clock interface {
 // NewVirtual. Virtual is safe for concurrent use.
 type Virtual struct {
 	mu  sync.Mutex
-	now time.Time
+	now time.Time // guarded by mu
 }
 
 // NewVirtual returns a Virtual clock positioned at Epoch.

@@ -20,10 +20,10 @@ import (
 // concurrent use.
 type UDDI struct {
 	mu       sync.RWMutex
-	byID     map[core.ServiceID]Description
-	version  int64
-	publishN int64
-	findN    int64
+	byID     map[core.ServiceID]Description // guarded by mu
+	version  int64                          // guarded by mu
+	publishN int64                          // guarded by mu
+	findN    int64                          // guarded by mu
 }
 
 // NewUDDI returns an empty registry.

@@ -120,7 +120,7 @@ type Entry struct {
 // Registry holds classified systems. The zero value is ready to use.
 type Registry struct {
 	mu      sync.Mutex
-	entries []Entry
+	entries []Entry // guarded by mu
 }
 
 // Register files an entry; duplicate names are rejected.

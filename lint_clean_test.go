@@ -1,0 +1,26 @@
+package wstrust
+
+import (
+	"testing"
+
+	"wstrust/internal/lint"
+)
+
+// TestLintClean runs the full wsxlint suite over every package in the
+// module and asserts zero findings, so a change that breaks a determinism
+// invariant (a wall-clock read, an unsorted map walk feeding a report, an
+// unlocked guarded field, a dropped persistence error) fails `go test
+// ./...` — not just `make lint`. Deliberate exceptions belong in source as
+// //lint: justifications, never here.
+func TestLintClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wsxlint loads and type-checks the whole module")
+	}
+	diags, err := lint.LoadAndRun(".", []string{"./..."}, lint.All())
+	if err != nil {
+		t.Fatalf("wsxlint failed to load the module: %v", err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
