@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-suite ci
+.PHONY: all build vet lint test race bench bench-suite bench-json ci
 
 all: ci
 
@@ -36,5 +36,11 @@ bench:
 # Whole-suite wall-clock: sequential vs parallel (speedup = seq/parallel).
 bench-suite:
 	$(GO) test -bench 'BenchmarkSuite' -benchtime 1x .
+
+# Machine-readable benchmark record: suite wall-clock, the C4 critical
+# path, and the cf microbenchmarks, written to BENCH_PR3.json (committed
+# so perf claims in EXPERIMENTS.md stay auditable).
+bench-json:
+	$(GO) run ./cmd/wsxbench -out BENCH_PR3.json
 
 ci: vet lint build test

@@ -1,0 +1,161 @@
+// Command wsxbench runs the repository's key benchmarks — whole-suite
+// wall-clock, the C4 critical-path experiment, and the cf mechanism
+// microbenchmarks behind PR 3's epoch caches — and renders the parsed
+// results as one JSON document (the committed BENCH_PR3.json).
+//
+// It shells out to `go test -bench` so the numbers are exactly what the
+// standard benchmark harness reports; wsxbench only parses and formats.
+// The output deliberately carries no timestamp or hostname: it is a
+// reproduction record keyed by go version, regenerated via
+// `make bench-json`.
+//
+// Usage:
+//
+//	wsxbench                 # writes BENCH_PR3.json
+//	wsxbench -out -          # writes the JSON to stdout
+//	wsxbench -benchtime 2s   # longer microbenchmark runs
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// job is one `go test -bench` invocation.
+type job struct {
+	pkg       string
+	bench     string // -bench regexp
+	benchtime string // empty = harness default
+}
+
+// result is one parsed benchmark line.
+type result struct {
+	Package    string `json:"package"`
+	Name       string `json:"name"`
+	Procs      int    `json:"procs"`
+	Iterations int64  `json:"iterations"`
+	// Metrics maps benchmark units (ns/op, B/op, allocs/op, and any
+	// custom b.ReportMetric units) to their values.
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// document is the emitted JSON root.
+type document struct {
+	Description string   `json:"description"`
+	GoVersion   string   `json:"go_version"`
+	GOOS        string   `json:"goos"`
+	GOARCH      string   `json:"goarch"`
+	NumCPU      int      `json:"num_cpu"`
+	Benchmarks  []result `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("out", "BENCH_PR3.json", "output path, '-' for stdout")
+	benchtime := flag.String("benchtime", "", "benchtime for the mechanism microbenchmarks (harness default when empty)")
+	flag.Parse()
+	if err := run(*out, *benchtime); err != nil {
+		fmt.Fprintln(os.Stderr, "wsxbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(out, benchtime string) error {
+	jobs := []job{
+		// Whole-suite wall-clock (sequential vs parallel) plus the C4
+		// critical-path experiment; one iteration each — these run full
+		// seeded experiment suites per op.
+		{pkg: ".", bench: "^(BenchmarkSuiteSequential|BenchmarkSuiteParallel|BenchmarkClaimPersonalization)$", benchtime: "1x"},
+		// The cf mechanism microbenchmarks the epoch caches target.
+		{pkg: "./internal/trust/cf", bench: "^(BenchmarkScorePearson|BenchmarkScoreCosine|BenchmarkScoreSelectionSweep|BenchmarkItemMean|BenchmarkSubmit)$", benchtime: benchtime},
+	}
+	doc := document{
+		Description: "wstrust benchmark record for PR 3 (epoch-cached mechanism scoring + population-parallel experiments); regenerate with `make bench-json`",
+		GoVersion:   runtime.Version(),
+		GOOS:        runtime.GOOS,
+		GOARCH:      runtime.GOARCH,
+		NumCPU:      runtime.NumCPU(),
+	}
+	for _, j := range jobs {
+		results, err := runJob(j)
+		if err != nil {
+			return err
+		}
+		doc.Benchmarks = append(doc.Benchmarks, results...)
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	buf = append(buf, '\n')
+	if out == "-" {
+		_, err := os.Stdout.Write(buf)
+		return err
+	}
+	return os.WriteFile(out, buf, 0o644)
+}
+
+func runJob(j job) ([]result, error) {
+	args := []string{"test", "-run", "^$", "-bench", j.bench, "-benchmem"}
+	if j.benchtime != "" {
+		args = append(args, "-benchtime", j.benchtime)
+	}
+	args = append(args, j.pkg)
+	cmd := exec.Command("go", args...)
+	outBytes, err := cmd.CombinedOutput()
+	output := string(outBytes)
+	if err != nil {
+		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, output)
+	}
+	var results []result
+	for _, line := range strings.Split(output, "\n") {
+		r, ok, err := parseLine(j.pkg, line)
+		if err != nil {
+			return nil, fmt.Errorf("parse %q: %w", line, err)
+		}
+		if ok {
+			results = append(results, r)
+		}
+	}
+	if len(results) == 0 {
+		return nil, fmt.Errorf("go %s matched no benchmarks:\n%s", strings.Join(args, " "), output)
+	}
+	return results, nil
+}
+
+// parseLine decodes one standard benchmark result line, e.g.
+//
+//	BenchmarkScorePearson-4   343012   3493 ns/op   120 B/op   3 allocs/op
+//
+// including any custom b.ReportMetric pairs. Non-benchmark lines return
+// ok=false.
+func parseLine(pkg, line string) (result, bool, error) {
+	fields := strings.Fields(line)
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || len(fields)%2 != 0 {
+		return result{}, false, nil
+	}
+	name, procs := strings.TrimPrefix(fields[0], "Benchmark"), 1
+	if i := strings.LastIndex(name, "-"); i >= 0 {
+		if p, err := strconv.Atoi(name[i+1:]); err == nil {
+			name, procs = name[:i], p
+		}
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return result{}, false, nil // a Benchmark-prefixed non-result line
+	}
+	r := result{Package: pkg, Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return result{}, false, fmt.Errorf("metric value %q: %w", fields[i], err)
+		}
+		r.Metrics[fields[i+1]] = v
+	}
+	return r, true, nil
+}

@@ -10,6 +10,8 @@
 //	wsxsim -parallel 4          # fan independent experiments over 4 workers
 //	wsxsim -list                # list experiments
 //	wsxsim -json                # machine-readable output
+//	wsxsim -cpuprofile cpu.pprof -memprofile mem.pprof
+//	                            # profile the run (go tool pprof)
 //
 // Experiments are independent seeded simulations, so -parallel N changes
 // only wall-clock time: reports are byte-identical to a sequential run at
@@ -25,25 +27,75 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 
 	"wstrust/internal/experiment"
 )
 
+// main delegates to run so deferred profile writers flush before the
+// process exits — os.Exit skips defers, so nothing below may call it.
 func main() {
+	os.Exit(run())
+}
+
+func run() (code int) {
 	var (
-		id       = flag.String("experiment", "all", "experiment id (F1..F4, C1..C10, A1..A5) or 'all'")
-		seed     = flag.Int64("seed", 42, "simulation seed")
-		parallel = flag.Int("parallel", 1, "worker count for independent experiments (0 = all CPUs); results stay byte-identical to sequential")
-		list     = flag.Bool("list", false, "list experiments and exit")
-		asJSON   = flag.Bool("json", false, "emit machine-readable JSON instead of text reports")
+		id         = flag.String("experiment", "all", "experiment id (F1..F4, C1..C10, A1..A5) or 'all'")
+		seed       = flag.Int64("seed", 42, "simulation seed")
+		parallel   = flag.Int("parallel", 1, "worker count for independent experiments (0 = all CPUs); results stay byte-identical to sequential")
+		list       = flag.Bool("list", false, "list experiments and exit")
+		asJSON     = flag.Bool("json", false, "emit machine-readable JSON instead of text reports")
+		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memprofile = flag.String("memprofile", "", "write a heap profile, taken as the process exits, to this file")
 	)
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, cerr)
+			}
+			return 2
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				code = 2
+			}
+		}()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				code = 2
+				return
+			}
+			runtime.GC() // profile live heap, not garbage awaiting collection
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				code = 2
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				code = 2
+			}
+		}()
+	}
 
 	if *list {
 		for _, r := range experiment.All() {
 			fmt.Printf("%-3s %s\n", r.ID, r.Desc)
 		}
-		return
+		return 0
 	}
 
 	runners := experiment.All()
@@ -51,7 +103,7 @@ func main() {
 		r, err := experiment.ByID(*id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			return 2
 		}
 		runners = []experiment.Runner{r}
 	}
@@ -81,7 +133,7 @@ func main() {
 				Data  map[string]float64 `json:"data,omitempty"`
 			}{rep.ID, rep.Title, rep.PaperClaim, rep.Shape, rep.Pass, rep.Data}); err != nil {
 				fmt.Fprintln(os.Stderr, err)
-				os.Exit(2)
+				return 2
 			}
 		} else {
 			fmt.Println(rep)
@@ -92,6 +144,7 @@ func main() {
 	}
 	if failures > 0 {
 		fmt.Fprintf(os.Stderr, "%d experiment(s) mismatched the paper's shape\n", failures)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

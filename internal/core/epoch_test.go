@@ -1,0 +1,105 @@
+package core
+
+import "testing"
+
+func TestMemoRecomputesOnlyOnBump(t *testing.T) {
+	var e Epoch
+	var m Memo[int]
+	calls := 0
+	compute := func() int { calls++; return calls * 10 }
+
+	if got := m.Get(&e, compute); got != 10 {
+		t.Fatalf("first Get = %d, want 10", got)
+	}
+	if got := m.Get(&e, compute); got != 10 {
+		t.Fatalf("cached Get = %d, want 10", got)
+	}
+	if calls != 1 {
+		t.Fatalf("compute ran %d times before bump, want 1", calls)
+	}
+	e.Bump()
+	if got := m.Get(&e, compute); got != 20 {
+		t.Fatalf("post-bump Get = %d, want 20", got)
+	}
+	if calls != 2 {
+		t.Fatalf("compute ran %d times after bump, want 2", calls)
+	}
+}
+
+func TestMemoZeroValueDistinctFromCached(t *testing.T) {
+	// A memo holding the zero value at epoch 0 must not be confused with
+	// an empty memo: compute must run exactly once.
+	var e Epoch
+	var m Memo[int]
+	calls := 0
+	zero := func() int { calls++; return 0 }
+	m.Get(&e, zero)
+	m.Get(&e, zero)
+	if calls != 1 {
+		t.Fatalf("compute ran %d times, want 1", calls)
+	}
+}
+
+func TestMemoUpdateAndInvalidate(t *testing.T) {
+	var e Epoch
+	var m Memo[string]
+	m.Update(&e, "forced")
+	if got := m.Get(&e, func() string { return "computed" }); got != "forced" {
+		t.Fatalf("Get after Update = %q, want forced", got)
+	}
+	m.Invalidate()
+	if got := m.Get(&e, func() string { return "computed" }); got != "computed" {
+		t.Fatalf("Get after Invalidate = %q, want computed", got)
+	}
+}
+
+func TestKeyedMemoPerKeyDrop(t *testing.T) {
+	var km KeyedMemo[string, int]
+	calls := map[string]int{}
+	get := func(k string) int {
+		return km.Get(nil, k, func() int { calls[k]++; return calls[k] })
+	}
+	if get("a") != 1 || get("a") != 1 || get("b") != 1 {
+		t.Fatal("unexpected cached values")
+	}
+	km.Drop("a")
+	if get("a") != 2 {
+		t.Fatal("Drop(a) did not evict a")
+	}
+	if get("b") != 1 {
+		t.Fatal("Drop(a) evicted b")
+	}
+	if km.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", km.Len())
+	}
+	km.Reset()
+	if km.Len() != 0 {
+		t.Fatalf("Len after Reset = %d, want 0", km.Len())
+	}
+}
+
+func TestKeyedMemoEpochBulkInvalidation(t *testing.T) {
+	var e Epoch
+	var km KeyedMemo[string, int]
+	calls := 0
+	get := func(k string) int {
+		return km.Get(&e, k, func() int { calls++; return calls })
+	}
+	get("a")
+	get("b")
+	if calls != 2 {
+		t.Fatalf("calls = %d, want 2", calls)
+	}
+	get("a")
+	if calls != 2 {
+		t.Fatal("cached read recomputed")
+	}
+	e.Bump()
+	get("a")
+	if calls != 3 {
+		t.Fatal("epoch bump did not invalidate")
+	}
+	if km.Len() != 1 {
+		t.Fatalf("Len after bump+one Get = %d, want 1", km.Len())
+	}
+}

@@ -22,29 +22,26 @@ func F3(seed int64) (Report, error) {
 	// A specialist market: every service is strong on some facets and weak
 	// on others, so no single overall ranking fits all consumers — the
 	// setting where per-facet trust matters. Both variants are averaged
-	// over three independent populations to damp single-draw luck.
-	var singleRegrets, facetedRegrets []float64
-	var singleHits, facetedHits []float64
-	for rep := 0; rep < 3; rep++ {
-		repSeed := seed + int64(rep)*1000
-		specialists := workload.GenerateSpecialists(simclock.Stream(repSeed, "f3-services"), 24, "compute")
-		mkEnv := func(tag string) (*Env, error) {
-			return NewEnv(EnvConfig{
-				Seed:           repSeed + int64(len(tag)),
-				CustomServices: specialists,
-				Consumers:      24,
-				Heterogeneity:  0.9,
-			})
-		}
-
+	// over three independent populations to damp single-draw luck; each
+	// (replicate, variant) run owns its Env and RNG streams, so the six
+	// runs fan out flat over Populations onto idle suite workers, and the
+	// index-addressed merge keeps the report byte-identical to the old
+	// sequential replicate loop.
+	const reps = 3
+	runSingle := func(repSeed int64, specialists []workload.ServiceSpec) (RunResult, error) {
 		// Single-aspect: trust develops on response time alone — the consumer
 		// judges services by one QoS aspect and nothing else.
-		envA, err := mkEnv("overall")
+		env, err := NewEnv(EnvConfig{
+			Seed:           repSeed + int64(len("overall")),
+			CustomServices: specialists,
+			Consumers:      24,
+			Heterogeneity:  0.9,
+		})
 		if err != nil {
-			return Report{}, err
+			return RunResult{}, err
 		}
 		single := beta.New()
-		resOverall, err := envA.Run(single, RunOptions{
+		return env.Run(single, RunOptions{
 			Rounds: 30, Category: "compute",
 			EngineOpts: []core.EngineOption{core.WithPolicy(core.PolicyEpsilonGreedy), core.WithEpsilon(0.1)},
 			SubmitTo: func(fb core.Feedback) error {
@@ -56,32 +53,59 @@ func F3(seed int64) (Report, error) {
 				return single.Submit(fb)
 			},
 		})
-		if err != nil {
-			return Report{}, err
-		}
-
+	}
+	runFaceted := func(repSeed int64, specialists []workload.ServiceSpec) (RunResult, error) {
 		// Multi-faceted: per-facet reputations + per-consumer policy weights.
-		envB, err := mkEnv("faceted")
+		env, err := NewEnv(EnvConfig{
+			Seed:           repSeed + int64(len("faceted")),
+			CustomServices: specialists,
+			Consumers:      24,
+			Heterogeneity:  0.9,
+		})
 		if err != nil {
-			return Report{}, err
+			return RunResult{}, err
 		}
 		mech := maximilien.New()
-		for _, c := range envB.Consumers {
+		for _, c := range env.Consumers {
 			if err := mech.SetPolicy(c.ID, maximilien.Policy{Weights: c.Prefs}); err != nil {
-				return Report{}, err
+				return RunResult{}, err
 			}
 		}
-		resFaceted, err := envB.Run(mech, RunOptions{
+		return env.Run(mech, RunOptions{
 			Rounds: 30, Category: "compute",
 			EngineOpts: []core.EngineOption{core.WithPolicy(core.PolicyEpsilonGreedy), core.WithEpsilon(0.1)},
 		})
-		if err != nil {
-			return Report{}, err
+	}
+
+	results := make([]RunResult, reps*2)
+	err := Populations(len(results), func(i int) error {
+		rep, variant := i/2, i%2
+		repSeed := seed + int64(rep)*1000
+		specialists := workload.GenerateSpecialists(simclock.Stream(repSeed, "f3-services"), 24, "compute")
+		var res RunResult
+		var err error
+		if variant == 0 {
+			res, err = runSingle(repSeed, specialists)
+		} else {
+			res, err = runFaceted(repSeed, specialists)
 		}
-		singleRegrets = append(singleRegrets, resOverall.MeanRegret)
-		facetedRegrets = append(facetedRegrets, resFaceted.MeanRegret)
-		singleHits = append(singleHits, resOverall.HitRate)
-		facetedHits = append(facetedHits, resFaceted.HitRate)
+		if err != nil {
+			return err
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return Report{}, err
+	}
+
+	var singleRegrets, facetedRegrets []float64
+	var singleHits, facetedHits []float64
+	for rep := 0; rep < reps; rep++ {
+		singleRegrets = append(singleRegrets, results[rep*2].MeanRegret)
+		facetedRegrets = append(facetedRegrets, results[rep*2+1].MeanRegret)
+		singleHits = append(singleHits, results[rep*2].HitRate)
+		facetedHits = append(facetedHits, results[rep*2+1].HitRate)
 	}
 	singleRegret, facetedRegret := mean(singleRegrets), mean(facetedRegrets)
 

@@ -1,0 +1,87 @@
+package experiment
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// workPool is a counting semaphore shared between the suite workers and
+// the nested population fan-out inside individual experiments (C4, F3).
+// Every concurrently running unit of work — a whole experiment, or one
+// population replicate — holds exactly one token, so total concurrency
+// never exceeds the -parallel budget no matter how fan-outs nest.
+type workPool struct {
+	tokens chan struct{}
+}
+
+func newWorkPool(capacity int) *workPool {
+	p := &workPool{tokens: make(chan struct{}, capacity)}
+	for i := 0; i < capacity; i++ {
+		p.tokens <- struct{}{}
+	}
+	return p
+}
+
+// acquire blocks until a token is free. Suite workers use it: they are
+// dedicated goroutines, so waiting is the correct backpressure.
+func (p *workPool) acquire() { <-p.tokens }
+
+// tryAcquire grabs a token only if one is free right now. Population
+// fan-out uses it: the caller already holds a token (it is inside a
+// running experiment) and must never block on more, or nested waits
+// could starve the suite.
+func (p *workPool) tryAcquire() bool {
+	select {
+	case <-p.tokens:
+		return true
+	default:
+		return false
+	}
+}
+
+func (p *workPool) release() { p.tokens <- struct{}{} }
+
+// suitePool is set by RunSuite for the duration of a parallel run and
+// read by Populations. It only ever influences *scheduling*: population
+// results are index-addressed, so whichever pool (or none) is installed,
+// the merged numbers are byte-identical. Concurrent RunSuite calls
+// (tests) at worst share or drop each other's helper slots.
+var suitePool atomic.Pointer[workPool]
+
+// Populations runs fn(0) … fn(n-1) — one call per independent population
+// replicate — and returns the lowest-index error, or nil.
+//
+// When a parallel suite run is active and workers sit idle (the tail of
+// the suite, where one long experiment dominates the critical path),
+// replicates are handed to those idle slots; otherwise the caller runs
+// them inline, exactly as the old sequential loops did. fn must follow
+// the suite's determinism contract: each replicate derives its own Env
+// and RNG streams from its index and shares no mutable state with the
+// others, and fn writes results into index-addressed slots so completion
+// order cannot reorder the merge.
+func Populations(n int, fn func(rep int) error) error {
+	errs := make([]error, n)
+	pool := suitePool.Load()
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		// The final replicate always runs on the caller: it would otherwise
+		// idle in Wait while holding its own token.
+		if i < n-1 && pool != nil && pool.tryAcquire() {
+			wg.Add(1)
+			go func(rep int) {
+				defer wg.Done()
+				defer pool.release()
+				errs[rep] = fn(rep)
+			}(i)
+			continue
+		}
+		errs[i] = fn(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package experiment
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestPopulationsInlineWithoutPool checks the sequential path: with no
+// suite pool installed, every replicate runs on the caller, in order.
+func TestPopulationsInlineWithoutPool(t *testing.T) {
+	suitePool.Store(nil)
+	var order []int
+	err := Populations(5, func(rep int) error {
+		order = append(order, rep)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("inline replicates ran out of order: %v", order)
+		}
+	}
+}
+
+// TestPopulationsLowestIndexError checks error selection is positional,
+// not completion-ordered: replicate 1's error wins over replicate 3's.
+func TestPopulationsLowestIndexError(t *testing.T) {
+	suitePool.Store(newWorkPool(4))
+	defer suitePool.Store(nil)
+	want := errors.New("rep 1 failed")
+	err := Populations(5, func(rep int) error {
+		switch rep {
+		case 1:
+			return want
+		case 3:
+			return errors.New("rep 3 failed")
+		}
+		return nil
+	})
+	if !errors.Is(err, want) {
+		t.Fatalf("err = %v, want the lowest-index failure", err)
+	}
+}
+
+// TestPopulationsSharesPoolBudget checks the semaphore invariant behind
+// nested fan-out: replicates running concurrently never exceed the
+// helper tokens available plus the caller itself.
+func TestPopulationsSharesPoolBudget(t *testing.T) {
+	const budget = 3
+	suitePool.Store(newWorkPool(budget))
+	defer suitePool.Store(nil)
+	var running, peak atomic.Int64
+	err := Populations(16, func(rep int) error {
+		n := running.Add(1)
+		for {
+			p := peak.Load()
+			if n <= p || peak.CompareAndSwap(p, n) {
+				break
+			}
+		}
+		for i := 0; i < 1000; i++ { // widen the overlap window
+			_ = fmt.Sprintf("%d", i)
+		}
+		running.Add(-1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// budget helper tokens + the caller running its own replicates.
+	if got := peak.Load(); got > budget+1 {
+		t.Fatalf("peak concurrency %d exceeds pool budget %d + caller", got, budget)
+	}
+}
+
+// TestPopulationsConcurrentCallers hammers one shared pool from many
+// goroutines, mirroring several experiments fanning out replicates at
+// once inside a parallel suite run; run with -race.
+func TestPopulationsConcurrentCallers(t *testing.T) {
+	suitePool.Store(newWorkPool(4))
+	defer suitePool.Store(nil)
+	var wg sync.WaitGroup
+	for c := 0; c < 6; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			sums := make([]int, 9)
+			if err := Populations(len(sums), func(rep int) error {
+				sums[rep] = rep * rep
+				return nil
+			}); err != nil {
+				t.Error(err)
+				return
+			}
+			for i, s := range sums {
+				if s != i*i {
+					t.Errorf("replicate %d wrote %d", i, s)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -25,10 +25,11 @@ func RunAll(seed int64, parallelism int) []Outcome {
 // RunSuite is RunAll over an explicit runner list.
 func RunSuite(runners []Runner, seed int64, parallelism int) []Outcome {
 	out := make([]Outcome, len(runners))
-	if parallelism > len(runners) {
-		parallelism = len(runners)
-	}
 	if parallelism <= 1 {
+		// A sequential run must stay sequential end to end (it is the
+		// baseline the determinism tests diff against), so no pool is
+		// offered to nested population fan-outs either.
+		suitePool.Store(nil)
 		for i, r := range runners {
 			rep, err := r.Run(seed)
 			out[i] = Outcome{Runner: r, Report: rep, Err: err}
@@ -36,15 +37,28 @@ func RunSuite(runners []Runner, seed int64, parallelism int) []Outcome {
 		return out
 	}
 
+	// Worker goroutines are capped by the job count, but the token pool
+	// keeps the full -parallel budget: once the job queue drains and the
+	// tail experiments dominate, the freed tokens let Populations fan
+	// population replicates (C4, F3) onto the idle capacity.
+	workers := parallelism
+	if workers > len(runners) {
+		workers = len(runners)
+	}
+	pool := newWorkPool(parallelism)
+	suitePool.Store(pool)
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
-	for w := 0; w < parallelism; w++ {
+	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
+				pool.acquire()
 				rep, err := runners[i].Run(seed)
 				out[i] = Outcome{Runner: runners[i], Report: rep, Err: err}
+				pool.release()
 			}
 		}()
 	}

@@ -45,10 +45,11 @@ func perfectSpec(id string) workload.ServiceSpec {
 // the race detector. It deliberately includes the registry-mutating
 // experiments (C9 registers mid-market, C10 deregisters and re-registers,
 // A4 churns the overlay) so the candidate-cache invalidation path runs
-// under -race too.
+// under -race too, and F3 so the Populations fan-out onto idle suite
+// workers is raced and diffed against its sequential replay.
 func fastSuite(t *testing.T) []Runner {
 	t.Helper()
-	ids := []string{"C3", "C6", "C7", "C8", "C9", "C10", "A1", "A2", "A3", "A4", "A5"}
+	ids := []string{"C3", "C6", "C7", "C8", "C9", "C10", "F3", "A1", "A2", "A3", "A4", "A5"}
 	out := make([]Runner, 0, len(ids))
 	for _, id := range ids {
 		r, err := ByID(id)

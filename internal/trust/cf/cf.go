@@ -9,6 +9,16 @@
 // The mechanism keeps a consumer × service rating matrix (latest rating
 // wins) and predicts the rating a perspective consumer would give an
 // unconsumed service from the ratings of similar consumers.
+//
+// Derived state — per-consumer means, item means, IUF weights, the
+// sorted consumer list, and pairwise similarities — is memoized under
+// the core epoch-cache pattern and invalidated only as finely as a
+// Submit requires: a new rating from consumer c about service s drops
+// c's mean, s's item mean, and similarities involving c, while every
+// other cached value survives. Cached values are produced by the same
+// code paths (same sorted iteration, same float summation order) as the
+// recompute-from-scratch versions, so scores are byte-identical — the
+// package's differential test enforces this.
 package cf
 
 import (
@@ -93,6 +103,19 @@ func WithMinOverlap(n int) Option {
 	}
 }
 
+// simResult caches one similarity(a,b) outcome, including the
+// below-minimum-overlap rejection.
+type simResult struct {
+	s  float64
+	ok bool
+}
+
+// itemMeanResult caches one itemMean outcome, including the no-ratings miss.
+type itemMeanResult struct {
+	tv core.TrustValue
+	ok bool
+}
+
 // Mechanism is the collaborative-filtering engine. Safe for concurrent use.
 type Mechanism struct {
 	sim         Similarity
@@ -103,7 +126,23 @@ type Mechanism struct {
 	defaultVote *float64
 
 	mu      sync.Mutex
-	ratings map[core.ConsumerID]map[core.EntityID]float64
+	ratings map[core.ConsumerID]map[core.EntityID]float64 // guarded by mu
+
+	// Epoch caches over the rating matrix. pairEpoch advances whenever a
+	// new (consumer, item) cell appears — the only event that changes
+	// rating counts, hence IUF weights; consEpoch advances only when a
+	// new consumer appears.
+	pairEpoch core.Epoch                                    // guarded by mu
+	consEpoch core.Epoch                                    // guarded by mu
+	consMemo  core.Memo[[]core.ConsumerID]                  // guarded by mu
+	iufMemo   core.Memo[map[core.EntityID]float64]          // guarded by mu
+	meanMemo  core.KeyedMemo[core.ConsumerID, float64]      // guarded by mu
+	itemMemo  core.KeyedMemo[core.EntityID, itemMeanResult] // guarded by mu
+	// simCache[a][b] stores the raw (pre-amplification) similarity of
+	// perspective a to rater b. A submit from c deletes row c and column c.
+	simCache map[core.ConsumerID]map[core.ConsumerID]simResult // guarded by mu
+	// nbScratch is Score's reusable neighbor buffer.
+	nbScratch []neighbor // guarded by mu
 }
 
 var (
@@ -119,6 +158,7 @@ func New(opts ...Option) *Mechanism {
 		rho:        1,
 		minOverlap: 2,
 		ratings:    map[core.ConsumerID]map[core.EntityID]float64{},
+		simCache:   map[core.ConsumerID]map[core.ConsumerID]simResult{},
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -142,16 +182,51 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	row, ok := m.ratings[fb.Consumer]
-	if !ok {
+	row, known := m.ratings[fb.Consumer]
+	if !known {
 		row = map[core.EntityID]float64{}
 		m.ratings[fb.Consumer] = row
 	}
-	row[fb.Service] = fb.Overall()
+	v := fb.Overall()
+	old, existed := row[fb.Service]
+	if existed && old == v {
+		return nil // identical overwrite: no derived state moves
+	}
+	row[fb.Service] = v
+
+	// Invalidate exactly what this cell can influence.
+	m.meanMemo.Drop(fb.Consumer)
+	m.itemMemo.Drop(fb.Service)
+	m.dropSimsLocked(fb.Consumer)
+	if !existed {
+		m.pairEpoch.Bump()
+		if m.iuf {
+			// Rating counts shifted, so IUF weights — and every
+			// IUF-weighted similarity — are stale.
+			m.simCache = map[core.ConsumerID]map[core.ConsumerID]simResult{}
+		}
+	}
+	if !known {
+		m.consEpoch.Bump()
+	}
 	return nil
 }
 
+// dropSimsLocked evicts every cached similarity involving c, as
+// perspective (row) or rater (column).
+//
+//lint:guarded dropSimsLocked runs with m.mu held by Submit and Reset
+func (m *Mechanism) dropSimsLocked(c core.ConsumerID) {
+	delete(m.simCache, c)
+	for _, row := range m.simCache {
+		delete(row, c)
+	}
+}
+
 // itemWeights computes inverse-user-frequency weights log(n/n_i).
+// itemWeights is the recompute path behind itemWeightsCached.
+//
+//lint:guarded itemWeights runs with m.mu held by its callers
 func (m *Mechanism) itemWeights() map[core.EntityID]float64 {
 	if !m.iuf {
 		return nil
@@ -174,6 +249,16 @@ func (m *Mechanism) itemWeights() map[core.EntityID]float64 {
 		}
 	}
 	return out
+}
+
+// itemWeightsCached memoizes itemWeights until a new matrix cell appears.
+//
+//lint:guarded itemWeightsCached runs with m.mu held by Score's locked section
+func (m *Mechanism) itemWeightsCached() map[core.EntityID]float64 {
+	if !m.iuf {
+		return nil
+	}
+	return m.iufMemo.Get(&m.pairEpoch, m.itemWeights)
 }
 
 // similarity computes sim(a,b) over co-rated items; ok is false when the
@@ -256,6 +341,27 @@ func (m *Mechanism) similarity(a, b map[core.EntityID]float64, iufW map[core.Ent
 	}
 }
 
+// similarityCached returns sim(a,b) through the pair cache. Raw values
+// are cached; case amplification is applied by the caller, so the cache
+// stays valid across rho settings and the stored float is exactly what
+// similarity produced.
+//
+//lint:guarded similarityCached runs with m.mu held by Score's locked section
+func (m *Mechanism) similarityCached(a, b core.ConsumerID, ra, rb map[core.EntityID]float64, iufW map[core.EntityID]float64) (float64, bool) {
+	row, ok := m.simCache[a]
+	if ok {
+		if r, hit := row[b]; hit {
+			return r.s, r.ok
+		}
+	} else {
+		row = map[core.ConsumerID]simResult{}
+		m.simCache[a] = row
+	}
+	s, valid := m.similarity(ra, rb, iufW)
+	row[b] = simResult{s, valid}
+	return s, valid
+}
+
 // SimilarityBetween exposes the configured similarity between two
 // consumers, for experiments and diagnostics.
 func (m *Mechanism) SimilarityBetween(a, b core.ConsumerID) (float64, bool) {
@@ -266,7 +372,7 @@ func (m *Mechanism) SimilarityBetween(a, b core.ConsumerID) (float64, bool) {
 	if !ok1 || !ok2 {
 		return 0, false
 	}
-	return m.similarity(ra, rb, m.itemWeights())
+	return m.similarityCached(a, b, ra, rb, m.itemWeightsCached())
 }
 
 type neighbor struct {
@@ -285,21 +391,21 @@ func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	defer m.mu.Unlock()
 
 	if q.Perspective == "" {
-		return m.itemMean(q.Subject)
+		return m.itemMeanCached(q.Subject)
 	}
 	me, ok := m.ratings[q.Perspective]
 	if !ok || len(me) == 0 {
-		return m.itemMean(q.Subject)
+		return m.itemMeanCached(q.Subject)
 	}
 	// Direct experience short-circuits: the consumer knows this service.
 	if v, rated := me[q.Subject]; rated {
 		return core.TrustValue{Score: v, Confidence: 0.9}, true
 	}
-	myMean := meanOf(me)
-	iufW := m.itemWeights()
+	myMean := m.meanOfCached(q.Perspective, me)
+	iufW := m.itemWeightsCached()
 
-	var nbs []neighbor
-	for _, other := range m.consumers() {
+	nbs := m.nbScratch[:0]
+	for _, other := range m.consumersCached() {
 		if other == q.Perspective {
 			continue
 		}
@@ -308,17 +414,18 @@ func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 		if !rated {
 			continue
 		}
-		s, ok := m.similarity(me, row, iufW)
+		s, ok := m.similarityCached(q.Perspective, other, me, row, iufW)
 		if !ok || s <= 0 {
 			continue
 		}
 		if m.rho > 1 {
 			s = math.Pow(s, m.rho)
 		}
-		nbs = append(nbs, neighbor{other, s, meanOf(row), val})
+		nbs = append(nbs, neighbor{other, s, m.meanOfCached(other, row), val})
 	}
+	m.nbScratch = nbs
 	if len(nbs) == 0 {
-		return m.itemMean(q.Subject)
+		return m.itemMeanCached(q.Subject)
 	}
 	sort.Slice(nbs, func(i, j int) bool {
 		if nbs[i].sim != nbs[j].sim {
@@ -340,9 +447,12 @@ func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	return core.TrustValue{Score: pred, Confidence: conf}, true
 }
 
+// itemMean is the recompute path behind itemMeanCached.
+//
+//lint:guarded itemMean runs with m.mu held by its callers
 func (m *Mechanism) itemMean(item core.EntityID) (core.TrustValue, bool) {
 	var sum, n float64
-	for _, c := range m.consumers() {
+	for _, c := range m.consumersCached() {
 		if v, ok := m.ratings[c][item]; ok {
 			sum += v
 			n++
@@ -355,6 +465,21 @@ func (m *Mechanism) itemMean(item core.EntityID) (core.TrustValue, bool) {
 	return core.TrustValue{Score: score, Confidence: n / (n + 5)}, true
 }
 
+// itemMeanCached memoizes itemMean per item; a submit about the item
+// drops just that entry.
+//
+//lint:guarded itemMeanCached runs with m.mu held by Score's locked section
+func (m *Mechanism) itemMeanCached(item core.EntityID) (core.TrustValue, bool) {
+	r := m.itemMemo.Get(nil, item, func() itemMeanResult {
+		tv, ok := m.itemMean(item)
+		return itemMeanResult{tv, ok}
+	})
+	return r.tv, r.ok
+}
+
+// consumers is the recompute path behind consumersCached.
+//
+//lint:guarded consumers runs with m.mu held by its callers
 func (m *Mechanism) consumers() []core.ConsumerID {
 	out := make([]core.ConsumerID, 0, len(m.ratings))
 	for id := range m.ratings {
@@ -362,6 +487,22 @@ func (m *Mechanism) consumers() []core.ConsumerID {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
+}
+
+// consumersCached memoizes the sorted consumer list until a new
+// consumer appears. Callers iterate but never mutate it.
+//
+//lint:guarded consumersCached runs with m.mu held by Score's locked section
+func (m *Mechanism) consumersCached() []core.ConsumerID {
+	return m.consMemo.Get(&m.consEpoch, m.consumers)
+}
+
+// meanOfCached memoizes meanOf per consumer; a submit from the consumer
+// drops just that entry.
+//
+//lint:guarded meanOfCached runs with m.mu held by Score's locked section
+func (m *Mechanism) meanOfCached(c core.ConsumerID, row map[core.EntityID]float64) float64 {
+	return m.meanMemo.Get(nil, c, func() float64 { return meanOf(row) })
 }
 
 func meanOf(row map[core.EntityID]float64) float64 {
@@ -385,4 +526,11 @@ func (m *Mechanism) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.ratings = map[core.ConsumerID]map[core.EntityID]float64{}
+	m.simCache = map[core.ConsumerID]map[core.ConsumerID]simResult{}
+	m.consMemo.Invalidate()
+	m.iufMemo.Invalidate()
+	m.meanMemo.Reset()
+	m.itemMemo.Reset()
+	m.pairEpoch.Bump()
+	m.consEpoch.Bump()
 }

@@ -1,0 +1,31 @@
+package cf_test
+
+import (
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+	"wstrust/internal/trust/cf"
+	"wstrust/internal/trust/trusttest"
+)
+
+// TestConcurrentSubmitScoreReset hammers the cached mechanism from many
+// goroutines, including Reset interleavings; run with -race.
+func TestConcurrentSubmitScoreReset(t *testing.T) {
+	m := cf.New(cf.WithInverseUserFrequency(true))
+	trusttest.Hammer(t, m)
+	m.Reset()
+	for c := 0; c < 3; c++ {
+		if err := m.Submit(core.Feedback{
+			Consumer: core.NewConsumerID(c), Service: core.NewServiceID(0),
+			Ratings: map[core.Facet]float64{core.FacetOverall: 0.8},
+			At:      simclock.Epoch,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tv, ok := m.Score(core.Query{Subject: core.EntityID(core.NewServiceID(0)), Facet: core.FacetOverall})
+	if !ok || tv.Score <= 0.5 {
+		t.Fatalf("post-hammer score = %+v ok=%v", tv, ok)
+	}
+}

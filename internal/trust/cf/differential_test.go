@@ -1,0 +1,31 @@
+package cf_test
+
+import (
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/trust/cf"
+	"wstrust/internal/trust/trusttest"
+)
+
+// TestDifferential proves the epoch caches are pure memoization: a
+// long-lived instance with warm (and repeatedly invalidated) caches must
+// score byte-identically to a cold rebuild, for every configuration knob
+// that changes the similarity math.
+func TestDifferential(t *testing.T) {
+	configs := map[string][]cf.Option{
+		"pearson":        nil,
+		"cosine":         {cf.WithSimilarity(cf.Cosine)},
+		"iuf":            {cf.WithInverseUserFrequency(true)},
+		"amplified":      {cf.WithCaseAmplification(2.5)},
+		"default-voting": {cf.WithDefaultVoting(0.5)},
+		"small-k":        {cf.WithNeighbors(3), cf.WithMinOverlap(1)},
+	}
+	for name, opts := range configs {
+		t.Run(name, func(t *testing.T) {
+			trusttest.Differential(t, func() core.Mechanism {
+				return cf.New(opts...)
+			}, trusttest.Market(11, 20, 12, 14, 0.7))
+		})
+	}
+}

@@ -35,15 +35,38 @@ func WithComplaintThreshold(v float64) Option {
 	return func(m *Mechanism) { m.threshold = v }
 }
 
+// WithScoreCache memoizes Score answers per subject until a submit
+// touches them. Off by default, deliberately: a cache hit skips the
+// P-Grid lookups, so message counts shrink and the origin round-robin
+// stops rotating per query — communication-cost experiments (F4, C6)
+// must observe the full traffic, and under replica churn different
+// origins can even see different replicas. Enable it only when saved
+// traffic is the goal rather than the thing being measured.
+func WithScoreCache(on bool) Option {
+	return func(m *Mechanism) { m.cacheScores = on }
+}
+
 // Mechanism is the complaint-based trust engine. Safe for concurrent use.
 type Mechanism struct {
 	grid      *p2p.PGrid
 	origins   []p2p.NodeID
 	threshold float64
 
+	cacheScores bool
+
 	mu           sync.Mutex
 	interactions map[core.EntityID]float64
 	originIdx    int
+	// mutations guards the unlock-compute-relock window: a Put is
+	// skipped when any submit landed while the grid was being queried.
+	mutations core.Epoch                                 // guarded by mu
+	scoreMemo core.KeyedMemo[core.EntityID, scoreResult] // guarded by mu
+}
+
+// scoreResult caches one computed Score answer.
+type scoreResult struct {
+	tv core.TrustValue
+	ok bool
 }
 
 var (
@@ -106,6 +129,12 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 	}
 	m.mu.Lock()
 	m.interactions[fb.Service]++
+	m.mutations.Bump()
+	// The interaction count feeds the score directly; a filed complaint
+	// also changes the subject's received tally and the filer's filed
+	// tally (the filer is a scoreable subject too).
+	m.scoreMemo.Drop(fb.Service)
+	m.scoreMemo.Drop(core.EntityID(fb.Consumer))
 	m.mu.Unlock()
 	if fb.Overall() >= m.threshold {
 		return nil
@@ -151,6 +180,13 @@ func dedupCount(vals []any) float64 {
 func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	m.mu.Lock()
 	inter := m.interactions[q.Subject]
+	gen := m.mutations.N()
+	if m.cacheScores {
+		if r, hit := m.scoreMemo.Lookup(nil, q.Subject); hit {
+			m.mu.Unlock()
+			return r.tv, r.ok
+		}
+	}
 	m.mu.Unlock()
 	if inter == 0 {
 		return core.TrustValue{Score: 0.5, Confidence: 0}, false
@@ -158,13 +194,22 @@ func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	origin := m.nextOrigin()
 	cr, cf, err := m.counts(origin, q.Subject)
 	if err != nil {
-		// The grid is partitioned/unreachable: no basis for an answer.
+		// The grid is partitioned/unreachable: no basis for an answer —
+		// and nothing worth caching.
 		return core.TrustValue{Score: 0.5, Confidence: 0}, false
 	}
 	t := cr * (1 + cf)
 	score := 1 / (1 + t/math.Max(1, inter/2))
 	conf := inter / (inter + 5)
-	return core.TrustValue{Score: score, Confidence: conf}, true
+	tv := core.TrustValue{Score: score, Confidence: conf}
+	if m.cacheScores {
+		m.mu.Lock()
+		if m.mutations.N() == gen {
+			m.scoreMemo.Put(nil, q.Subject, scoreResult{tv, true})
+		}
+		m.mu.Unlock()
+	}
+	return tv, true
 }
 
 // MessageCount implements core.CostReporter: the traffic the grid's
@@ -179,4 +224,6 @@ func (m *Mechanism) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.interactions = map[core.EntityID]float64{}
+	m.mutations.Bump()
+	m.scoreMemo.Reset()
 }

@@ -1,0 +1,84 @@
+package complaints_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/p2p"
+	"wstrust/internal/simclock"
+	"wstrust/internal/trust/complaints"
+	"wstrust/internal/trust/trusttest"
+)
+
+func newMechanism(t *testing.T, opts ...complaints.Option) *complaints.Mechanism {
+	t.Helper()
+	net := p2p.NewNetwork()
+	ids := make([]p2p.NodeID, 16)
+	for i := range ids {
+		ids[i] = p2p.NodeID(fmt.Sprintf("peer%03d", i))
+	}
+	// Fixed seed: every call builds a byte-identical grid topology, so
+	// warm and cold instances route lookups the same way.
+	grid, err := p2p.BuildPGrid(net, ids, 3, simclock.NewRand(7))
+	if err != nil {
+		t.Fatalf("build grid: %v", err)
+	}
+	m, err := complaints.New(grid, ids, opts...)
+	if err != nil {
+		t.Fatalf("new mechanism: %v", err)
+	}
+	return m
+}
+
+// TestDifferential proves the opt-in score cache is pure memoization of
+// the P-Grid tally: replicas are written consistently, so a cached
+// score must be bit-identical to one re-fetched from the grid.
+func TestDifferential(t *testing.T) {
+	trusttest.Differential(t, func() core.Mechanism {
+		return newMechanism(t, complaints.WithScoreCache(true))
+	}, trusttest.Market(47, 12, 8, 10, 0.6))
+}
+
+// TestCachedMatchesUncached feeds identical submit/query streams to a
+// cached and an uncached instance. Scores must agree exactly — the cache
+// only changes how many grid lookups happen (which is why it stays
+// opt-in: it shrinks the message counts the F4 experiment reports).
+func TestCachedMatchesUncached(t *testing.T) {
+	s := trusttest.Market(53, 12, 8, 10, 0.6)
+	cached := newMechanism(t, complaints.WithScoreCache(true))
+	plain := newMechanism(t)
+	for i, fb := range s.Feedbacks {
+		if err := cached.Submit(fb); err != nil {
+			t.Fatalf("cached submit %d: %v", i, err)
+		}
+		if err := plain.Submit(fb); err != nil {
+			t.Fatalf("plain submit %d: %v", i, err)
+		}
+		q := s.Queries[i%len(s.Queries)]
+		cv, cok := cached.Score(q)
+		pv, pok := plain.Score(q)
+		if cok != pok || math.Float64bits(cv.Score) != math.Float64bits(pv.Score) {
+			t.Fatalf("submit %d, query %+v: cached=%+v ok=%v plain=%+v ok=%v",
+				i, q, cv, cok, pv, pok)
+		}
+	}
+}
+
+// TestConcurrentSubmitScoreReset hammers the cached grid tally from
+// many goroutines, exercising the unlock-compute-relock Score path and
+// its epoch guard against racing submits; run with -race.
+func TestConcurrentSubmitScoreReset(t *testing.T) {
+	m := newMechanism(t, complaints.WithScoreCache(true))
+	trusttest.Hammer(t, m)
+	m.Reset()
+	if err := m.Submit(core.Feedback{
+		Consumer: core.NewConsumerID(0), Service: core.NewServiceID(0),
+		Ratings: map[core.Facet]float64{core.FacetOverall: 0.9},
+		At:      simclock.Epoch,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	m.Score(core.Query{Subject: core.EntityID(core.NewServiceID(0)), Facet: core.FacetOverall})
+}

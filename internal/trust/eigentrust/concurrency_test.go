@@ -1,0 +1,28 @@
+package eigentrust_test
+
+import (
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+	"wstrust/internal/trust/eigentrust"
+	"wstrust/internal/trust/trusttest"
+)
+
+// TestConcurrentSubmitScoreReset hammers the epoch-cached trust vector
+// from many goroutines, including Tick and Reset; run with -race.
+func TestConcurrentSubmitScoreReset(t *testing.T) {
+	m := eigentrust.New(eigentrust.WithIterations(5))
+	trusttest.Hammer(t, m)
+	m.Reset()
+	if err := m.Submit(core.Feedback{
+		Consumer: core.NewConsumerID(0), Service: core.NewServiceID(0),
+		Ratings: map[core.Facet]float64{core.FacetOverall: 0.9},
+		At:      simclock.Epoch,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Score(core.Query{Subject: core.EntityID(core.NewServiceID(0)), Facet: core.FacetOverall}); !ok {
+		t.Fatal("post-hammer score unanswered")
+	}
+}

@@ -1,0 +1,32 @@
+package eigentrust_test
+
+import (
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/trust/eigentrust"
+	"wstrust/internal/trust/trusttest"
+)
+
+// TestDifferential proves the epoch-cached trust vector (the
+// generalization of this package's old dirty flag) matches a cold
+// recompute byte-for-byte, with and without pre-trusted anchors and
+// interleaved Ticks.
+func TestDifferential(t *testing.T) {
+	build := map[string]func() core.Mechanism{
+		"plain": func() core.Mechanism { return eigentrust.New(eigentrust.WithIterations(10)) },
+		"pre-trusted": func() core.Mechanism {
+			return eigentrust.New(
+				eigentrust.WithIterations(10),
+				eigentrust.WithPreTrusted(core.NewConsumerID(0), core.NewConsumerID(1)),
+			)
+		},
+	}
+	for name, b := range build {
+		t.Run(name, func(t *testing.T) {
+			s := trusttest.Market(19, 14, 10, 10, 0.6)
+			s.TickEvery = 11
+			trusttest.Differential(t, b, s)
+		})
+	}
+}

@@ -73,10 +73,19 @@ type Mechanism struct {
 	mu     sync.Mutex
 	local  map[core.EntityID]map[core.EntityID]float64 // rater → subject → Σ(sat−unsat), floored at 0
 	counts map[core.EntityID]int
+	joined map[core.EntityID]bool
+	// The trust vector is epoch-cached (this package's old ad-hoc dirty
+	// flag, generalized into core). Every recompute — lazy in Score,
+	// eager in Tick — still charges the distributed protocol's messages,
+	// so caching never alters reported communication budgets.
+	epoch   core.Epoch         // guarded by mu
+	vecMemo core.Memo[etState] // guarded by mu
+}
+
+// etState is one computed global trust vector with its normalizer.
+type etState struct {
 	scores map[core.EntityID]float64
 	maxSub float64
-	dirty  bool
-	joined map[core.EntityID]bool
 }
 
 var (
@@ -93,7 +102,6 @@ func New(opts ...Option) *Mechanism {
 		iters:  25,
 		local:  map[core.EntityID]map[core.EntityID]float64{},
 		counts: map[core.EntityID]int{},
-		scores: map[core.EntityID]float64{},
 		joined: map[core.EntityID]bool{},
 	}
 	for _, opt := range opts {
@@ -129,7 +137,7 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 	}
 	row[fb.Service] = math.Max(0, row[fb.Service]+delta)
 	m.counts[fb.Service]++
-	m.dirty = true
+	m.epoch.Bump()
 	return nil
 }
 
@@ -150,21 +158,20 @@ func (m *Mechanism) peersLocked() []core.EntityID {
 	return out
 }
 
-// Tick recomputes the global trust vector.
+// Tick recomputes the global trust vector eagerly (and charges the
+// round's protocol messages), whether or not queries are pending.
 func (m *Mechanism) Tick(time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.recomputeLocked()
+	m.vecMemo.Update(&m.epoch, m.computeLocked())
 }
 
-func (m *Mechanism) recomputeLocked() {
+func (m *Mechanism) computeLocked() etState {
 	peers := m.peersLocked()
 	n := len(peers)
-	m.scores = map[core.EntityID]float64{}
-	m.maxSub = 0
-	m.dirty = false
+	st := etState{scores: map[core.EntityID]float64{}}
 	if n == 0 {
-		return
+		return st
 	}
 	idx := make(map[core.EntityID]int, n)
 	for i, p := range peers {
@@ -237,11 +244,12 @@ func (m *Mechanism) recomputeLocked() {
 		m.chargeMessagesLocked(peers, edges)
 	}
 	for i, p := range peers {
-		m.scores[p] = t[i]
-		if m.counts[p] > 0 && t[i] > m.maxSub {
-			m.maxSub = t[i]
+		st.scores[p] = t[i]
+		if m.counts[p] > 0 && t[i] > st.maxSub {
+			st.maxSub = t[i]
 		}
 	}
+	return st
 }
 
 // chargeMessagesLocked bills the distributed protocol's traffic: each
@@ -271,15 +279,13 @@ func (m *Mechanism) chargeMessagesLocked(peers []core.EntityID, edges int) {
 func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.dirty {
-		m.recomputeLocked()
-	}
+	st := m.vecMemo.Get(&m.epoch, m.computeLocked)
 	if m.counts[q.Subject] == 0 {
 		return core.TrustValue{Score: 0.5, Confidence: 0}, false
 	}
 	score := 0.0
-	if m.maxSub > 0 {
-		score = math.Min(1, m.scores[q.Subject]/m.maxSub)
+	if st.maxSub > 0 {
+		score = math.Min(1, st.scores[q.Subject]/st.maxSub)
 	}
 	n := float64(m.counts[q.Subject])
 	return core.TrustValue{Score: score, Confidence: n / (n + 5)}, true
@@ -299,7 +305,6 @@ func (m *Mechanism) Reset() {
 	defer m.mu.Unlock()
 	m.local = map[core.EntityID]map[core.EntityID]float64{}
 	m.counts = map[core.EntityID]int{}
-	m.scores = map[core.EntityID]float64{}
-	m.maxSub = 0
-	m.dirty = false
+	m.vecMemo.Invalidate()
+	m.epoch.Bump()
 }

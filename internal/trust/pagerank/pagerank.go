@@ -124,9 +124,17 @@ type Mechanism struct {
 	nodes    map[string]bool
 	isTarget map[string]bool // services (rank-normalized pool)
 	counts   map[core.EntityID]int
-	ranks    map[string]float64
-	maxRank  float64
-	dirty    bool
+	// The rank vector is epoch-cached (the core generalization of the
+	// dirty flag this package pioneered): Submit bumps, Score recomputes
+	// lazily, Tick recomputes eagerly.
+	epoch    core.Epoch           // guarded by mu
+	rankMemo core.Memo[rankState] // guarded by mu
+}
+
+// rankState is one computed PageRank vector with its normalizer.
+type rankState struct {
+	ranks   map[string]float64
+	maxRank float64
 }
 
 var (
@@ -145,14 +153,14 @@ func New(opts ...Option) *Mechanism {
 	return m
 }
 
+//lint:guarded resetLocked runs with m.mu held by Reset and Tick
 func (m *Mechanism) resetLocked() {
 	m.edges = map[string]map[string]float64{}
 	m.nodes = map[string]bool{}
 	m.isTarget = map[string]bool{}
 	m.counts = map[core.EntityID]int{}
-	m.ranks = map[string]float64{}
-	m.maxRank = 0
-	m.dirty = false
+	m.rankMemo.Invalidate()
+	m.epoch.Bump()
 }
 
 // Name implements core.Mechanism.
@@ -178,7 +186,7 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 		m.nodes[string(fb.Provider)] = true
 		m.addEdge(service, string(fb.Provider), 1)
 	}
-	m.dirty = true
+	m.epoch.Bump()
 	return nil
 }
 
@@ -191,26 +199,26 @@ func (m *Mechanism) addEdge(u, v string, w float64) {
 	row[v] += w
 }
 
-// Tick recomputes the ranks.
+// Tick recomputes the ranks eagerly, as a batch global mechanism does
+// each round regardless of pending queries.
 func (m *Mechanism) Tick(time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.recomputeLocked()
+	m.rankMemo.Update(&m.epoch, m.computeLocked())
 }
 
-func (m *Mechanism) recomputeLocked() {
+func (m *Mechanism) computeLocked() rankState {
 	nodes := make([]string, 0, len(m.nodes))
 	for v := range m.nodes {
 		nodes = append(nodes, v)
 	}
-	m.ranks = Rank(nodes, m.edges, m.damping, m.iters)
-	m.maxRank = 0
-	for v, r := range m.ranks {
-		if m.isTarget[v] && r > m.maxRank {
-			m.maxRank = r
+	st := rankState{ranks: Rank(nodes, m.edges, m.damping, m.iters)}
+	for v, r := range st.ranks {
+		if m.isTarget[v] && r > st.maxRank {
+			st.maxRank = r
 		}
 	}
-	m.dirty = false
+	return st
 }
 
 // Score implements core.Mechanism. It lazily recomputes when feedback
@@ -218,16 +226,14 @@ func (m *Mechanism) recomputeLocked() {
 func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.dirty {
-		m.recomputeLocked()
-	}
-	r, ok := m.ranks[string(q.Subject)]
+	st := m.rankMemo.Get(&m.epoch, m.computeLocked)
+	r, ok := st.ranks[string(q.Subject)]
 	if !ok || m.counts[q.Subject] == 0 {
 		return core.TrustValue{Score: 0.5, Confidence: 0}, false
 	}
 	score := 0.0
-	if m.maxRank > 0 {
-		score = math.Min(1, r/m.maxRank)
+	if st.maxRank > 0 {
+		score = math.Min(1, r/st.maxRank)
 	}
 	n := float64(m.counts[q.Subject])
 	return core.TrustValue{Score: score, Confidence: n / (n + 5)}, true

@@ -68,6 +68,32 @@ type Mechanism struct {
 	byRater map[core.ConsumerID]map[core.EntityID]float64
 	contrib map[core.ConsumerID]float64
 	joined  map[p2p.NodeID]bool
+
+	// Epoch caches over the local math only — the per-rating charge()
+	// exchanges in Submit and Score always hit the network, so cached and
+	// uncached runs report identical message counts. subEpoch advances on
+	// every submit (contribution totals move each time).
+	subEpoch core.Epoch                                // guarded by mu
+	maxMemo  core.Memo[float64]                        // guarded by mu
+	meanMemo core.KeyedMemo[core.EntityID, meanResult] // guarded by mu
+	// gcredMemo caches global (consensus-deviation) credibility per
+	// rater; a rating about s drops every rater of s.
+	gcredMemo core.KeyedMemo[core.ConsumerID, float64] // guarded by mu
+	// psmCache[a][b] caches psm(a,b) as called; a row change for c
+	// deletes row c and column c.
+	psmCache map[core.ConsumerID]map[core.ConsumerID]psmResult // guarded by mu
+}
+
+// psmResult caches one psm(a,b) outcome, including the thin-overlap miss.
+type psmResult struct {
+	s  float64
+	ok bool
+}
+
+// meanResult caches one subjectMean outcome, including the unrated miss.
+type meanResult struct {
+	v  float64
+	ok bool
 }
 
 var (
@@ -109,6 +135,7 @@ func New(opts ...Option) *Mechanism {
 		byRater:    map[core.ConsumerID]map[core.EntityID]float64{},
 		contrib:    map[core.ConsumerID]float64{},
 		joined:     map[p2p.NodeID]bool{},
+		psmCache:   map[core.ConsumerID]map[core.ConsumerID]psmResult{},
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -133,10 +160,34 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 		row = map[core.EntityID]float64{}
 		m.byRater[fb.Consumer] = row
 	}
+	old, existed := row[fb.Service]
 	row[fb.Service] = v
 	m.contrib[fb.Consumer]++
+	m.subEpoch.Bump()
+
+	// Invalidate what this rating can influence: the subject's mean (and
+	// with it the consensus credibility of everyone who rated it), plus —
+	// when the rater's latest-value row actually moved — similarities
+	// involving the rater.
+	m.meanMemo.Drop(fb.Service)
+	for _, r := range m.ratings[fb.Service] {
+		m.gcredMemo.Drop(r.rater)
+	}
+	if !existed || old != v {
+		m.dropPsmLocked(fb.Consumer)
+	}
 	m.charge(fb.Consumer, fb.Service)
 	return nil
+}
+
+// dropPsmLocked evicts every cached similarity involving c.
+//
+//lint:guarded dropPsmLocked runs with m.mu held by Submit and Reset
+func (m *Mechanism) dropPsmLocked(c core.ConsumerID) {
+	delete(m.psmCache, c)
+	for _, row := range m.psmCache {
+		delete(row, c)
+	}
 }
 
 // psm computes the personalized similarity between two raters: 1 − RMS
@@ -164,6 +215,25 @@ func (m *Mechanism) psm(a, b core.ConsumerID) (float64, bool) {
 		return 0, false
 	}
 	return 1 - math.Sqrt(sq/float64(n)), true
+}
+
+// psmCached returns psm(a,b) through the pair cache; only row changes
+// for a or b evict the entry.
+//
+//lint:guarded psmCached runs with m.mu held by Score's locked section
+func (m *Mechanism) psmCached(a, b core.ConsumerID) (float64, bool) {
+	row, ok := m.psmCache[a]
+	if ok {
+		if r, hit := row[b]; hit {
+			return r.s, r.ok
+		}
+	} else {
+		row = map[core.ConsumerID]psmResult{}
+		m.psmCache[a] = row
+	}
+	v, valid := m.psm(a, b)
+	row[b] = psmResult{v, valid}
+	return v, valid
 }
 
 // Score implements core.Mechanism. With a perspective the rater
@@ -205,9 +275,11 @@ func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 }
 
 // credibility weights a rater from the evaluator's viewpoint.
+//
+//lint:guarded credibility runs with m.mu held by Score's locked section
 func (m *Mechanism) credibility(perspective, rater core.ConsumerID) float64 {
 	if perspective != "" && perspective != rater {
-		if s, ok := m.psm(perspective, rater); ok {
+		if s, ok := m.psmCached(perspective, rater); ok {
 			return math.Max(0, s)
 		}
 		return 0.3 // unknown rater: low but non-zero default credibility
@@ -215,7 +287,12 @@ func (m *Mechanism) credibility(perspective, rater core.ConsumerID) float64 {
 	if perspective == rater {
 		return 1
 	}
-	// Global view: credibility = agreement with per-subject means.
+	return m.gcredMemo.Get(nil, rater, func() float64 { return m.globalCredLocked(rater) })
+}
+
+// globalCredLocked is the consensus-deviation recompute path: agreement
+// with per-subject means.
+func (m *Mechanism) globalCredLocked(rater core.ConsumerID) float64 {
 	row := m.byRater[rater]
 	if len(row) == 0 {
 		return 0.3
@@ -228,7 +305,7 @@ func (m *Mechanism) credibility(perspective, rater core.ConsumerID) float64 {
 	}
 	sort.Slice(subjects, func(i, j int) bool { return subjects[i] < subjects[j] })
 	for _, subj := range subjects {
-		mean, ok := m.subjectMean(subj)
+		mean, ok := m.subjectMeanCached(subj)
 		if !ok {
 			continue
 		}
@@ -253,13 +330,23 @@ func (m *Mechanism) subjectMean(subj core.EntityID) (float64, bool) {
 	return sum / float64(len(rs)), true
 }
 
+// subjectMeanCached memoizes subjectMean per subject; a rating about the
+// subject drops just that entry.
+//
+//lint:guarded subjectMeanCached runs with m.mu held by its callers
+func (m *Mechanism) subjectMeanCached(subj core.EntityID) (float64, bool) {
+	r := m.meanMemo.Get(nil, subj, func() meanResult {
+		v, ok := m.subjectMean(subj)
+		return meanResult{v, ok}
+	})
+	return r.v, r.ok
+}
+
+// communityFactor scales a score by how broadly its raters contribute.
+//
+//lint:guarded communityFactor runs with m.mu held by Score's locked section
 func (m *Mechanism) communityFactor(rs []rating) float64 {
-	var maxC float64
-	for _, c := range m.contrib {
-		if c > maxC {
-			maxC = c
-		}
-	}
+	maxC := m.maxMemo.Get(&m.subEpoch, m.maxContribLocked)
 	if maxC == 0 {
 		return 0
 	}
@@ -268,6 +355,18 @@ func (m *Mechanism) communityFactor(rs []rating) float64 {
 		sum += m.contrib[r.rater] / maxC
 	}
 	return sum / float64(len(rs))
+}
+
+// maxContribLocked finds the most active rater's contribution count —
+// a max over exact integer counts, so map order cannot change it.
+func (m *Mechanism) maxContribLocked() float64 {
+	var maxC float64
+	for _, c := range m.contrib {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	return maxC
 }
 
 // RaterCredibility exposes the global credibility of a rater, for
@@ -297,4 +396,9 @@ func (m *Mechanism) Reset() {
 	m.ratings = map[core.EntityID][]rating{}
 	m.byRater = map[core.ConsumerID]map[core.EntityID]float64{}
 	m.contrib = map[core.ConsumerID]float64{}
+	m.psmCache = map[core.ConsumerID]map[core.ConsumerID]psmResult{}
+	m.meanMemo.Reset()
+	m.gcredMemo.Reset()
+	m.maxMemo.Invalidate()
+	m.subEpoch.Bump()
 }

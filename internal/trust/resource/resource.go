@@ -26,6 +26,17 @@ type Amazon struct {
 	n    map[core.EntityID]float64
 	gSum float64
 	gN   float64
+
+	// Every submit moves the global prior, so per-subject scores are
+	// epoch-cached with whole-generation invalidation.
+	epoch core.Epoch                                 // guarded by mu
+	memo  core.KeyedMemo[core.EntityID, scoreResult] // guarded by mu
+}
+
+// scoreResult caches one Score outcome, including the unknown-subject miss.
+type scoreResult struct {
+	tv core.TrustValue
+	ok bool
 }
 
 var (
@@ -73,6 +84,7 @@ func (a *Amazon) Submit(fb core.Feedback) error {
 	a.n[fb.Service]++
 	a.gSum += v
 	a.gN++
+	a.epoch.Bump()
 	return nil
 }
 
@@ -80,16 +92,21 @@ func (a *Amazon) Submit(fb core.Feedback) error {
 func (a *Amazon) Score(q core.Query) (core.TrustValue, bool) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
-	n := a.n[q.Subject]
+	r := a.memo.Get(&a.epoch, q.Subject, func() scoreResult { return a.scoreLocked(q.Subject) })
+	return r.tv, r.ok
+}
+
+func (a *Amazon) scoreLocked(subject core.EntityID) scoreResult {
+	n := a.n[subject]
 	if n == 0 {
-		return core.TrustValue{Score: 0.5, Confidence: 0}, false
+		return scoreResult{core.TrustValue{Score: 0.5, Confidence: 0}, false}
 	}
 	prior := 0.5
 	if a.gN > 0 {
 		prior = a.gSum / a.gN
 	}
-	score := (a.sum[q.Subject] + a.priorWeight*prior) / (n + a.priorWeight)
-	return core.TrustValue{Score: score, Confidence: n / (n + a.priorWeight)}, true
+	score := (a.sum[subject] + a.priorWeight*prior) / (n + a.priorWeight)
+	return scoreResult{core.TrustValue{Score: score, Confidence: n / (n + a.priorWeight)}, true}
 }
 
 // Reset implements core.Resetter.
@@ -99,6 +116,8 @@ func (a *Amazon) Reset() {
 	a.sum = map[core.EntityID]float64{}
 	a.n = map[core.EntityID]float64{}
 	a.gSum, a.gN = 0, 0
+	a.memo.Reset()
+	a.epoch.Bump()
 }
 
 // Epinions weights each rating by its author's helpfulness reputation,
@@ -110,6 +129,11 @@ type Epinions struct {
 	// helpful/total votes per reviewer.
 	helpful map[core.ConsumerID]float64
 	votes   map[core.ConsumerID]float64
+
+	// A new review drops just its subject's cached score; a helpfulness
+	// vote reweights every review, so it advances the epoch instead.
+	voteEpoch core.Epoch                                 // guarded by mu
+	memo      core.KeyedMemo[core.EntityID, scoreResult] // guarded by mu
 }
 
 type review struct {
@@ -143,6 +167,7 @@ func (e *Epinions) Submit(fb core.Feedback) error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	e.ratings[fb.Service] = append(e.ratings[fb.Service], review{fb.Consumer, fb.Overall()})
+	e.memo.Drop(fb.Service)
 	return nil
 }
 
@@ -156,6 +181,7 @@ func (e *Epinions) RateReview(reviewer core.ConsumerID, isHelpful bool) {
 	if isHelpful {
 		e.helpful[reviewer]++
 	}
+	e.voteEpoch.Bump()
 }
 
 // reviewerWeight is the Beta-mean helpfulness of a reviewer; a reviewer
@@ -168,9 +194,14 @@ func (e *Epinions) reviewerWeight(r core.ConsumerID) float64 {
 func (e *Epinions) Score(q core.Query) (core.TrustValue, bool) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	rs := e.ratings[q.Subject]
+	r := e.memo.Get(&e.voteEpoch, q.Subject, func() scoreResult { return e.scoreLocked(q.Subject) })
+	return r.tv, r.ok
+}
+
+func (e *Epinions) scoreLocked(subject core.EntityID) scoreResult {
+	rs := e.ratings[subject]
 	if len(rs) == 0 {
-		return core.TrustValue{Score: 0.5, Confidence: 0}, false
+		return scoreResult{core.TrustValue{Score: 0.5, Confidence: 0}, false}
 	}
 	var num, den float64
 	for _, r := range rs {
@@ -179,10 +210,10 @@ func (e *Epinions) Score(q core.Query) (core.TrustValue, bool) {
 		den += w
 	}
 	if den == 0 {
-		return core.TrustValue{Score: 0.5, Confidence: 0}, true
+		return scoreResult{core.TrustValue{Score: 0.5, Confidence: 0}, true}
 	}
 	n := float64(len(rs))
-	return core.TrustValue{Score: num / den, Confidence: n / (n + 5)}, true
+	return scoreResult{core.TrustValue{Score: num / den, Confidence: n / (n + 5)}, true}
 }
 
 // Reset implements core.Resetter.
@@ -192,4 +223,6 @@ func (e *Epinions) Reset() {
 	e.ratings = map[core.EntityID][]review{}
 	e.helpful = map[core.ConsumerID]float64{}
 	e.votes = map[core.ConsumerID]float64{}
+	e.memo.Reset()
+	e.voteEpoch.Bump()
 }

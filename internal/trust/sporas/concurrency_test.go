@@ -1,0 +1,28 @@
+package sporas_test
+
+import (
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+	"wstrust/internal/trust/sporas"
+	"wstrust/internal/trust/trusttest"
+)
+
+// TestConcurrentSubmitScoreReset hammers the cached Histos walk from
+// many goroutines, including Reset interleavings; run with -race.
+func TestConcurrentSubmitScoreReset(t *testing.T) {
+	m := sporas.New(sporas.WithHistos(true))
+	trusttest.Hammer(t, m)
+	m.Reset()
+	if err := m.Submit(core.Feedback{
+		Consumer: core.NewConsumerID(0), Service: core.NewServiceID(0),
+		Ratings: map[core.Facet]float64{core.FacetOverall: 0.9},
+		At:      simclock.Epoch,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := m.Score(core.Query{Subject: core.EntityID(core.NewServiceID(0)), Facet: core.FacetOverall}); !ok {
+		t.Fatal("post-hammer score unanswered")
+	}
+}

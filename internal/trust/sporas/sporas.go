@@ -66,6 +66,13 @@ type sporasState struct {
 	dev float64
 }
 
+// agrResult caches one agreement(a,b) outcome, including the
+// no-overlap miss.
+type agrResult struct {
+	v  float64
+	ok bool
+}
+
 // Mechanism implements Sporas (+ optional Histos). Safe for concurrent use.
 type Mechanism struct {
 	theta       float64
@@ -78,6 +85,15 @@ type Mechanism struct {
 	// latest[rater][subject] is the most recent rating — Histos' input:
 	// "the most recent rating per pair".
 	latest map[core.ConsumerID]map[core.EntityID]float64
+
+	// Histos walk caches: the sorted rater list changes only when a new
+	// rater appears, and agreement(a,b) only when a or b submits a rating
+	// that actually moves their latest row.
+	ratersEpoch core.Epoch                   // guarded by mu
+	ratersMemo  core.Memo[[]core.ConsumerID] // guarded by mu
+	// agrCache[a][b] caches agreement(a,b) as called; a submit from c
+	// deletes row c and column c.
+	agrCache map[core.ConsumerID]map[core.ConsumerID]agrResult // guarded by mu
 }
 
 var (
@@ -93,6 +109,7 @@ func New(opts ...Option) *Mechanism {
 		histosDepth: 3,
 		state:       map[core.EntityID]*sporasState{},
 		latest:      map[core.ConsumerID]map[core.EntityID]float64{},
+		agrCache:    map[core.ConsumerID]map[core.ConsumerID]agrResult{},
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -140,9 +157,24 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 	if !ok {
 		row = map[core.EntityID]float64{}
 		m.latest[fb.Consumer] = row
+		m.ratersEpoch.Bump()
 	}
+	old, existed := row[fb.Service]
 	row[fb.Service] = w
+	if !existed || old != w {
+		m.dropAgrLocked(fb.Consumer)
+	}
 	return nil
+}
+
+// dropAgrLocked evicts every cached agreement involving c.
+//
+//lint:guarded dropAgrLocked runs with m.mu held by Submit and Reset
+func (m *Mechanism) dropAgrLocked(c core.ConsumerID) {
+	delete(m.agrCache, c)
+	for _, row := range m.agrCache {
+		delete(row, c)
+	}
 }
 
 func clamp01(x float64) float64 { return math.Max(0, math.Min(1, x)) }
@@ -186,11 +218,11 @@ func (m *Mechanism) histosScore(root core.ConsumerID, subject core.EntityID) (co
 		var num, den float64
 		var next []frontierEntry
 		for _, fe := range frontier {
-			for _, other := range m.raters() {
+			for _, other := range m.ratersCached() {
 				if visited[other] {
 					continue
 				}
-				agr, ok := m.agreement(fe.rater, other)
+				agr, ok := m.agreementCached(fe.rater, other)
 				if !ok || agr <= 0 {
 					continue
 				}
@@ -222,6 +254,33 @@ func (m *Mechanism) raters() []core.ConsumerID {
 	}
 	sortEntityIDs(out)
 	return out
+}
+
+// ratersCached memoizes the sorted rater list until a new rater appears.
+// Callers iterate but never mutate it.
+//
+//lint:guarded ratersCached runs with m.mu held by histosScore's caller
+func (m *Mechanism) ratersCached() []core.ConsumerID {
+	return m.ratersMemo.Get(&m.ratersEpoch, m.raters)
+}
+
+// agreementCached returns agreement(a,b) through the pair cache; only
+// submits from a or b evict the entry.
+//
+//lint:guarded agreementCached runs with m.mu held by histosScore's caller
+func (m *Mechanism) agreementCached(a, b core.ConsumerID) (float64, bool) {
+	row, ok := m.agrCache[a]
+	if ok {
+		if r, hit := row[b]; hit {
+			return r.v, r.ok
+		}
+	} else {
+		row = map[core.ConsumerID]agrResult{}
+		m.agrCache[a] = row
+	}
+	v, valid := m.agreement(a, b)
+	row[b] = agrResult{v, valid}
+	return v, valid
 }
 
 func sortEntityIDs(ids []core.ConsumerID) {
@@ -264,4 +323,7 @@ func (m *Mechanism) Reset() {
 	defer m.mu.Unlock()
 	m.state = map[core.EntityID]*sporasState{}
 	m.latest = map[core.ConsumerID]map[core.EntityID]float64{}
+	m.agrCache = map[core.ConsumerID]map[core.ConsumerID]agrResult{}
+	m.ratersMemo.Invalidate()
+	m.ratersEpoch.Bump()
 }

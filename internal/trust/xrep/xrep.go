@@ -72,6 +72,9 @@ type Mechanism struct {
 	// lastPoll remembers who voted what, so a later Confirm can settle
 	// credibility.
 	lastPoll map[pollKey][]vote
+	// tallyMemo caches the global (no-poll, local-math-only) tally per
+	// subject; perspective polls always travel the overlay uncached.
+	tallyMemo core.KeyedMemo[core.EntityID, core.TrustValue] // guarded by mu
 }
 
 type pollKey struct {
@@ -155,6 +158,7 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.counts[fb.Service]++
+	m.tallyMemo.Drop(fb.Service)
 	key := pollKey{fb.Consumer, fb.Service}
 	if votes, ok := m.lastPoll[key]; ok {
 		cr := m.cred[fb.Consumer]
@@ -224,6 +228,12 @@ func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 func (m *Mechanism) globalTally(subject core.EntityID) core.TrustValue {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.tallyMemo.Get(nil, subject, func() core.TrustValue { return m.tallyLocked(subject) })
+}
+
+// tallyLocked counts verdicts; the per-node contributions are exact
+// integer increments, so map iteration order cannot change the result.
+func (m *Mechanism) tallyLocked(subject core.EntityID) core.TrustValue {
 	var good, total float64
 	for _, le := range m.local {
 		le.mu.Lock()
@@ -275,4 +285,5 @@ func (m *Mechanism) Reset() {
 	}
 	m.counts = map[core.EntityID]float64{}
 	m.lastPoll = map[pollKey][]vote{}
+	m.tallyMemo.Reset()
 }

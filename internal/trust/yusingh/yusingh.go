@@ -163,6 +163,13 @@ type Mechanism struct {
 	agents    map[core.ConsumerID]*agentState
 	counts    map[core.EntityID]float64
 	shortcuts map[core.ConsumerID][]p2p.NodeID
+
+	// Global-fuse caches (local math only — witness queries always travel
+	// the network): the sorted agent roster changes only when an agent is
+	// created, and a fused belief only when someone reports on the subject.
+	agentsEpoch core.Epoch                                     // guarded by mu
+	idsMemo     core.Memo[[]core.ConsumerID]                   // guarded by mu
+	fuseMemo    core.KeyedMemo[core.EntityID, core.TrustValue] // guarded by mu
 }
 
 var (
@@ -207,6 +214,7 @@ func (m *Mechanism) ensureAgent(c core.ConsumerID) *agentState {
 	if !ok {
 		ag = &agentState{pos: map[core.EntityID]float64{}, neg: map[core.EntityID]float64{}}
 		m.agents[c] = ag
+		m.agentsEpoch.Bump()
 		agent := ag
 		m.overlay.Network().Join(p2p.NodeID(c), func(_ p2p.NodeID, kind string, payload any) any {
 			if kind != "ys.query" {
@@ -233,6 +241,7 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 	ag.observe(fb.Service, fb.Overall())
 	m.mu.Lock()
 	m.counts[fb.Service]++
+	m.fuseMemo.Drop(fb.Service)
 	m.mu.Unlock()
 	return nil
 }
@@ -347,25 +356,37 @@ func (m *Mechanism) Shortcuts(owner core.ConsumerID) []p2p.NodeID {
 	return out
 }
 
-// globalFuse combines every agent's undiscounted belief.
+// globalFuse combines every agent's undiscounted belief, memoized per
+// subject until someone reports on it.
 func (m *Mechanism) globalFuse(subject core.EntityID) core.TrustValue {
 	m.mu.Lock()
-	ids := make([]core.ConsumerID, 0, len(m.agents))
-	for id := range m.agents {
-		ids = append(ids, id)
-	}
-	m.mu.Unlock()
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	defer m.mu.Unlock()
+	return m.fuseMemo.Get(nil, subject, func() core.TrustValue { return m.fuseLocked(subject) })
+}
+
+// fuseLocked is the recompute path; m.mu is held throughout and agent
+// locks nest inside it (nothing acquires them the other way around).
+//
+//lint:guarded fuseLocked runs with m.mu held by globalFuse
+func (m *Mechanism) fuseLocked(subject core.EntityID) core.TrustValue {
+	ids := m.idsMemo.Get(&m.agentsEpoch, m.agentIDsLocked)
 	fused := VacuousMass()
 	for _, id := range ids {
-		m.mu.Lock()
-		ag := m.agents[id]
-		m.mu.Unlock()
-		if mass, ok := ag.mass(subject); ok {
+		if mass, ok := m.agents[id].mass(subject); ok {
 			fused = Combine(fused, mass)
 		}
 	}
 	return fused.TrustValue()
+}
+
+// agentIDsLocked snapshots the agent roster in sorted order.
+func (m *Mechanism) agentIDsLocked() []core.ConsumerID {
+	ids := make([]core.ConsumerID, 0, len(m.agents))
+	for id := range m.agents {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	return ids
 }
 
 // MessageCount implements core.CostReporter.
@@ -386,4 +407,5 @@ func (m *Mechanism) Reset() {
 	}
 	m.counts = map[core.EntityID]float64{}
 	m.shortcuts = map[core.ConsumerID][]p2p.NodeID{}
+	m.fuseMemo.Reset()
 }
