@@ -5,7 +5,12 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race bench bench-suite bench-json ci
+.PHONY: all build vet lint test race cover fuzz-smoke bench bench-suite bench-json ci
+
+# Aggregate statement-coverage floor for the packages the fault layer and
+# the mechanism test harness are responsible for.
+COVER_PKGS = ./internal/trust/... ./internal/fault ./internal/p2p
+COVER_MIN  = 75.0
 
 all: ci
 
@@ -28,6 +33,26 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Coverage gate: the trust mechanisms, the fault layer, and the p2p
+# substrate must keep aggregate statement coverage at or above COVER_MIN —
+# the floor the differential/hammer/fuzz layer added in PR 4 establishes.
+cover:
+	$(GO) test -coverprofile=cover.out $(COVER_PKGS)
+	@total=$$($(GO) tool cover -func=cover.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "aggregate coverage: $$total% (floor $(COVER_MIN)%)"; \
+	awk -v t="$$total" -v min="$(COVER_MIN)" 'BEGIN { exit (t+0 < min+0) ? 1 : 0 }' || \
+	{ echo "coverage $$total% below the $(COVER_MIN)% floor"; exit 1; }
+
+# Fuzz smoke: a short budget per target so regressions in the routing and
+# backoff invariants surface in CI without stalling it. Each -fuzz run
+# needs its own invocation (go test allows one fuzz target per run).
+FUZZTIME ?= 10s
+fuzz-smoke:
+	$(GO) test ./internal/p2p -run FuzzPGridChurn -fuzz FuzzPGridChurn -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fault -run FuzzFaultPolicy -fuzz FuzzFaultPolicy -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/soa -run FuzzDecodeEnvelope -fuzz FuzzDecodeEnvelope -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/soa -run FuzzUnmarshalWSDL -fuzz FuzzUnmarshalWSDL -fuzztime $(FUZZTIME)
+
 # Package micro-benchmarks with allocation counts (Engine.Rank vs
 # RankSession, Scorer, mechanism benches).
 bench:
@@ -43,4 +68,4 @@ bench-suite:
 bench-json:
 	$(GO) run ./cmd/wsxbench -out BENCH_PR3.json
 
-ci: vet lint build test
+ci: vet lint build test cover

@@ -5,9 +5,12 @@
 // Usage:
 //
 //	wsxsim                      # run everything
-//	wsxsim -experiment F4       # one experiment (F1..F4, C1..C10, A1..A5)
+//	wsxsim -experiment F4       # one experiment (F1..F4, C1..C10, A1..A5, R1..R4)
 //	wsxsim -seed 7              # change the simulation seed
 //	wsxsim -parallel 4          # fan independent experiments over 4 workers
+//	wsxsim -faults lossy        # inject faults: a preset (lossy, lossy30,
+//	                            # churny, outage, chaos) or key=value CSV, e.g.
+//	                            # -faults drop=0.1,churn=0.05,attempts=4
 //	wsxsim -list                # list experiments
 //	wsxsim -json                # machine-readable output
 //	wsxsim -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -30,6 +33,7 @@ import (
 	"runtime/pprof"
 
 	"wstrust/internal/experiment"
+	"wstrust/internal/fault"
 )
 
 // main delegates to run so deferred profile writers flush before the
@@ -43,6 +47,7 @@ func run() (code int) {
 		id         = flag.String("experiment", "all", "experiment id (F1..F4, C1..C10, A1..A5) or 'all'")
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		parallel   = flag.Int("parallel", 1, "worker count for independent experiments (0 = all CPUs); results stay byte-identical to sequential")
+		faults     = flag.String("faults", "none", "fault profile: none, a preset (lossy, lossy30, churny, outage, chaos), or key=value CSV (drop, dup, delay, timeout, churn, rejoin, outage=FROM-TO, attempts)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON instead of text reports")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -96,6 +101,19 @@ func run() (code int) {
 			fmt.Printf("%-3s %s\n", r.ID, r.Desc)
 		}
 		return 0
+	}
+
+	profile, err := fault.ParseProfile(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if profile.Enabled() {
+		// Install before RunSuite spawns workers; environments built with
+		// no explicit profile (every F/C/A experiment) inherit it. R1-R4
+		// pin their own regimes and are unaffected.
+		experiment.SetDefaultFaults(profile)
+		fmt.Printf("faults: %s\n\n", profile)
 	}
 
 	runners := experiment.All()

@@ -31,6 +31,10 @@ func All() []Runner {
 		{"A3", A3, "ablation: newcomer policy vs whitewashing"},
 		{"A4", A4, "ablation: P-Grid replication vs churn"},
 		{"A5", A5, "ablation: P-Grid construction — central vs pairwise bootstrap"},
+		{"R1", R1, "resilience: message loss sweep 0→30% with retries"},
+		{"R2", R2, "resilience: node churn with route repair"},
+		{"R3", R3, "resilience: registry outage, stale-catalog fallback"},
+		{"R4", R4, "resilience: retry-policy ablation at fixed drop"},
 	}
 }
 

@@ -14,6 +14,8 @@ import (
 
 	"wstrust/internal/attack"
 	"wstrust/internal/core"
+	"wstrust/internal/fault"
+	"wstrust/internal/p2p"
 	"wstrust/internal/simclock"
 	"wstrust/internal/soa"
 	"wstrust/internal/workload"
@@ -46,6 +48,17 @@ type Env struct {
 	// specsGen invalidates it when the spec population changes.
 	oracle   map[oracleKey]oracleEntry
 	specsGen int64
+
+	// Fault layer (zero Faults = perfect substrate; every field below is
+	// then nil and all Wire* calls are no-ops, so fault-free runs are
+	// byte-identical to builds without this layer).
+	Faults     fault.Profile
+	seed       int64
+	injector   *fault.Injector
+	retrier    *fault.Retrier
+	churners   []*fault.Churner
+	wireSeq    int64
+	faultRound int // current Run round; drives outage windows
 }
 
 type oracleKey struct {
@@ -71,7 +84,21 @@ type EnvConfig struct {
 	// CustomServices overrides generation with a prebuilt population
 	// (specialist markets, mediated scenarios).
 	CustomServices []workload.ServiceSpec
+	// Faults selects the fault regime. nil inherits the process default
+	// (set by wsxsim -faults); a non-nil profile is used verbatim, so
+	// experiments that need a specific regime — including the explicitly
+	// perfect substrate of a baseline run — pass their own.
+	Faults *fault.Profile
 }
+
+// defaultFaults is the process-wide profile cfg.Faults == nil inherits.
+// Set once by SetDefaultFaults before any experiments run (wsxsim does it
+// before RunSuite spawns workers); never written concurrently.
+var defaultFaults fault.Profile
+
+// SetDefaultFaults installs the fault profile environments inherit when
+// their config carries none. Call before running experiments.
+func SetDefaultFaults(p fault.Profile) { defaultFaults = p }
 
 // NewEnv builds the marketplace: generates the populations, publishes
 // every service on a fabric, and assigns attackers.
@@ -102,11 +129,114 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 		Consumers: consumers,
 		Liars:     attack.Assign(ids, cfg.LiarFraction, cfg.Attack),
 		specByID:  map[core.ServiceID]workload.ServiceSpec{},
+		seed:      cfg.Seed,
 	}
 	for _, s := range specs {
 		env.specByID[s.Desc.Service] = s
 	}
+	profile := defaultFaults
+	if cfg.Faults != nil {
+		profile = *cfg.Faults
+	}
+	if profile.Enabled() {
+		env.Faults = profile
+		env.injector = fault.NewInjector(cfg.Seed, profile, clock)
+		env.retrier = profile.Retry.Bind(cfg.Seed, clock)
+		if len(profile.Outages) > 0 {
+			windows := append([]fault.Window(nil), profile.Outages...)
+			fabric.UDDI().SetBrowseGate(func() bool {
+				for _, w := range windows {
+					if w.Contains(env.faultRound) {
+						return false
+					}
+				}
+				return true
+			})
+		}
+	}
 	return env, nil
+}
+
+// WireNetwork attaches the environment's fault layer to a p2p transport:
+// the seeded per-link injector and the shared retry policy. A no-op when
+// faults are disabled, so mechanism builders call it unconditionally.
+func (e *Env) WireNetwork(net *p2p.Network) {
+	if e.injector == nil {
+		return
+	}
+	net.SetFaultInjector(e.injector)
+	net.SetRetrier(e.retrier)
+}
+
+// WireGrid fault-wires a P-Grid: transport faults plus churn with route
+// repair after every membership change.
+func (e *Env) WireGrid(g *p2p.PGrid) {
+	if e.injector == nil {
+		return
+	}
+	e.WireNetwork(g.Network())
+	if e.Faults.ChurnRate > 0 {
+		c := e.newChurner(g.Network())
+		rng := e.repairRNG()
+		c.OnRepair(func() { g.RepairRoutes(rng) })
+	}
+}
+
+// WireOverlay fault-wires an unstructured overlay: transport faults plus
+// churn with neighbour re-wiring after every membership change.
+func (e *Env) WireOverlay(o *p2p.Overlay) {
+	if e.injector == nil {
+		return
+	}
+	e.WireNetwork(o.Network())
+	if e.Faults.ChurnRate > 0 {
+		c := e.newChurner(o.Network())
+		rng := e.repairRNG()
+		c.OnRepair(func() { o.Rewire(rng) })
+	}
+}
+
+// newChurner builds a churner for one network with a wiring-unique seed
+// (two substrates in one env must not churn in lockstep).
+func (e *Env) newChurner(net *p2p.Network) *fault.Churner {
+	e.wireSeq++
+	c := fault.NewChurner(net, e.seed+e.wireSeq*1_000_003, e.Faults)
+	e.churners = append(e.churners, c)
+	return c
+}
+
+// repairRNG returns a wiring-unique stream for repair randomness.
+func (e *Env) repairRNG() *rand.Rand {
+	e.wireSeq++
+	return simclock.Stream(e.seed, fmt.Sprintf("fault.repair:%d", e.wireSeq))
+}
+
+// ChurnStats sums down/up transitions across every wired churner (zero
+// when faults are off or no churn-capable substrate was wired).
+func (e *Env) ChurnStats() (down, up int64) {
+	for _, c := range e.churners {
+		d, u := c.Churned()
+		down += d
+		up += u
+	}
+	return down, up
+}
+
+// FaultStats reports the injector's accounting (zero when faults are off).
+func (e *Env) FaultStats() fault.Stats {
+	if e.injector == nil {
+		return fault.Stats{}
+	}
+	return e.injector.Stats()
+}
+
+// RetryStats reports how many transport retries fired and the virtual time
+// they waited (zero when faults are off).
+func (e *Env) RetryStats() (retries int64, waited time.Duration) {
+	if e.retrier == nil {
+		return 0, 0
+	}
+	return e.retrier.Retries(), e.retrier.Waited()
 }
 
 // Spec returns the generated spec for a service.
@@ -143,7 +273,14 @@ func (e *Env) ReplaceSpec(s workload.ServiceSpec) {
 // same backing array also lets core.RankSession detect an unchanged set by
 // identity and skip re-normalizing.
 func (e *Env) Candidates(category string) []core.Candidate {
-	if v := e.Fabric.UDDI().Version(); e.candCache == nil || v != e.candVersion {
+	uddi := e.Fabric.UDDI()
+	if !uddi.Available() {
+		// Registry outage: degrade to the stale cached view rather than
+		// stalling selection — consumers keep choosing among the services
+		// they already know about until discovery comes back.
+		return e.candCache[category]
+	}
+	if v := uddi.Version(); e.candCache == nil || v != e.candVersion {
 		e.candCache = map[string][]core.Candidate{}
 		e.candVersion = v
 	}
@@ -151,7 +288,7 @@ func (e *Env) Candidates(category string) []core.Candidate {
 		return out
 	}
 	var out []core.Candidate
-	for _, d := range e.Fabric.UDDI().All() {
+	for _, d := range uddi.All() {
 		if category == "" || d.Category == category {
 			out = append(out, d.Candidate())
 		}

@@ -45,7 +45,9 @@ func AllMechanisms() []MechanismBuilder {
 		for i, id := range ids {
 			nodeIDs[i] = p2p.NodeID(id)
 		}
-		return p2p.NewRandomOverlay(net, nodeIDs, degree, simclock.Stream(1, "overlay")), ids
+		o := p2p.NewRandomOverlay(net, nodeIDs, degree, simclock.Stream(1, "overlay"))
+		env.WireOverlay(o)
+		return o, ids
 	}
 	gridFor := func(env *Env) (*p2p.PGrid, []p2p.NodeID, error) {
 		net := p2p.NewNetwork()
@@ -58,7 +60,15 @@ func AllMechanisms() []MechanismBuilder {
 			ids[i] = p2p.NodeID(fmt.Sprintf("peer%03d", i))
 		}
 		g, err := p2p.BuildPGrid(net, ids, 3, simclock.Stream(2, "grid"))
+		if err == nil {
+			env.WireGrid(g)
+		}
 		return g, ids, err
+	}
+	netFor := func(env *Env) *p2p.Network {
+		net := p2p.NewNetwork()
+		env.WireNetwork(net)
+		return net
 	}
 
 	return []MechanismBuilder{
@@ -122,10 +132,10 @@ func AllMechanisms() []MechanismBuilder {
 			if len(pre) > 3 {
 				pre = pre[len(pre)-3:] // honest tail of the population
 			}
-			return eigentrust.New(eigentrust.WithNetwork(p2p.NewNetwork()), eigentrust.WithPreTrusted(pre...)), nil
+			return eigentrust.New(eigentrust.WithNetwork(netFor(env)), eigentrust.WithPreTrusted(pre...)), nil
 		}},
-		{"peertrust", func(*Env) (core.Mechanism, error) {
-			return peertrust.New(peertrust.WithNetwork(p2p.NewNetwork())), nil
+		{"peertrust", func(env *Env) (core.Mechanism, error) {
+			return peertrust.New(peertrust.WithNetwork(netFor(env))), nil
 		}},
 		{"complaints", func(env *Env) (core.Mechanism, error) {
 			g, ids, err := gridFor(env)
@@ -142,8 +152,8 @@ func AllMechanisms() []MechanismBuilder {
 			overlay, ids := overlayFor(env, 4)
 			return xrep.New(overlay, ids), nil
 		}},
-		{"wang-vassileva", func(*Env) (core.Mechanism, error) {
-			return bayesnet.New(p2p.NewNetwork()), nil
+		{"wang-vassileva", func(env *Env) (core.Mechanism, error) {
+			return bayesnet.New(netFor(env)), nil
 		}},
 		{"vu-qos", func(env *Env) (core.Mechanism, error) {
 			g, ids, err := gridFor(env)

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the committed suite digest:
+//
+//	go test ./internal/experiment -run TestGoldenSuiteSeed42 -update
+var updateGolden = flag.Bool("update", false, "rewrite testdata/suite_seed42.sha256 from the current suite output")
+
+const goldenDigestFile = "testdata/suite_seed42.sha256"
+
+// suiteText renders outcomes exactly as `wsxsim` prints them: one
+// Report.String() per experiment, each followed by the extra newline
+// fmt.Println adds, in All() order. Any error aborts — a failed
+// experiment has no canonical text.
+func suiteText(t *testing.T, outs []Outcome) string {
+	t.Helper()
+	var b strings.Builder
+	for _, o := range outs {
+		if o.Err != nil {
+			t.Fatalf("%s: failed: %v", o.Runner.ID, o.Err)
+		}
+		b.WriteString(o.Report.String())
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// TestGoldenSuiteSeed42 is the regression lock on the repository's core
+// promise: the full seed-42 suite output is byte-stable. It regenerates
+// all 23 reports sequentially and with -parallel 4, requires the two
+// renderings to be byte-identical, and compares their sha256 against the
+// committed digest. Any change to report bytes — a reordered fold, a new
+// RNG draw, a formatting tweak — fails here and must be accompanied by a
+// deliberate `-update` of the digest.
+func TestGoldenSuiteSeed42(t *testing.T) {
+	if raceEnabled || testing.Short() {
+		t.Skip("full-suite golden check skipped under -race/-short (covered by the fast-subset determinism test)")
+	}
+	const seed = 42
+
+	seq := suiteText(t, RunAll(seed, 1))
+	par := suiteText(t, RunAll(seed, 4))
+	if seq != par {
+		t.Fatal("-parallel 4 suite text differs from sequential at the same seed")
+	}
+
+	sum := sha256.Sum256([]byte(seq))
+	got := hex.EncodeToString(sum[:])
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenDigestFile), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenDigestFile, []byte(got+"\n"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %s: %s", goldenDigestFile, got)
+		return
+	}
+
+	raw, err := os.ReadFile(goldenDigestFile)
+	if err != nil {
+		t.Fatalf("missing golden digest (regenerate with -update): %v", err)
+	}
+	want := strings.TrimSpace(string(raw))
+	if got != want {
+		t.Errorf("seed-42 suite digest changed:\n  got  %s\n  want %s\n"+
+			"If the output change is intentional, rerun with -update and commit the new digest.",
+			got, want)
+	}
+}

@@ -30,6 +30,10 @@ type RunResult struct {
 	Invocations, Faults int64
 	// Messages counts mechanism communication (CostReporter), if any.
 	Messages int64
+	// LostSubmits counts feedback the mechanism could not durably record
+	// under injected faults (fault-enabled runs degrade instead of
+	// aborting; fault-free runs still treat a submit error as fatal).
+	LostSubmits int64
 }
 
 // RunOptions tunes the loop.
@@ -69,6 +73,7 @@ func (e *Env) Run(mech core.Mechanism, opts RunOptions) (RunResult, error) {
 	startCalls := e.Fabric.Calls()
 
 	for round := 0; round < opts.Rounds; round++ {
+		e.faultRound = round // outage windows key off the loop round
 		var roundRegret float64
 		var roundN int
 		for _, consumer := range e.Consumers {
@@ -126,7 +131,11 @@ func (e *Env) Run(mech core.Mechanism, opts RunOptions) (RunResult, error) {
 				At:       e.Clock.Now(),
 			}
 			if err := submit(fb); err != nil {
-				return res, fmt.Errorf("experiment: submit: %w", err)
+				if e.Faults.Enabled() {
+					res.LostSubmits++ // degraded, not fatal: the round goes on
+				} else {
+					return res, fmt.Errorf("experiment: submit: %w", err)
+				}
 			}
 		}
 		if t, ok := mech.(core.Ticker); ok {
@@ -134,6 +143,9 @@ func (e *Env) Run(mech core.Mechanism, opts RunOptions) (RunResult, error) {
 		}
 		if opts.OnRound != nil {
 			opts.OnRound(round)
+		}
+		for _, c := range e.churners {
+			c.Step()
 		}
 		e.Clock.Advance(RoundDuration)
 		res.RegretSeries = append(res.RegretSeries, roundRegret/float64(roundN))

@@ -1,0 +1,183 @@
+// Package fault is the deterministic fault-injection layer for the
+// decentralized substrate: seeded per-link message drop, delay and
+// duplication on p2p.Network, node churn (suspend + resume with P-Grid
+// route repair and overlay re-wiring), and registry outage windows on the
+// SOA side. The survey's Section 5 names decentralized reputation as the
+// open problem and prices it in "a lot of communication and calculation";
+// this package supplies the half of that price the perfect in-memory
+// substrate hides — what happens when the communication fails.
+//
+// Everything here is driven by simclock: randomness comes from seeded
+// streams (one per link, one for churn, one per backoff schedule) and
+// backoff advances a simclock.Virtual rather than sleeping, so a faulted
+// run replays byte-for-byte from its seed and stays wsxlint
+// determinism-clean. With the zero Profile nothing is installed and every
+// message count, report byte and RNG draw is identical to a fault-free
+// run.
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Window is a half-open interval of simulation rounds [From, To) during
+// which the service registry is unreachable.
+type Window struct {
+	From, To int
+}
+
+// Contains reports whether round falls inside the window.
+func (w Window) Contains(round int) bool { return round >= w.From && round < w.To }
+
+// Profile describes one fault regime. The zero value is the perfect
+// substrate: nothing is dropped, nobody churns, the registry stays up.
+type Profile struct {
+	// Name labels the profile in reports and flags.
+	Name string
+	// DropRate is the per-message probability that a request is lost
+	// before its handler, and independently that a reply is lost on the
+	// way back (the handler then ran — the at-least-once hazard).
+	DropRate float64
+	// DuplicateRate is the probability a delivered request is re-delivered
+	// one extra time (duplicate suppression is the mechanism's problem).
+	DuplicateRate float64
+	// MeanDelay is the mean of the exponentially distributed virtual
+	// latency added to each delivered message. Zero adds none.
+	MeanDelay time.Duration
+	// Timeout, when positive, loses any message whose drawn latency
+	// exceeds it — a slow link is indistinguishable from a dead one.
+	Timeout time.Duration
+	// ChurnRate is the per-round probability that each up peer goes down.
+	ChurnRate float64
+	// RejoinRate is the per-round probability that each down peer comes
+	// back (with its state intact).
+	RejoinRate float64
+	// Outages are the registry outage windows, in simulation rounds.
+	Outages []Window
+	// Retry is the transport retry policy decentralized lookups run
+	// under. The zero Policy means a single attempt and no backoff.
+	Retry Policy
+}
+
+// Enabled reports whether the profile injects any fault at all.
+func (p Profile) Enabled() bool {
+	return p.DropRate > 0 || p.DuplicateRate > 0 || p.MeanDelay > 0 ||
+		p.ChurnRate > 0 || len(p.Outages) > 0
+}
+
+// String renders the profile compactly for report headers.
+func (p Profile) String() string {
+	if !p.Enabled() {
+		return "none"
+	}
+	parts := []string{}
+	if p.Name != "" {
+		parts = append(parts, p.Name)
+	}
+	if p.DropRate > 0 {
+		parts = append(parts, fmt.Sprintf("drop=%g", p.DropRate))
+	}
+	if p.DuplicateRate > 0 {
+		parts = append(parts, fmt.Sprintf("dup=%g", p.DuplicateRate))
+	}
+	if p.MeanDelay > 0 {
+		parts = append(parts, fmt.Sprintf("delay=%s", p.MeanDelay))
+	}
+	if p.Timeout > 0 {
+		parts = append(parts, fmt.Sprintf("timeout=%s", p.Timeout))
+	}
+	if p.ChurnRate > 0 {
+		parts = append(parts, fmt.Sprintf("churn=%g/rejoin=%g", p.ChurnRate, p.RejoinRate))
+	}
+	for _, w := range p.Outages {
+		parts = append(parts, fmt.Sprintf("outage=%d-%d", w.From, w.To))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Presets returns the named fault profiles `wsxsim -faults` accepts
+// alongside the key=value syntax, in display order.
+func Presets() []Profile {
+	retry := DefaultPolicy()
+	return []Profile{
+		{Name: "lossy", DropRate: 0.10, Retry: retry},
+		{Name: "lossy30", DropRate: 0.30, Retry: retry},
+		{Name: "churny", ChurnRate: 0.10, RejoinRate: 0.5, Retry: retry},
+		{Name: "outage", Outages: []Window{{From: 6, To: 12}}, Retry: retry},
+		{Name: "chaos", DropRate: 0.15, DuplicateRate: 0.05, ChurnRate: 0.10,
+			RejoinRate: 0.5, Outages: []Window{{From: 6, To: 10}}, Retry: retry},
+	}
+}
+
+// ParseProfile turns a -faults argument into a Profile: "none"/"" for the
+// perfect substrate, a preset name from Presets, or a comma-separated
+// key=value list — drop=0.1,dup=0.05,delay=20ms,timeout=100ms,churn=0.1,
+// rejoin=0.5,outage=5-9,attempts=4. Unknown keys are errors.
+func ParseProfile(s string) (Profile, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return Profile{}, nil
+	}
+	for _, p := range Presets() {
+		if p.Name == s {
+			return p, nil
+		}
+	}
+	p := Profile{Name: "custom", Retry: DefaultPolicy()}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("fault: %q is not key=value (and not a preset; see -faults help)", part)
+		}
+		switch key {
+		case "drop", "dup", "churn", "rejoin":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f > 1 {
+				return Profile{}, fmt.Errorf("fault: %s=%q wants a probability in [0,1]", key, val)
+			}
+			switch key {
+			case "drop":
+				p.DropRate = f
+			case "dup":
+				p.DuplicateRate = f
+			case "churn":
+				p.ChurnRate = f
+			case "rejoin":
+				p.RejoinRate = f
+			}
+		case "delay", "timeout":
+			d, err := time.ParseDuration(val)
+			if err != nil || d < 0 {
+				return Profile{}, fmt.Errorf("fault: %s=%q wants a non-negative duration", key, val)
+			}
+			if key == "delay" {
+				p.MeanDelay = d
+			} else {
+				p.Timeout = d
+			}
+		case "attempts":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Profile{}, fmt.Errorf("fault: attempts=%q wants an integer ≥ 1", val)
+			}
+			p.Retry.MaxAttempts = n
+		case "outage":
+			lo, hi, ok := strings.Cut(val, "-")
+			from, err1 := strconv.Atoi(lo)
+			to, err2 := strconv.Atoi(hi)
+			if !ok || err1 != nil || err2 != nil || from < 0 || to < from {
+				return Profile{}, fmt.Errorf("fault: outage=%q wants FROM-TO rounds with TO ≥ FROM", val)
+			}
+			p.Outages = append(p.Outages, Window{From: from, To: to})
+		default:
+			return Profile{}, fmt.Errorf("fault: unknown profile key %q", key)
+		}
+	}
+	if p.ChurnRate > 0 && p.RejoinRate == 0 {
+		p.RejoinRate = 0.5 // churn without rejoin empties the network
+	}
+	return p, nil
+}

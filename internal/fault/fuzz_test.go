@@ -1,0 +1,52 @@
+package fault
+
+import (
+	"testing"
+	"time"
+)
+
+// FuzzFaultPolicy hammers the three Schedule invariants across arbitrary
+// policies and seeds: the schedule is seed-deterministic, monotone
+// non-decreasing, and every delay is positive and bounded by the
+// normalized cap.
+func FuzzFaultPolicy(f *testing.F) {
+	f.Add(int64(42), 3, int64(50), int64(2000), 2.0)
+	f.Add(int64(7), 1, int64(0), int64(0), 0.0)
+	f.Add(int64(-1), 9, int64(1), int64(1), 1.5)
+	f.Fuzz(func(t *testing.T, seed int64, attempts int, baseMs, capMs int64, mult float64) {
+		if attempts < 0 {
+			attempts = -attempts
+		}
+		p := Policy{
+			MaxAttempts: attempts % 16,
+			Base:        time.Duration(baseMs%10_000) * time.Millisecond,
+			Cap:         time.Duration(capMs%60_000) * time.Millisecond,
+			Multiplier:  mult,
+		}
+		n := p.normalized()
+		sched := p.Schedule(seed)
+		again := p.Schedule(seed)
+		if len(sched) != len(again) {
+			t.Fatalf("schedule length changed between calls: %d vs %d", len(sched), len(again))
+		}
+		if want := n.MaxAttempts - 1; len(sched) != want {
+			t.Fatalf("schedule has %d entries, want %d for %d attempts", len(sched), want, n.MaxAttempts)
+		}
+		prev := time.Duration(0)
+		for i, d := range sched {
+			if d != again[i] {
+				t.Fatalf("entry %d differs between same-seed calls: %v vs %v", i, d, again[i])
+			}
+			if d <= 0 {
+				t.Fatalf("entry %d is %v, want positive", i, d)
+			}
+			if d < prev {
+				t.Fatalf("entry %d (%v) below predecessor (%v): schedule not monotone", i, d, prev)
+			}
+			if d > n.Cap {
+				t.Fatalf("entry %d (%v) above cap %v", i, d, n.Cap)
+			}
+			prev = d
+		}
+	})
+}

@@ -1,0 +1,224 @@
+package fault
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"wstrust/internal/p2p"
+	"wstrust/internal/simclock"
+)
+
+// Stats is an injector's cumulative fault accounting.
+type Stats struct {
+	// Requests is the number of delivery attempts inspected.
+	Requests int64
+	// DroppedRequests and DroppedReplies count outright losses.
+	DroppedRequests, DroppedReplies int64
+	// TimedOut counts messages lost to latency above Profile.Timeout.
+	TimedOut int64
+	// Duplicated counts extra deliveries injected.
+	Duplicated int64
+	// DelayTotal is the summed virtual latency added to delivered messages.
+	DelayTotal time.Duration
+}
+
+// Lost is every message that never (observably) arrived.
+func (s Stats) Lost() int64 { return s.DroppedRequests + s.DroppedReplies + s.TimedOut }
+
+// Injector implements p2p.FaultInjector: it draws each link's faults from
+// that link's own seeded stream, so adding traffic on one link never
+// perturbs the draws of another — the same variance-reduction discipline
+// simclock.Stream gives the workload generators. Safe for concurrent use;
+// within one single-goroutine simulation the draw order is fixed and the
+// whole fault pattern replays from the seed.
+type Injector struct {
+	seed    int64
+	profile Profile
+	clock   *simclock.Virtual // optional; delivered-message latency advances it
+
+	mu    sync.Mutex
+	links map[string]*rand.Rand // guarded by mu
+	stats Stats                 // guarded by mu
+}
+
+// NewInjector builds an injector for the profile. clock may be nil; when
+// set, each delivered message's drawn latency advances it, so delay shows
+// up in feedback timestamps and decay computations like real slowness
+// would.
+func NewInjector(seed int64, p Profile, clock *simclock.Virtual) *Injector {
+	return &Injector{seed: seed, profile: p, clock: clock, links: map[string]*rand.Rand{}}
+}
+
+// Profile returns the profile the injector runs.
+func (in *Injector) Profile() Profile { return in.profile }
+
+// linkRNG returns the seeded stream for one directed link.
+//
+//lint:guarded linkRNG runs with in.mu held by Cut
+func (in *Injector) linkRNG(from, to p2p.NodeID) *rand.Rand {
+	key := string(from) + "→" + string(to)
+	r, ok := in.links[key]
+	if !ok {
+		r = simclock.Stream(in.seed, "fault.link:"+key)
+		in.links[key] = r
+	}
+	return r
+}
+
+// Cut implements p2p.FaultInjector. Draw order per attempt is fixed —
+// request loss, latency, reply loss, duplication — so one seed yields one
+// fault pattern.
+func (in *Injector) Cut(from, to p2p.NodeID, kind string) p2p.LinkFault {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	r := in.linkRNG(from, to)
+	in.stats.Requests++
+
+	var cut p2p.LinkFault
+	if in.profile.DropRate > 0 && r.Float64() < in.profile.DropRate {
+		in.stats.DroppedRequests++
+		cut.DropRequest = true
+		return cut
+	}
+	if in.profile.MeanDelay > 0 {
+		latency := time.Duration(r.ExpFloat64() * float64(in.profile.MeanDelay))
+		if in.profile.Timeout > 0 && latency > in.profile.Timeout {
+			in.stats.TimedOut++
+			cut.DropRequest = true
+			return cut
+		}
+		in.stats.DelayTotal += latency
+		if in.clock != nil {
+			in.clock.Advance(latency)
+		}
+	}
+	if in.profile.DropRate > 0 && r.Float64() < in.profile.DropRate {
+		in.stats.DroppedReplies++
+		cut.DropReply = true
+	}
+	if in.profile.DuplicateRate > 0 && r.Float64() < in.profile.DuplicateRate {
+		in.stats.Duplicated++
+		cut.Duplicate = 1
+	}
+	return cut
+}
+
+// Stats returns a snapshot of the fault accounting.
+func (in *Injector) Stats() Stats {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.stats
+}
+
+// Churner drives node churn on one network, round by round: each Step,
+// every up peer goes down with probability ChurnRate and every down peer
+// comes back with probability RejoinRate, both drawn from the churner's
+// own seeded stream over the sorted membership. Suspended peers keep
+// their state (P-Grid shards survive the round trip). After any toggle
+// the registered repair hooks run — P-Grid route repair, overlay
+// re-wiring — exactly once per Step.
+type Churner struct {
+	net *p2p.Network
+	rng *rand.Rand
+	p   Profile
+	// MinAlive floors the up population so a market never churns itself
+	// to death mid-experiment (default 1).
+	MinAlive int
+
+	mu      sync.Mutex
+	down    map[p2p.NodeID]bool // guarded by mu
+	repairs []func()            // guarded by mu
+	downN   int64               // guarded by mu
+	upN     int64               // guarded by mu
+}
+
+// NewChurner builds a churner over net.
+func NewChurner(net *p2p.Network, seed int64, p Profile) *Churner {
+	if net == nil {
+		panic("fault: NewChurner requires a network")
+	}
+	return &Churner{
+		net:      net,
+		rng:      simclock.Stream(seed, "fault.churn"),
+		p:        p,
+		MinAlive: 1,
+		down:     map[p2p.NodeID]bool{},
+	}
+}
+
+// OnRepair registers a hook run after every Step that toggled any peer.
+func (c *Churner) OnRepair(fn func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.repairs = append(c.repairs, fn)
+}
+
+// Step runs one round of churn and reports how many peers toggled.
+func (c *Churner) Step() int {
+	if c.p.ChurnRate <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := c.net.Nodes()
+	alive := 0
+	for _, id := range ids {
+		if !c.down[id] {
+			alive++
+		}
+	}
+	toggled := 0
+	for _, id := range ids {
+		if c.down[id] {
+			if c.rng.Float64() < c.p.RejoinRate {
+				c.net.Resume(id)
+				delete(c.down, id)
+				alive++
+				c.upN++
+				toggled++
+			}
+			continue
+		}
+		if alive > c.MinAlive && c.rng.Float64() < c.p.ChurnRate {
+			c.net.Suspend(id)
+			c.down[id] = true
+			alive--
+			c.downN++
+			toggled++
+		}
+	}
+	if toggled > 0 {
+		for _, fn := range c.repairs {
+			fn()
+		}
+	}
+	return toggled
+}
+
+// Down returns the currently suspended peers, sorted.
+func (c *Churner) Down() []p2p.NodeID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]p2p.NodeID, 0, len(c.down))
+	for id := range c.down {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// Churned reports cumulative down/up transitions.
+func (c *Churner) Churned() (down, up int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.downN, c.upN
+}
+
+// String aids debugging.
+func (c *Churner) String() string {
+	down, up := c.Churned()
+	return fmt.Sprintf("churner(down=%d up=%d suspended=%d)", down, up, len(c.Down()))
+}

@@ -1,0 +1,37 @@
+package bad
+
+import "time"
+
+// RetrySleep is the retry shape the fault layer exists to forbid: backoff
+// burns real wall-clock time, so the run's duration — and any timestamp
+// derived from it — depends on scheduler load instead of the seed.
+func RetrySleep(op func() error, attempts int) error {
+	var err error
+	for i := 0; i < attempts; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		time.Sleep(time.Duration(i+1) * 50 * time.Millisecond) // want `wall clock`
+	}
+	return err
+}
+
+// RetryTimer is the channel-flavoured twin: timers schedule on the wall
+// clock just as Sleep blocks on it.
+func RetryTimer(op func() error) error {
+	if err := op(); err != nil {
+		timer := time.NewTimer(100 * time.Millisecond) // want `wall clock`
+		<-timer.C
+		return op()
+	}
+	return nil
+}
+
+// RetryAfter leaks the wall clock through a select arm.
+func RetryAfter(op func() error) error {
+	if err := op(); err != nil {
+		<-time.After(time.Second) // want `wall clock`
+		return op()
+	}
+	return nil
+}

@@ -1,0 +1,26 @@
+package good
+
+import "time"
+
+// Clock is the injected-time seam: the fault layer's Retrier advances a
+// virtual clock by the scheduled delay instead of sleeping, so backoff
+// costs simulated time and the run stays replayable from its seed.
+type Clock interface {
+	Advance(d time.Duration)
+}
+
+// RetryBackoff is the compliant retry shape: attempts are bounded, the
+// backoff schedule is precomputed (seeded elsewhere), and waiting is a
+// pure clock advance — no wall-clock entry point anywhere.
+func RetryBackoff(op func() error, clock Clock, schedule []time.Duration) error {
+	var err error
+	for i := 0; ; i++ {
+		if err = op(); err == nil {
+			return nil
+		}
+		if i >= len(schedule) {
+			return err
+		}
+		clock.Advance(schedule[i])
+	}
+}

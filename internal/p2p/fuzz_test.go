@@ -1,0 +1,96 @@
+package p2p
+
+import (
+	"fmt"
+	"testing"
+
+	"wstrust/internal/simclock"
+)
+
+// FuzzPGridChurn drives a P-Grid through arbitrary suspend/resume/repair/
+// route sequences and checks the availability contract the fault
+// experiments lean on: whenever the origin is alive and the key's shard
+// keeps at least one alive replica, routing must reach an alive replica;
+// with the whole shard down it must fail rather than return a dead node.
+func FuzzPGridChurn(f *testing.F) {
+	f.Add(int64(7), []byte{0x03, 0x12, 0x47, 0x02, 0xff, 0x23})
+	f.Add(int64(42), []byte{0x00, 0x01, 0x02, 0x03, 0x04, 0x05, 0x06, 0x07})
+	f.Add(int64(1), []byte{})
+	f.Fuzz(func(t *testing.T, seed int64, ops []byte) {
+		net := NewNetwork()
+		ids := make([]NodeID, 16)
+		for i := range ids {
+			ids[i] = NodeID(fmt.Sprintf("peer%03d", i))
+		}
+		g, err := BuildPGrid(net, ids, 3, simclock.NewRand(seed))
+		if err != nil {
+			t.Fatalf("build grid: %v", err)
+		}
+		repairRNG := simclock.NewRand(seed + 1)
+		keys := make([]string, 8)
+		for i := range keys {
+			keys[i] = fmt.Sprintf("key%02d", i)
+		}
+		aliveReplica := func(key string) bool {
+			for _, r := range g.Replicas(key) {
+				if net.Alive(r) {
+					return true
+				}
+			}
+			return false
+		}
+		isReplica := func(key string, id NodeID) bool {
+			for _, r := range g.Replicas(key) {
+				if r == id {
+					return true
+				}
+			}
+			return false
+		}
+		for _, op := range ops {
+			node := ids[int(op>>2)%len(ids)]
+			switch op % 4 {
+			case 0:
+				net.Suspend(node)
+			case 1:
+				net.Resume(node)
+			case 2:
+				g.RepairRoutes(repairRNG)
+			default:
+				key := keys[int(op>>2)%len(keys)]
+				var origin NodeID
+				for _, id := range ids {
+					if net.Alive(id) {
+						origin = id
+						break
+					}
+				}
+				if origin == "" {
+					continue // everyone is down; nothing to route from
+				}
+				arrived, _, err := g.Route(origin, key)
+				if aliveReplica(key) {
+					if err != nil {
+						t.Fatalf("route %s from %s failed with an alive replica: %v", key, origin, err)
+					}
+					if !isReplica(key, arrived) || !net.Alive(arrived) {
+						t.Fatalf("route %s arrived at %s: not an alive replica", key, arrived)
+					}
+				} else if err == nil {
+					t.Fatalf("route %s from %s succeeded at %s with the whole shard down", key, origin, arrived)
+				}
+			}
+		}
+		// Full recovery: resume everyone, repair, and every key must route
+		// again from every node.
+		for _, id := range ids {
+			net.Resume(id)
+		}
+		g.RepairRoutes(repairRNG)
+		for _, key := range keys {
+			if _, _, err := g.Route(ids[0], key); err != nil {
+				t.Fatalf("route %s after full recovery: %v", key, err)
+			}
+		}
+	})
+}

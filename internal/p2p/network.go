@@ -9,6 +9,13 @@
 // mechanism's communication cost — the thing the paper says makes these
 // designs "much more complicated ... a lot of communication and
 // calculation" — is measured, not asserted (experiments F4 and C6).
+//
+// The network is perfect by default: every message to a joined node is
+// delivered. A FaultInjector (internal/fault) turns it lossy — per-link
+// drops, duplicated deliveries, reply loss — and a Retrier adds the
+// retry/backoff transport policy the resilience experiments (R1–R4)
+// ablate. With neither installed, delivery and accounting are byte-for-byte
+// what they always were.
 package p2p
 
 import (
@@ -23,45 +30,117 @@ type NodeID string
 // Handler processes one incoming message and returns a reply payload.
 type Handler func(from NodeID, kind string, payload any) any
 
+// LinkFault is a fault layer's verdict on one delivery attempt.
+type LinkFault struct {
+	// DropRequest loses the request before it reaches the handler.
+	DropRequest bool
+	// DropReply runs the handler (the side effect lands) but loses the
+	// reply on the way back, so the sender sees a failure — the classic
+	// at-least-once hazard.
+	DropReply bool
+	// Duplicate re-delivers the request this many extra times; each extra
+	// delivery runs the handler again and costs a message.
+	Duplicate int
+}
+
+// FaultInjector decides the fate of each delivery attempt on a link. A nil
+// injector is the perfect network. Implementations must be deterministic
+// given their own seed: the network consults them in a fixed call order
+// within a single-goroutine simulation.
+type FaultInjector interface {
+	Cut(from, to NodeID, kind string) LinkFault
+}
+
+// Retrier is the transport retry policy consulted after a failed delivery
+// attempt (fault drop, reply loss, or unreachable node — churned peers can
+// come back). Backoff runs between attempts and is where implementations
+// advance virtual time; the network itself never sleeps.
+type Retrier interface {
+	// Attempts is the maximum number of delivery attempts (≥ 1).
+	Attempts() int
+	// Backoff is called before retry number attempt (1-based).
+	Backoff(attempt int)
+}
+
 // Network is the in-memory transport. It delivers synchronous
 // request/reply messages between joined nodes and counts every request and
 // reply. Safe for concurrent use.
 type Network struct {
-	mu       sync.Mutex
-	handlers map[NodeID]Handler
-	msgs     int64
+	mu        sync.Mutex
+	handlers  map[NodeID]Handler
+	suspended map[NodeID]bool // guarded by mu
+	msgs      int64
+	injector  FaultInjector // guarded by mu
+	retrier   Retrier       // guarded by mu
 }
 
 // NewNetwork returns an empty network.
 func NewNetwork() *Network {
-	return &Network{handlers: map[NodeID]Handler{}}
+	return &Network{handlers: map[NodeID]Handler{}, suspended: map[NodeID]bool{}}
+}
+
+// SetFaultInjector installs (or, with nil, removes) the fault layer.
+func (n *Network) SetFaultInjector(fi FaultInjector) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.injector = fi
+}
+
+// SetRetrier installs (or, with nil, removes) the transport retry policy.
+func (n *Network) SetRetrier(r Retrier) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.retrier = r
 }
 
 // Join registers a node. A nil handler joins a passive node that can send
-// but answers nothing (Send to it fails).
+// but answers nothing (Send to it fails). Joining clears any suspension.
 func (n *Network) Join(id NodeID, h Handler) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.handlers[id] = h
+	delete(n.suspended, id)
 }
 
 // Leave removes a node; messages to it then fail, which is how experiments
-// model churn.
+// model permanent departure.
 func (n *Network) Leave(id NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	delete(n.handlers, id)
+	delete(n.suspended, id)
 }
 
-// Alive reports whether a node is joined.
+// Suspend marks a joined node down without discarding its handler or
+// state: sends to it fail exactly as after Leave, but Resume brings it
+// back — the leave-and-rejoin half of churn. Suspending an unknown node is
+// a no-op.
+func (n *Network) Suspend(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if _, ok := n.handlers[id]; ok {
+		n.suspended[id] = true
+	}
+}
+
+// Resume lifts a suspension; the node answers again with the state it held
+// when it went down (replicas do not forget their shards).
+func (n *Network) Resume(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.suspended, id)
+}
+
+// Alive reports whether a node is joined and not suspended.
 func (n *Network) Alive(id NodeID) bool {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	_, ok := n.handlers[id]
-	return ok
+	return ok && !n.suspended[id]
 }
 
-// Nodes returns the joined node ids, sorted.
+// Nodes returns the joined node ids, sorted. Suspended nodes are included:
+// they are members that happen to be down, not departures.
 func (n *Network) Nodes() []NodeID {
 	n.mu.Lock()
 	defer n.mu.Unlock()
@@ -75,19 +154,70 @@ func (n *Network) Nodes() []NodeID {
 
 // Send delivers one request from → to and returns the handler's reply.
 // Each successful exchange costs two messages (request + reply). Sending
-// to an absent or passive node costs the request message and fails.
+// to an absent, suspended or passive node costs the request message and
+// fails. With a fault injector installed, requests and replies can be
+// lost or duplicated per its verdicts; with a retrier installed, failed
+// attempts are retried (each attempt pays its own request message) with
+// the retrier's backoff between them.
 func (n *Network) Send(from, to NodeID, kind string, payload any) (any, error) {
+	n.mu.Lock()
+	injector, retrier := n.injector, n.retrier
+	n.mu.Unlock()
+
+	attempts := 1
+	if retrier != nil {
+		if a := retrier.Attempts(); a > 1 {
+			attempts = a
+		}
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		if attempt > 1 {
+			retrier.Backoff(attempt - 1)
+		}
+		reply, err := n.deliver(from, to, kind, payload, injector)
+		if err == nil {
+			return reply, nil
+		}
+		lastErr = err
+	}
+	return nil, lastErr
+}
+
+// deliver is one delivery attempt.
+func (n *Network) deliver(from, to NodeID, kind string, payload any, injector FaultInjector) (any, error) {
 	n.mu.Lock()
 	n.msgs++ // the request leaves regardless of the outcome
 	h, ok := n.handlers[to]
+	if n.suspended[to] {
+		ok = false
+	}
 	n.mu.Unlock()
 	if !ok || h == nil {
 		return nil, fmt.Errorf("p2p: node %s unreachable from %s (%s)", to, from, kind)
 	}
+	var cut LinkFault
+	if injector != nil {
+		cut = injector.Cut(from, to, kind)
+	}
+	if cut.DropRequest {
+		return nil, fmt.Errorf("p2p: request %s → %s (%s) lost", from, to, kind)
+	}
 	reply := h(from, kind, payload)
+	for d := 0; d < cut.Duplicate; d++ {
+		// A duplicated request is carried and processed again; its redundant
+		// reply is carried too. The sender keeps the first reply.
+		n.mu.Lock()
+		n.msgs += 2
+		n.mu.Unlock()
+		h(from, kind, payload)
+	}
 	n.mu.Lock()
 	n.msgs++
 	n.mu.Unlock()
+	if cut.DropReply {
+		return nil, fmt.Errorf("p2p: reply %s → %s (%s) lost", to, from, kind)
+	}
 	return reply, nil
 }
 

@@ -11,6 +11,7 @@ import (
 type Overlay struct {
 	net       *Network
 	neighbors map[NodeID][]NodeID
+	degree    int
 }
 
 // NewRandomOverlay wires the given nodes into a random undirected graph of
@@ -24,7 +25,7 @@ func NewRandomOverlay(net *Network, ids []NodeID, degree int, rng *rand.Rand) *O
 	copy(sorted, ids)
 	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
 
-	o := &Overlay{net: net, neighbors: map[NodeID][]NodeID{}}
+	o := &Overlay{net: net, neighbors: map[NodeID][]NodeID{}, degree: degree}
 	n := len(sorted)
 	if n == 0 {
 		return o
@@ -75,6 +76,51 @@ func (o *Overlay) Neighbors(id NodeID) []NodeID {
 
 // Network returns the transport under the overlay.
 func (o *Overlay) Network() *Network { return o.net }
+
+// Rewire restores connectivity after churn: every alive node whose alive
+// neighbourhood fell below the overlay's target degree grows new chords to
+// random alive peers — the neighbour-exchange repair gossip overlays run
+// when pings go unanswered. Edges are undirected and persist (a rejoined
+// peer keeps both its old and its repair edges), and rng makes the repair
+// reproducible from its seed.
+func (o *Overlay) Rewire(rng *rand.Rand) {
+	var ids []NodeID
+	for id := range o.neighbors {
+		if o.net.Alive(id) {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	if len(ids) < 2 {
+		return
+	}
+	target := o.degree
+	if target < 2 {
+		target = 2
+	}
+	for _, id := range ids {
+		alive := 0
+		for _, nb := range o.neighbors[id] {
+			if o.net.Alive(nb) {
+				alive++
+			}
+		}
+		for tries := 0; alive < target && tries < 4*target; tries++ {
+			cand := ids[rng.Intn(len(ids))]
+			if cand == id || o.hasEdge(id, cand) {
+				continue
+			}
+			o.neighbors[id] = append(o.neighbors[id], cand)
+			o.neighbors[cand] = append(o.neighbors[cand], id)
+			alive++
+		}
+	}
+	// Re-sort every touched list so Neighbors keeps its sorted contract.
+	for _, id := range ids {
+		nb := o.neighbors[id]
+		sort.Slice(nb, func(i, j int) bool { return nb[i] < nb[j] })
+	}
+}
 
 // Flood performs a breadth-first query from origin with the given TTL:
 // visit is called on every reached peer (excluding origin) with that peer's

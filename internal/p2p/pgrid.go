@@ -147,6 +147,46 @@ func flip(c byte) string {
 	return "0"
 }
 
+// RepairRoutes rebuilds every node's routing references from the currently
+// reachable population — the route-maintenance a real P-Grid runs as peers
+// come and go. Wiring is recomputed with the same complementary-subtree
+// rule as construction, restricted to alive nodes; rng picks among the
+// candidates, so a fixed seed repairs identically. Suspended peers keep
+// their (stale) references until they resume and a later repair reaches
+// them; that is exactly the window the fault experiments measure.
+func (g *PGrid) RepairRoutes(rng *rand.Rand) {
+	all := make([]*pgNode, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		all = append(all, n)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].id < all[j].id })
+	for _, n := range all {
+		if !g.net.Alive(n.id) {
+			continue
+		}
+		for lvl := 0; lvl < g.bits; lvl++ {
+			prefix := n.path[:lvl] + flip(n.path[lvl])
+			var cands []NodeID
+			for path, ids := range g.byPath {
+				if !strings.HasPrefix(path, prefix) {
+					continue
+				}
+				for _, id := range ids {
+					if g.net.Alive(id) {
+						cands = append(cands, id)
+					}
+				}
+			}
+			sort.Slice(cands, func(i, j int) bool { return cands[i] < cands[j] })
+			rng.Shuffle(len(cands), func(i, j int) { cands[i], cands[j] = cands[j], cands[i] })
+			if len(cands) > 2 {
+				cands = cands[:2]
+			}
+			n.refs[lvl] = cands
+		}
+	}
+}
+
 // KeyPath maps a key onto its owning leaf path.
 func (g *PGrid) KeyPath(key string) string {
 	h := fnv.New32a()

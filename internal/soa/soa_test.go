@@ -488,3 +488,39 @@ func TestWSDLRoundTripProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestUDDIBrowseGate(t *testing.T) {
+	u := NewUDDI()
+	if err := u.Publish(sampleDescription()); err != nil {
+		t.Fatal(err)
+	}
+	if !u.Available() {
+		t.Fatal("ungated registry must be available")
+	}
+	ds, err := u.Browse()
+	if err != nil || len(ds) != 1 {
+		t.Fatalf("Browse = %v, %v; want the one published service", ds, err)
+	}
+
+	down := true
+	u.SetBrowseGate(func() bool { return !down })
+	if u.Available() {
+		t.Fatal("gate down: Available must be false")
+	}
+	if _, err := u.Browse(); err != ErrUnavailable {
+		t.Fatalf("Browse during outage = %v, want ErrUnavailable", err)
+	}
+	// Point lookups survive the outage — only discovery is down.
+	if _, ok := u.Get("s001"); !ok {
+		t.Fatal("Get must stay ungated during an outage")
+	}
+
+	down = false
+	if _, err := u.Browse(); err != nil {
+		t.Fatalf("Browse after recovery: %v", err)
+	}
+	u.SetBrowseGate(nil)
+	if !u.Available() {
+		t.Fatal("nil gate restores availability")
+	}
+}

@@ -1,6 +1,7 @@
 package soa
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -8,6 +9,9 @@ import (
 
 	"wstrust/internal/core"
 )
+
+// ErrUnavailable is returned by Browse during a registry outage window.
+var ErrUnavailable = errors.New("soa: registry unavailable")
 
 // UDDI is the functional service registry: providers publish service
 // descriptions, consumers find services by category or keyword. It stores
@@ -24,6 +28,7 @@ type UDDI struct {
 	version  int64                          // guarded by mu
 	publishN int64                          // guarded by mu
 	findN    int64                          // guarded by mu
+	gate     func() bool                    // guarded by mu
 }
 
 // NewUDDI returns an empty registry.
@@ -104,6 +109,35 @@ func (u *UDDI) FindByKeyword(keyword string) []Description {
 	}
 	sortDescriptions(out)
 	return out
+}
+
+// SetBrowseGate installs an availability gate consulted by Browse: while
+// fn returns false the registry is in an outage window and browsing fails
+// with ErrUnavailable. A nil fn restores permanent availability. Point
+// lookups (Get) stay ungated — an invocation reaches the service endpoint
+// directly; it is the discovery traffic an outage takes away.
+func (u *UDDI) SetBrowseGate(fn func() bool) {
+	u.mu.Lock()
+	defer u.mu.Unlock()
+	u.gate = fn
+}
+
+// Available reports whether browse calls currently succeed.
+func (u *UDDI) Available() bool {
+	u.mu.RLock()
+	gate := u.gate
+	u.mu.RUnlock()
+	return gate == nil || gate()
+}
+
+// Browse is All behind the availability gate: the discovery call consumers
+// make each round, which a registry outage (experiment R3) takes down.
+// Callers degrade to their cached catalog view when it fails.
+func (u *UDDI) Browse() ([]Description, error) {
+	if !u.Available() {
+		return nil, ErrUnavailable
+	}
+	return u.All(), nil
 }
 
 // All returns every published description sorted by service ID.

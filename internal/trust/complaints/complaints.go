@@ -61,6 +61,15 @@ type Mechanism struct {
 	// skipped when any submit landed while the grid was being queried.
 	mutations core.Epoch                                 // guarded by mu
 	scoreMemo core.KeyedMemo[core.EntityID, scoreResult] // guarded by mu
+	// Graceful degradation under faults: complaints this instance filed
+	// are tallied locally too (direct experience, free of network cost),
+	// and the last successfully fetched grid counts are kept per subject.
+	// When the grid is unreachable, Score answers from these instead of
+	// refusing. In a fault-free run the fallbacks never fire.
+	localReceived map[core.EntityID]float64    // guarded by mu
+	localFiled    map[core.ConsumerID]float64  // guarded by mu
+	lastKnown     map[core.EntityID][2]float64 // guarded by mu; {cr, cf}
+	lostStores    int64                        // guarded by mu
 }
 
 // scoreResult caches one computed Score answer.
@@ -86,10 +95,13 @@ func New(grid *p2p.PGrid, origins []p2p.NodeID, opts ...Option) (*Mechanism, err
 		return nil, fmt.Errorf("complaints: no origin nodes")
 	}
 	m := &Mechanism{
-		grid:         grid,
-		origins:      append([]p2p.NodeID(nil), origins...),
-		threshold:    0.4,
-		interactions: map[core.EntityID]float64{},
+		grid:          grid,
+		origins:       append([]p2p.NodeID(nil), origins...),
+		threshold:     0.4,
+		interactions:  map[core.EntityID]float64{},
+		localReceived: map[core.EntityID]float64{},
+		localFiled:    map[core.ConsumerID]float64{},
+		lastKnown:     map[core.EntityID][2]float64{},
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -140,14 +152,36 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 		return nil
 	}
 	c := complaint{Filer: fb.Consumer, Subject: fb.Service}
+	m.mu.Lock()
+	m.localReceived[fb.Service]++
+	m.localFiled[fb.Consumer]++
+	m.mu.Unlock()
 	origin := m.nextOrigin()
+	// A lost store is degradation, not failure: the complaint survives in
+	// the local tallies above, the grid write is simply gone (at-most-once
+	// under message loss). Callers keep running; LostStores reports the
+	// damage.
+	lost := false
 	if _, err := m.grid.Store(origin, receivedKey(fb.Service), c); err != nil {
-		return fmt.Errorf("complaints: store received: %w", err)
+		lost = true
 	}
 	if _, err := m.grid.Store(origin, filedKey(fb.Consumer), c); err != nil {
-		return fmt.Errorf("complaints: store filed: %w", err)
+		lost = true
+	}
+	if lost {
+		m.mu.Lock()
+		m.lostStores++
+		m.mu.Unlock()
 	}
 	return nil
+}
+
+// LostStores reports how many Submits failed to land on the grid and fell
+// back to local-only accounting.
+func (m *Mechanism) LostStores() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lostStores
 }
 
 // counts retrieves complaint tallies from the grid.
@@ -193,16 +227,35 @@ func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	}
 	origin := m.nextOrigin()
 	cr, cf, err := m.counts(origin, q.Subject)
+	degraded := false
 	if err != nil {
-		// The grid is partitioned/unreachable: no basis for an answer —
-		// and nothing worth caching.
-		return core.TrustValue{Score: 0.5, Confidence: 0}, false
+		// The grid is partitioned/unreachable: degrade to the last counts
+		// a lookup did fetch, or failing that to this instance's own
+		// complaint tallies (direct experience). Only with neither is
+		// there truly no basis for an answer.
+		m.mu.Lock()
+		if last, ok := m.lastKnown[q.Subject]; ok {
+			cr, cf = last[0], last[1]
+		} else {
+			cr = m.localReceived[q.Subject]
+			cf = m.localFiled[core.ConsumerID(q.Subject)]
+		}
+		m.mu.Unlock()
+		degraded = true
+	} else {
+		m.mu.Lock()
+		m.lastKnown[q.Subject] = [2]float64{cr, cf}
+		m.mu.Unlock()
 	}
 	t := cr * (1 + cf)
 	score := 1 / (1 + t/math.Max(1, inter/2))
 	conf := inter / (inter + 5)
+	if degraded {
+		conf /= 2 // a stale or local-only basis deserves less confidence
+	}
 	tv := core.TrustValue{Score: score, Confidence: conf}
-	if m.cacheScores {
+	if m.cacheScores && !degraded {
+		// Degraded answers are transient — never worth caching.
 		m.mu.Lock()
 		if m.mutations.N() == gen {
 			m.scoreMemo.Put(nil, q.Subject, scoreResult{tv, true})
@@ -224,6 +277,9 @@ func (m *Mechanism) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.interactions = map[core.EntityID]float64{}
+	m.localReceived = map[core.EntityID]float64{}
+	m.localFiled = map[core.ConsumerID]float64{}
+	m.lastKnown = map[core.EntityID][2]float64{}
 	m.mutations.Bump()
 	m.scoreMemo.Reset()
 }

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"wstrust/internal/core"
+	"wstrust/internal/qos"
 	"wstrust/internal/simclock"
 )
 
@@ -135,6 +136,47 @@ func Hammer(t *testing.T, m core.Mechanism) {
 	wg.Wait()
 }
 
+// QoSMarket is Market with execution monitoring attached: every feedback
+// carries an Observed qos.Observation — service-dependent response time
+// and cost, occasional invocation failures — plus a subjective accuracy
+// rating, so mechanisms driven by objective QoS data (qosrank,
+// maximilien, expert, vu) have evidence to rank on. Ratings-only
+// mechanisms ignore the extra fields, so the same script works anywhere.
+func QoSMarket(seed int64, nConsumers, nServices, rounds int, density float64) Script {
+	rng := simclock.NewRand(seed)
+	var fbs []core.Feedback
+	at := simclock.Epoch
+	for r := 0; r < rounds; r++ {
+		for c := 0; c < nConsumers; c++ {
+			if rng.Float64() >= density {
+				continue
+			}
+			s := rng.Intn(nServices)
+			// Response time has a per-service base so rankings are
+			// meaningful, plus jitter so per-submit state actually moves.
+			rt := 120 + 45*float64(s%5) + 60*rng.Float64()
+			fbs = append(fbs, core.Feedback{
+				Consumer: core.NewConsumerID(c),
+				Service:  core.NewServiceID(s),
+				Provider: core.ProviderID("p" + string(rune('a'+s%7))),
+				Context:  "compute",
+				Observed: qos.Observation{
+					Values:  qos.Vector{qos.ResponseTime: rt, qos.Cost: 2 + float64(s%4)},
+					At:      at,
+					Success: rng.Float64() < 0.85,
+				},
+				Ratings: map[core.Facet]float64{
+					core.FacetOverall: rng.Float64(),
+					qos.Accuracy:      rng.Float64(),
+				},
+				At: at,
+			})
+			at = at.Add(time.Minute)
+		}
+	}
+	return Script{Feedbacks: fbs, Queries: marketQueries(nConsumers, nServices)}
+}
+
 // Market builds a deterministic feedback script over nConsumers ×
 // nServices with the given density, plus a query set covering the
 // global view and several perspectives. Mechanisms needing providers
@@ -160,6 +202,12 @@ func Market(seed int64, nConsumers, nServices, rounds int, density float64) Scri
 			at = at.Add(time.Minute)
 		}
 	}
+	return Script{Feedbacks: fbs, Queries: marketQueries(nConsumers, nServices)}
+}
+
+// marketQueries covers the global view of every service plus a grid of
+// consumer perspectives.
+func marketQueries(nConsumers, nServices int) []core.Query {
 	var qs []core.Query
 	for s := 0; s < nServices; s++ {
 		qs = append(qs, core.Query{Subject: core.EntityID(core.NewServiceID(s)), Facet: core.FacetOverall})
@@ -173,5 +221,19 @@ func Market(seed int64, nConsumers, nServices, rounds int, density float64) Scri
 			})
 		}
 	}
-	return Script{Feedbacks: fbs, Queries: qs}
+	return qs
+}
+
+// GlobalOnly strips perspective queries from a script, for mechanisms
+// whose personalized path consults live network state that a cold rebuild
+// cannot replay (bayesnet's recommendation protocol).
+func GlobalOnly(s Script) Script {
+	var qs []core.Query
+	for _, q := range s.Queries {
+		if q.Perspective == "" {
+			qs = append(qs, q)
+		}
+	}
+	s.Queries = qs
+	return s
 }

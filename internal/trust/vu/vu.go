@@ -69,6 +69,13 @@ type Mechanism struct {
 	interactions map[core.EntityID]float64
 	// credibility per reporter, learned from monitor comparisons.
 	credHit, credMiss map[core.ConsumerID]float64
+	// Graceful degradation under faults: every submitted report is also
+	// tallied locally (direct experience), and the last grid-backed answer
+	// is kept per subject. Score falls back to these when the shard is
+	// unreachable. In a fault-free run the fallbacks never fire.
+	localSum, localN map[core.EntityID]float64         // guarded by mu
+	lastKnown        map[core.EntityID]core.TrustValue // guarded by mu
+	lostStores       int64                             // guarded by mu
 }
 
 var (
@@ -96,6 +103,9 @@ func New(grid *p2p.PGrid, origins []p2p.NodeID, monitor MonitorFunc, opts ...Opt
 		interactions: map[core.EntityID]float64{},
 		credHit:      map[core.ConsumerID]float64{},
 		credMiss:     map[core.ConsumerID]float64{},
+		localSum:     map[core.EntityID]float64{},
+		localN:       map[core.EntityID]float64{},
+		lastKnown:    map[core.EntityID]core.TrustValue{},
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -137,13 +147,27 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 		Overall:  fb.Overall(),
 		Measured: fb.Observed.Values.Clone(),
 	}
-	if _, err := m.grid.Store(m.nextOrigin(), key(fb.Service), rep); err != nil {
-		return fmt.Errorf("vu: store report: %w", err)
-	}
 	m.mu.Lock()
 	m.interactions[fb.Service]++
+	m.localSum[fb.Service] += rep.Overall
+	m.localN[fb.Service]++
 	m.mu.Unlock()
+	// A lost store is degradation, not failure: the observation survives
+	// in the local tallies above; only the shared shard copy is gone.
+	if _, err := m.grid.Store(m.nextOrigin(), key(fb.Service), rep); err != nil {
+		m.mu.Lock()
+		m.lostStores++
+		m.mu.Unlock()
+	}
 	return nil
+}
+
+// LostStores reports how many Submits failed to land on the grid and fell
+// back to local-only accounting.
+func (m *Mechanism) LostStores() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lostStores
 }
 
 // honest compares a report against the monitor view; the boolean is false
@@ -177,6 +201,21 @@ func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	}
 	vals, err := m.grid.Lookup(m.nextOrigin(), key(q.Subject))
 	if err != nil {
+		// The shard is unreachable: degrade to the last grid-backed
+		// answer, or to this consumer's own report average (direct
+		// experience), rather than refusing to select at all.
+		m.mu.Lock()
+		defer m.mu.Unlock()
+		if last, ok := m.lastKnown[q.Subject]; ok {
+			last.Confidence /= 2
+			return last, true
+		}
+		if n := m.localN[q.Subject]; n > 0 {
+			return core.TrustValue{
+				Score:      math.Max(0, math.Min(1, m.localSum[q.Subject]/n)),
+				Confidence: n / (n + 5) / 2,
+			}, true
+		}
 		return core.TrustValue{Score: 0.5, Confidence: 0}, false
 	}
 	var trusted qos.Vector
@@ -216,10 +255,12 @@ func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 		return core.TrustValue{Score: 0.5, Confidence: 0}, true
 	}
 	n := float64(kept)
-	return core.TrustValue{
+	tv := core.TrustValue{
 		Score:      math.Max(0, math.Min(1, num/den)),
 		Confidence: n / (n + 5),
-	}, true
+	}
+	m.lastKnown[q.Subject] = tv
+	return tv, true
 }
 
 // Credibility exposes a reporter's learned credibility.
@@ -242,4 +283,7 @@ func (m *Mechanism) Reset() {
 	m.interactions = map[core.EntityID]float64{}
 	m.credHit = map[core.ConsumerID]float64{}
 	m.credMiss = map[core.ConsumerID]float64{}
+	m.localSum = map[core.EntityID]float64{}
+	m.localN = map[core.EntityID]float64{}
+	m.lastKnown = map[core.EntityID]core.TrustValue{}
 }
