@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz-smoke bench bench-suite bench-json ci
+.PHONY: all build vet lint test race cover fuzz-smoke serve-smoke bench bench-suite bench-json ci
 
 # Aggregate statement-coverage floor for the packages the fault layer and
 # the mechanism test harness are responsible for.
@@ -52,6 +52,12 @@ fuzz-smoke:
 	$(GO) test ./internal/fault -run FuzzFaultPolicy -fuzz FuzzFaultPolicy -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/soa -run FuzzDecodeEnvelope -fuzz FuzzDecodeEnvelope -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/soa -run FuzzUnmarshalWSDL -fuzz FuzzUnmarshalWSDL -fuzztime $(FUZZTIME)
+
+# End-to-end daemon smoke: boot wsxd on an ephemeral port with a fresh
+# data dir, submit one feedback, rank, drain, and assert a clean exit 0 —
+# the full startup → serve → graceful-drain lifecycle in a few seconds.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 # Package micro-benchmarks with allocation counts (Engine.Rank vs
 # RankSession, Scorer, mechanism benches).

@@ -1,0 +1,121 @@
+// Command wsxd serves the wstrust registry and selection path over HTTP:
+// a crash-consistent feedback store (WAL + snapshots, recovered on boot)
+// feeding a Beta reputation mechanism that ranks a generated service
+// catalog, fronted by the resilience layer — load shedding with priority
+// classes, a bulkhead around ranking, a circuit breaker around durable
+// writes, and per-request deadline budgets.
+//
+// Endpoints:
+//
+//	GET  /healthz   liveness (always 200 while the process runs)
+//	GET  /readyz    readiness (503 once draining begins)
+//	POST /submit    ingest one feedback: {"consumer","service","provider",
+//	                "context","rating"} — durably logged, then scored
+//	GET  /rank      rank the catalog for ?consumer=ID (&n=5)
+//	POST /drain     graceful shutdown: stop intake, wait out in-flight
+//	                requests, snapshot + compact the WAL, then exit 0
+//
+// SIGINT/SIGTERM trigger the same drain sequence as POST /drain.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"wstrust/internal/registry"
+	"wstrust/internal/resilience"
+)
+
+// main delegates to run so defers fire before the process exits.
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		addr      = flag.String("addr", "127.0.0.1:8080", "listen address (use :0 for an ephemeral port)")
+		dataDir   = flag.String("data", "wsxd-data", "directory for the WAL and snapshots")
+		seed      = flag.Int64("seed", 42, "seed for the demo catalog and resilience jitter")
+		services  = flag.Int("services", 16, "demo catalog size")
+		category  = flag.String("category", "compute", "demo catalog category")
+		shedRate  = flag.Float64("shed-rate", 200, "admission rate, requests/second")
+		shedBurst = flag.Float64("shed-burst", 0, "admission burst (0 = one second of rate)")
+		bulkhead  = flag.Int("bulkhead", 8, "max concurrent rank computations")
+		timeout   = flag.Duration("timeout", 2*time.Second, "per-request deadline budget")
+		syncEvery = flag.Int("sync-every", 1, "fsync the WAL every N submits (1 = every record)")
+		snapEvery = flag.Int("snapshot-every", 4096, "snapshot + compact the WAL every N records (0 = only on drain)")
+	)
+	flag.Parse()
+
+	store, rec, err := registry.Open(*dataDir, registry.WALOptions{
+		SyncEvery: *syncEvery, SnapshotEvery: *snapEvery,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsxd:", err)
+		return 1
+	}
+	fmt.Printf("wsxd: store %s: %s\n", *dataDir, rec)
+
+	s, err := newServer(serverConfig{
+		Store:    store,
+		Seed:     *seed,
+		Services: *services,
+		Category: *category,
+		ShedRate: *shedRate, ShedBurst: *shedBurst,
+		Bulkhead: *bulkhead,
+		Timeout:  *timeout,
+		Breaker:  resilience.BreakerConfig{},
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsxd:", err)
+		return 1
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wsxd:", err)
+		return 1
+	}
+	fmt.Printf("wsxd: listening on %s (%d services, %d recovered records)\n",
+		ln.Addr(), *services, store.Len())
+
+	httpSrv := &http.Server{
+		Handler:           s.routes(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpSrv.Serve(ln) }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-s.drained: // POST /drain completed the sequence
+	case got := <-sig:
+		fmt.Printf("wsxd: %s, draining\n", got)
+		if err := s.beginDrain(); err != nil {
+			fmt.Fprintln(os.Stderr, "wsxd: drain snapshot:", err)
+		}
+	case err := <-serveErr:
+		fmt.Fprintln(os.Stderr, "wsxd: serve:", err)
+		return 1
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "wsxd: shutdown:", err)
+	}
+	if err := store.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "wsxd: close store:", err)
+		return 1
+	}
+	fmt.Println("wsxd: drained, store snapshotted, exiting")
+	return 0
+}

@@ -1,0 +1,342 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/registry"
+	"wstrust/internal/resilience"
+	"wstrust/internal/simclock"
+	"wstrust/internal/trust/beta"
+	"wstrust/internal/workload"
+)
+
+// server wires the WAL-backed registry store, a Beta reputation
+// mechanism, and the selection engine behind an HTTP API, with the
+// resilience layer in front of every data-path endpoint: a token-bucket
+// shedder classes and admits requests, a bulkhead bounds concurrent rank
+// computations, a circuit breaker guards durable submits, and each
+// request runs under a deadline budget. The clock is injected: the
+// daemon serves on simclock.Wall, tests drive a Virtual.
+type server struct {
+	clock    simclock.Clock
+	store    *registry.Store
+	mech     core.Mechanism
+	engine   *core.Engine
+	prefs    qos.Preferences
+	catalog  []core.Candidate
+	category string
+
+	shedder  *resilience.Shedder
+	bulkhead *resilience.Bulkhead
+	breaker  *resilience.Breaker
+	timeout  time.Duration
+
+	// rankMu serializes engine access: the engine's exploration RNG and
+	// rank buffers are single-consumer state.
+	rankMu sync.Mutex
+
+	stateMu   sync.Mutex
+	draining  bool // guarded by stateMu
+	inflight  sync.WaitGroup
+	drainOnce sync.Once
+	drained   chan struct{}
+}
+
+// serverConfig parameterizes construction; zero fields get defaults.
+type serverConfig struct {
+	Store    *registry.Store
+	Clock    simclock.Clock
+	Seed     int64
+	Services int
+	Category string
+
+	ShedRate, ShedBurst float64
+	Bulkhead            int
+	Timeout             time.Duration
+	Breaker             resilience.BreakerConfig
+}
+
+// newServer builds the serving stack: demo catalog, mechanism warmed by
+// replaying the recovered store, engine, and the resilience primitives.
+func newServer(cfg serverConfig) (*server, error) {
+	if cfg.Clock == nil {
+		cfg.Clock = simclock.Wall()
+	}
+	if cfg.Services < 1 {
+		cfg.Services = 16
+	}
+	if cfg.Category == "" {
+		cfg.Category = "compute"
+	}
+	if cfg.ShedRate <= 0 {
+		cfg.ShedRate = 200
+	}
+	if cfg.Bulkhead < 1 {
+		cfg.Bulkhead = 8
+	}
+	if cfg.Timeout <= 0 {
+		cfg.Timeout = 2 * time.Second
+	}
+
+	specs := workload.GenerateServices(simclock.Stream(cfg.Seed, "services"),
+		workload.ServiceOptions{N: cfg.Services, Category: cfg.Category})
+	catalog := make([]core.Candidate, len(specs))
+	for i, sp := range specs {
+		catalog[i] = sp.Desc.Candidate()
+	}
+
+	mech := beta.New()
+	if _, err := cfg.Store.Replay(mech); err != nil {
+		return nil, fmt.Errorf("wsxd: replay recovered feedback: %w", err)
+	}
+
+	s := &server{
+		clock:    cfg.Clock,
+		store:    cfg.Store,
+		mech:     mech,
+		engine:   core.NewEngine(mech, simclock.Stream(cfg.Seed, "wsxd.engine")),
+		prefs:    workload.BasePreferences(),
+		catalog:  catalog,
+		category: cfg.Category,
+		shedder: resilience.NewShedder(resilience.ShedderConfig{
+			Rate: cfg.ShedRate, Burst: cfg.ShedBurst,
+		}, cfg.Clock),
+		bulkhead: resilience.NewBulkhead(cfg.Bulkhead),
+		breaker: resilience.NewBreaker(cfg.Breaker, cfg.Clock,
+			simclock.Stream(cfg.Seed, "wsxd.breaker")),
+		timeout: cfg.Timeout,
+		drained: make(chan struct{}),
+	}
+	return s, nil
+}
+
+// routes builds the HTTP mux. Health and drain endpoints bypass the
+// shedder (they are the traffic an overloaded server must still answer);
+// the data path is classed High (writes) and Normal (reads).
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("POST /submit", s.guard(resilience.High, s.handleSubmit))
+	mux.HandleFunc("GET /rank", s.guard(resilience.Normal, s.handleRank))
+	mux.HandleFunc("POST /drain", s.handleDrain)
+	return mux
+}
+
+// enter registers one in-flight request unless the server is draining.
+func (s *server) enter() bool {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	if s.draining {
+		return false
+	}
+	s.inflight.Add(1)
+	return true
+}
+
+// isDraining reports the drain flag.
+func (s *server) isDraining() bool {
+	s.stateMu.Lock()
+	defer s.stateMu.Unlock()
+	return s.draining
+}
+
+// guard is the data-path middleware: refuse new intake while draining,
+// shed by priority class under overload, and track in-flight requests so
+// drain can wait them out.
+func (s *server) guard(p resilience.Priority, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !s.shedder.Admit(p) {
+			httpError(w, http.StatusTooManyRequests, "overloaded: request shed")
+			return
+		}
+		if !s.enter() {
+			httpError(w, http.StatusServiceUnavailable, "draining")
+			return
+		}
+		defer s.inflight.Done()
+		h(w, r)
+	}
+}
+
+// beginDrain runs the graceful-shutdown sequence exactly once: stop
+// intake, wait out in-flight requests, snapshot the store (compacting
+// the WAL so the next Open replays from a clean state), then signal
+// completion. Safe to call from the drain endpoint and the signal
+// handler concurrently; every caller returns after the sequence is done.
+func (s *server) beginDrain() error {
+	var snapErr error
+	s.drainOnce.Do(func() {
+		s.stateMu.Lock()
+		s.draining = true
+		s.stateMu.Unlock()
+		s.inflight.Wait()
+		if s.store.Durable() {
+			snapErr = s.store.Snapshot()
+		}
+		close(s.drained)
+	})
+	return snapErr
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok"})
+}
+
+func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if s.isDraining() {
+		httpError(w, http.StatusServiceUnavailable, "draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status": "ready", "records": s.store.Len(), "services": len(s.catalog),
+	})
+}
+
+// submitRequest is the /submit body: one consumer feedback.
+type submitRequest struct {
+	Consumer string             `json:"consumer"`
+	Service  string             `json:"service"`
+	Provider string             `json:"provider"`
+	Context  string             `json:"context"`
+	Rating   float64            `json:"rating"`           // overall verdict in [0,1]
+	Facets   map[string]float64 `json:"facets,omitempty"` // optional per-facet ratings
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	ratings := map[core.Facet]float64{core.FacetOverall: req.Rating}
+	for f, v := range req.Facets {
+		ratings[core.Facet(f)] = v
+	}
+	fb := core.Feedback{
+		Consumer: core.ConsumerID(req.Consumer),
+		Service:  core.ServiceID(req.Service),
+		Provider: core.ProviderID(req.Provider),
+		Context:  core.Context(req.Context),
+		Ratings:  ratings,
+		At:       s.clock.Now(),
+	}
+	if err := fb.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	// The breaker guards the durable write: persistent WAL failures trip
+	// it, and subsequent submits fast-fail instead of queueing on a
+	// broken disk. Validation errors were filtered above and never count
+	// as breaker failures.
+	err := s.breaker.Do(func() error { return s.store.Submit(fb) })
+	switch {
+	case errors.Is(err, resilience.ErrOpen):
+		httpError(w, http.StatusServiceUnavailable, "registry circuit open")
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "registry submit: "+err.Error())
+		return
+	}
+	if err := s.mech.Submit(fb); err != nil {
+		// The store accepted what the mechanism rejected: surface it, the
+		// durable log remains the source of truth.
+		httpError(w, http.StatusInternalServerError, "mechanism submit: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"accepted": true, "records": s.store.Len()})
+}
+
+// rankEntry is one /rank response row.
+type rankEntry struct {
+	Service    string  `json:"service"`
+	Provider   string  `json:"provider"`
+	Score      float64 `json:"score"`
+	Trust      float64 `json:"trust"`
+	Confidence float64 `json:"confidence"`
+	Utility    float64 `json:"utility"`
+}
+
+func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
+	consumer := r.URL.Query().Get("consumer")
+	if consumer == "" {
+		httpError(w, http.StatusBadRequest, "missing consumer parameter")
+		return
+	}
+	n := 5
+	if raw := r.URL.Query().Get("n"); raw != "" {
+		v, err := strconv.Atoi(raw)
+		if err != nil || v < 1 {
+			httpError(w, http.StatusBadRequest, "n must be a positive integer")
+			return
+		}
+		n = v
+	}
+
+	// The request's whole allowance — queueing for a bulkhead slot plus
+	// the ranking itself — comes from one deadline budget.
+	budget := resilience.NewBudget(s.clock, s.timeout)
+	ctx, cancel := context.WithDeadline(r.Context(), budget.Deadline())
+	defer cancel()
+	if err := s.bulkhead.Acquire(ctx); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "ranking compartment full")
+		return
+	}
+	defer s.bulkhead.Release()
+	if budget.Exceeded() {
+		httpError(w, http.StatusGatewayTimeout, "deadline exhausted waiting for a slot")
+		return
+	}
+
+	s.rankMu.Lock()
+	ranked := s.engine.Rank(core.ConsumerID(consumer), s.prefs, s.catalog)
+	s.rankMu.Unlock()
+	if n > len(ranked) {
+		n = len(ranked)
+	}
+	out := make([]rankEntry, n)
+	for i := 0; i < n; i++ {
+		rk := ranked[i]
+		out[i] = rankEntry{
+			Service:    string(rk.Service),
+			Provider:   string(rk.Provider),
+			Score:      rk.Score,
+			Trust:      rk.Trust.Score,
+			Confidence: rk.Trust.Confidence,
+			Utility:    rk.Utility,
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"consumer": consumer, "ranked": out})
+}
+
+func (s *server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	if err := s.beginDrain(); err != nil {
+		httpError(w, http.StatusInternalServerError, "drain snapshot: "+err.Error())
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"drained": true, "records": s.store.Len()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		// The status line is already out; nothing useful remains to send.
+		_ = err
+	}
+}
+
+func httpError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, map[string]any{"error": msg})
+}

@@ -1,0 +1,302 @@
+package main
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"wstrust/internal/core"
+	"wstrust/internal/registry"
+	"wstrust/internal/resilience"
+	"wstrust/internal/simclock"
+)
+
+// scoreQuery asks for the global overall-trust view of one service.
+func scoreQuery(service string) core.Query {
+	return core.Query{
+		Subject: core.ServiceID(service),
+		Context: "compute",
+		Facet:   core.FacetOverall,
+	}
+}
+
+// newTestServer builds a server on a Virtual clock over a WAL-backed
+// store in dir, with generous admission defaults tests can override.
+func newTestServer(t *testing.T, dir string, mutate func(*serverConfig)) (*server, *simclock.Virtual) {
+	t.Helper()
+	store, _, err := registry.Open(dir, registry.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if store.Durable() {
+			if err := store.Close(); err != nil {
+				t.Errorf("close store: %v", err)
+			}
+		}
+	})
+	clock := simclock.NewVirtual()
+	cfg := serverConfig{
+		Store: store, Clock: clock, Seed: 42,
+		Services: 8, ShedRate: 1000, Timeout: time.Minute,
+	}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := newServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, clock
+}
+
+func do(t *testing.T, h http.Handler, method, target, body string) *httptest.ResponseRecorder {
+	t.Helper()
+	var req *http.Request
+	if body != "" {
+		req = httptest.NewRequest(method, target, strings.NewReader(body))
+	} else {
+		req = httptest.NewRequest(method, target, nil)
+	}
+	w := httptest.NewRecorder()
+	h.ServeHTTP(w, req)
+	return w
+}
+
+func decode(t *testing.T, w *httptest.ResponseRecorder) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(w.Body.Bytes(), &m); err != nil {
+		t.Fatalf("bad JSON response %q: %v", w.Body.String(), err)
+	}
+	return m
+}
+
+func TestServerHealthAndReady(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir(), nil)
+	h := s.routes()
+
+	if w := do(t, h, "GET", "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz = %d", w.Code)
+	}
+	w := do(t, h, "GET", "/readyz", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("readyz = %d", w.Code)
+	}
+	m := decode(t, w)
+	if m["services"].(float64) != 8 {
+		t.Fatalf("readyz services = %v, want 8", m["services"])
+	}
+}
+
+func TestServerSubmitAndRank(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir(), nil)
+	h := s.routes()
+
+	// An unrated catalog still ranks (neutral priors).
+	w := do(t, h, "GET", "/rank?consumer=c1&n=3", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("rank = %d: %s", w.Code, w.Body)
+	}
+	m := decode(t, w)
+	if got := len(m["ranked"].([]any)); got != 3 {
+		t.Fatalf("ranked %d entries, want 3", got)
+	}
+
+	// Rate one known service highly; it must appear with trust attached.
+	target := m["ranked"].([]any)[0].(map[string]any)["service"].(string)
+	for i := 0; i < 5; i++ {
+		w = do(t, h, "POST", "/submit",
+			`{"consumer":"c1","service":"`+target+`","provider":"p1","context":"compute","rating":0.95}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("submit %d = %d: %s", i, w.Code, w.Body)
+		}
+	}
+	if got := s.store.Len(); got != 5 {
+		t.Fatalf("store records = %d, want 5", got)
+	}
+
+	w = do(t, h, "GET", "/rank?consumer=c1&n=8", "")
+	m = decode(t, w)
+	found := false
+	for _, e := range m["ranked"].([]any) {
+		row := e.(map[string]any)
+		if row["service"] == target {
+			found = true
+			if row["confidence"].(float64) <= 0 {
+				t.Fatalf("rated service has zero confidence: %v", row)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("rated service %s missing from ranking", target)
+	}
+
+	// Malformed submits are 400s, not breaker failures.
+	w = do(t, h, "POST", "/submit", `{"consumer":"c1","rating":2}`)
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("invalid submit = %d, want 400", w.Code)
+	}
+	w = do(t, h, "GET", "/rank", "")
+	if w.Code != http.StatusBadRequest {
+		t.Fatalf("rank without consumer = %d, want 400", w.Code)
+	}
+}
+
+func TestServerDrain(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newTestServer(t, dir, nil)
+	h := s.routes()
+
+	w := do(t, h, "POST", "/submit",
+		`{"consumer":"c1","service":"s1","provider":"p1","context":"compute","rating":0.8}`)
+	if w.Code != http.StatusOK {
+		t.Fatalf("submit = %d: %s", w.Code, w.Body)
+	}
+
+	w = do(t, h, "POST", "/drain", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("drain = %d: %s", w.Code, w.Body)
+	}
+	select {
+	case <-s.drained:
+	default:
+		t.Fatal("drain endpoint returned but drained channel is open")
+	}
+
+	// Drained: liveness stays up, readiness and intake are refused.
+	if w := do(t, h, "GET", "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz after drain = %d", w.Code)
+	}
+	if w := do(t, h, "GET", "/readyz", ""); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz after drain = %d, want 503", w.Code)
+	}
+	if w := do(t, h, "POST", "/submit", `{"consumer":"c","service":"s","rating":0.5}`); w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit after drain = %d, want 503", w.Code)
+	}
+	if w := do(t, h, "POST", "/drain", ""); w.Code != http.StatusOK {
+		t.Fatalf("second drain = %d, want idempotent 200", w.Code)
+	}
+
+	// The drain snapshot compacted the WAL: the record lives in the
+	// snapshot, and a fresh Open serves it without WAL replay.
+	if err := s.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store2, rec, err := registry.Open(dir, registry.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := store2.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if store2.Len() != 1 || rec.SnapshotRecords != 1 || rec.WALRecords != 0 {
+		t.Fatalf("after drain+reopen: len=%d recovery=%s", store2.Len(), rec)
+	}
+}
+
+func TestServerShedsUnderOverload(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir(), func(cfg *serverConfig) {
+		cfg.ShedRate = 1
+		cfg.ShedBurst = 3
+	})
+	h := s.routes()
+
+	shed := 0
+	for i := 0; i < 10; i++ {
+		// Virtual clock never advances: no refill, only the burst serves.
+		// Normal-class reads keep a 25% reserve of the burst for higher
+		// classes, so 2 of the 3 burst tokens are spendable here.
+		if w := do(t, h, "GET", "/rank?consumer=c1", ""); w.Code == http.StatusTooManyRequests {
+			shed++
+		}
+	}
+	if shed != 8 {
+		t.Fatalf("shed %d of 10 requests with burst 3, want 8", shed)
+	}
+	st := s.shedder.Stats()
+	if st.Shed[resilience.Normal] != 8 {
+		t.Fatalf("shedder stats = %+v", st)
+	}
+	// Health stays reachable while the data path sheds.
+	if w := do(t, h, "GET", "/healthz", ""); w.Code != http.StatusOK {
+		t.Fatalf("healthz under overload = %d", w.Code)
+	}
+}
+
+func TestServerBreakerTripsOnStoreFailure(t *testing.T) {
+	s, clock := newTestServer(t, t.TempDir(), func(cfg *serverConfig) {
+		cfg.Breaker = resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute, Jitter: 0}
+	})
+	h := s.routes()
+
+	// Sever the WAL: every durable submit now fails.
+	if err := s.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	body := `{"consumer":"c1","service":"s1","provider":"p1","context":"compute","rating":0.5}`
+	for i := 0; i < 2; i++ {
+		if w := do(t, h, "POST", "/submit", body); w.Code != http.StatusInternalServerError {
+			t.Fatalf("submit %d on dead store = %d, want 500", i, w.Code)
+		}
+	}
+	// Threshold reached: the circuit fast-fails without touching the store.
+	w := do(t, h, "POST", "/submit", body)
+	if w.Code != http.StatusServiceUnavailable {
+		t.Fatalf("submit with open circuit = %d, want 503: %s", w.Code, w.Body)
+	}
+	if got := decode(t, w)["error"]; got != "registry circuit open" {
+		t.Fatalf("open-circuit error = %v", got)
+	}
+	if st := s.breaker.Stats(); st.Trips != 1 || st.FastFails != 1 {
+		t.Fatalf("breaker stats = %+v", st)
+	}
+	// After the cooldown the half-open probe reaches the store again.
+	clock.Advance(time.Minute)
+	if w := do(t, h, "POST", "/submit", body); w.Code != http.StatusInternalServerError {
+		t.Fatalf("half-open probe = %d, want 500 (store still dead)", w.Code)
+	}
+}
+
+func TestServerRestartRecoversFeedback(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := newTestServer(t, dir, nil)
+	h := s.routes()
+
+	target := "svc-recovered"
+	for i := 0; i < 3; i++ {
+		w := do(t, h, "POST", "/submit",
+			`{"consumer":"c9","service":"`+target+`","provider":"p9","context":"compute","rating":0.9}`)
+		if w.Code != http.StatusOK {
+			t.Fatalf("submit = %d: %s", w.Code, w.Body)
+		}
+	}
+	// Kill without drain: no snapshot, records only in the WAL.
+	if err := s.store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, _ := newTestServer(t, dir, nil)
+	if got := s2.store.Len(); got != 3 {
+		t.Fatalf("recovered %d records, want 3", got)
+	}
+	// The mechanism was warmed by replay: the rated service scores with
+	// non-zero confidence through the fresh server's engine.
+	w := do(t, s2.routes(), "GET", "/rank?consumer=c9&n=8", "")
+	m := decode(t, w)
+	for _, e := range m["ranked"].([]any) {
+		row := e.(map[string]any)
+		if row["service"] == target {
+			t.Fatalf("ad-hoc service leaked into the generated catalog: %v", row)
+		}
+	}
+	tv, ok := s2.mech.Score(scoreQuery(target))
+	if !ok || tv.Confidence <= 0 {
+		t.Fatalf("replayed mechanism has no evidence for %s: %+v ok=%v", target, tv, ok)
+	}
+}

@@ -5,12 +5,15 @@
 // Usage:
 //
 //	wsxsim                      # run everything
-//	wsxsim -experiment F4       # one experiment (F1..F4, C1..C10, A1..A5, R1..R4)
+//	wsxsim -experiment F4       # one experiment (F1..F4, C1..C10, A1..A5, R1..R6)
 //	wsxsim -seed 7              # change the simulation seed
 //	wsxsim -parallel 4          # fan independent experiments over 4 workers
 //	wsxsim -faults lossy        # inject faults: a preset (lossy, lossy30,
 //	                            # churny, outage, chaos) or key=value CSV, e.g.
 //	                            # -faults drop=0.1,churn=0.05,attempts=4
+//	wsxsim -resilience breaker  # guard registry discovery: a preset (breaker,
+//	                            # naive) or key=value CSV, e.g.
+//	                            # -resilience threshold=3,cooldown=90m
 //	wsxsim -list                # list experiments
 //	wsxsim -json                # machine-readable output
 //	wsxsim -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -34,6 +37,7 @@ import (
 
 	"wstrust/internal/experiment"
 	"wstrust/internal/fault"
+	"wstrust/internal/resilience"
 )
 
 // main delegates to run so deferred profile writers flush before the
@@ -48,6 +52,7 @@ func run() (code int) {
 		seed       = flag.Int64("seed", 42, "simulation seed")
 		parallel   = flag.Int("parallel", 1, "worker count for independent experiments (0 = all CPUs); results stay byte-identical to sequential")
 		faults     = flag.String("faults", "none", "fault profile: none, a preset (lossy, lossy30, churny, outage, chaos), or key=value CSV (drop, dup, delay, timeout, churn, rejoin, outage=FROM-TO, attempts)")
+		resil      = flag.String("resilience", "none", "discovery resilience: none, a preset (breaker, naive), or key=value CSV (breaker, threshold, cooldown, jitter, probes, attempts)")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON instead of text reports")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -110,10 +115,21 @@ func run() (code int) {
 	}
 	if profile.Enabled() {
 		// Install before RunSuite spawns workers; environments built with
-		// no explicit profile (every F/C/A experiment) inherit it. R1-R4
+		// no explicit profile (every F/C/A experiment) inherit it. R1-R6
 		// pin their own regimes and are unaffected.
 		experiment.SetDefaultFaults(profile)
 		fmt.Printf("faults: %s\n\n", profile)
+	}
+	rprofile, err := resilience.ParseProfile(*resil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	if rprofile.Enabled() {
+		// Same contract as -faults: a process default inherited by envs
+		// built with no explicit resilience profile; R5 pins its own.
+		experiment.SetDefaultResilience(rprofile)
+		fmt.Printf("resilience: %s\n\n", rprofile)
 	}
 
 	runners := experiment.All()

@@ -63,10 +63,10 @@ func TestRankSessionMatchesRank(t *testing.T) {
 		}
 	}
 	check(cands)
-	check(cands)           // repeated call reuses prepared state
-	check(cands[:25])      // shrinking the set must re-normalize
-	check(cands)           // and growing back again
-	s.SetCandidates(nil)   // empty set ranks empty
+	check(cands)         // repeated call reuses prepared state
+	check(cands[:25])    // shrinking the set must re-normalize
+	check(cands)         // and growing back again
+	s.SetCandidates(nil) // empty set ranks empty
 	if r := s.Rank("c001", prefs); r != nil {
 		t.Fatalf("empty session ranked %d candidates", len(r))
 	}

@@ -35,6 +35,8 @@ func All() []Runner {
 		{"R2", R2, "resilience: node churn with route repair"},
 		{"R3", R3, "resilience: registry outage, stale-catalog fallback"},
 		{"R4", R4, "resilience: retry-policy ablation at fixed drop"},
+		{"R5", R5, "resilience: registry outage — breaker vs naive discovery retry"},
+		{"R6", R6, "resilience: overload ramp — load shedding vs queue-everything"},
 	}
 }
 

@@ -1,0 +1,107 @@
+package experiment
+
+import (
+	"wstrust/internal/resilience"
+	"wstrust/internal/soa"
+)
+
+// discoveryGuard sits between Env.Candidates and the UDDI availability
+// check, pricing discovery the way a serving stack would: every
+// availability probe is a message to the registry, and the guard decides
+// how many of them a call is willing to pay. Two regimes exist — naive
+// retry (probe up to attempts times, burning a message each) and circuit
+// breaking (stop probing after the breaker trips, fast-fail to the stale
+// catalog for free until the cooldown admits a half-open probe). An env
+// without a resilience profile has no guard and pays nothing, keeping
+// its runs byte-identical to builds without this layer.
+type discoveryGuard struct {
+	breaker  *resilience.Breaker
+	attempts int // naive probes per call while the registry is down (min 1)
+
+	calls     int64 // discovery calls answered (live or stale)
+	live      int64 // calls served from the live registry
+	unserved  int64 // stale fallbacks that found an empty catalog cache
+	probes    int64 // availability probes sent (each is one message)
+	fastFails int64 // calls the breaker refused without probing
+}
+
+// DiscoveryStats is the guard's accounting, surfaced for the resilience
+// experiments. Zero when the env has no resilience profile.
+type DiscoveryStats struct {
+	// Calls is the number of Candidates lookups under the guard; Live is
+	// how many were answered from the live registry (the rest fell back
+	// to the stale catalog). Unserved counts fallbacks that found the
+	// stale cache empty — the only case a consumer truly gets no answer.
+	Calls, Live, Unserved int64
+	// Probes counts availability probes sent to the registry — the
+	// message bill discovery ran up. FastFails counts calls the breaker
+	// answered from cache without spending a probe.
+	Probes, FastFails int64
+	// Breaker is the breaker's own accounting (zero for naive profiles).
+	Breaker resilience.BreakerStats
+}
+
+// Availability is the fraction of discovery calls that came back with a
+// usable candidate set, live or stale (1 when no call was ever unserved).
+func (s DiscoveryStats) Availability() float64 {
+	if s.Calls == 0 {
+		return 1
+	}
+	return float64(s.Calls-s.Unserved) / float64(s.Calls)
+}
+
+// DiscoveryStats reports the discovery guard's accounting (zero when the
+// env has no resilience profile).
+func (e *Env) DiscoveryStats() DiscoveryStats {
+	g := e.discovery
+	if g == nil {
+		return DiscoveryStats{}
+	}
+	st := DiscoveryStats{
+		Calls: g.calls, Live: g.live, Unserved: g.unserved,
+		Probes: g.probes, FastFails: g.fastFails,
+	}
+	if g.breaker != nil {
+		st.Breaker = g.breaker.Stats()
+	}
+	return st
+}
+
+// discoveryUp decides whether this Candidates call may read the live
+// registry, spending probes and breaker transitions according to the
+// env's resilience profile. Without a guard it is exactly the free
+// Available() check every experiment has always made.
+func (e *Env) discoveryUp(uddi *soa.UDDI) bool {
+	g := e.discovery
+	if g == nil {
+		return uddi.Available()
+	}
+	g.calls++
+	up := false
+	switch {
+	case g.breaker != nil:
+		if !g.breaker.Allow() {
+			g.fastFails++
+			break
+		}
+		g.probes++
+		up = uddi.Available()
+		if up {
+			g.breaker.Success()
+		} else {
+			g.breaker.Failure()
+		}
+	default:
+		for i := 0; i < g.attempts; i++ {
+			g.probes++
+			if uddi.Available() {
+				up = true
+				break
+			}
+		}
+	}
+	if up {
+		g.live++
+	}
+	return up
+}

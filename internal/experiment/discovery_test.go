@@ -1,0 +1,100 @@
+package experiment
+
+import (
+	"testing"
+	"time"
+
+	"wstrust/internal/fault"
+	"wstrust/internal/resilience"
+	"wstrust/internal/workload"
+)
+
+func discoveryEnv(t *testing.T, outage fault.Profile, rp resilience.Profile) *Env {
+	t.Helper()
+	env, err := NewEnv(EnvConfig{
+		Seed:       1,
+		Services:   workload.ServiceOptions{N: 4, Category: "compute"},
+		Consumers:  2,
+		Faults:     &outage,
+		Resilience: &rp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestDiscoveryGuardOff(t *testing.T) {
+	// No resilience profile: no guard, no accounting — the byte-identical
+	// baseline path.
+	p := fault.Profile{}
+	env, err := NewEnv(EnvConfig{
+		Seed: 1, Services: workload.ServiceOptions{N: 4, Category: "compute"},
+		Consumers: 2, Faults: &p,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(env.Candidates("compute")); got != 4 {
+		t.Fatalf("candidates = %d, want 4", got)
+	}
+	if st := env.DiscoveryStats(); st != (DiscoveryStats{}) {
+		t.Fatalf("guardless env has discovery stats: %+v", st)
+	}
+}
+
+func TestDiscoveryGuardNaive(t *testing.T) {
+	outage := fault.Profile{Name: "outage", Outages: []fault.Window{{From: 1, To: 3}}}
+	env := discoveryEnv(t, outage, resilience.Profile{Name: "naive", Attempts: 2})
+
+	env.faultRound = 0 // registry up: one probe succeeds, live answer
+	if got := len(env.Candidates("compute")); got != 4 {
+		t.Fatalf("live candidates = %d, want 4", got)
+	}
+	env.faultRound = 1 // outage: both probes fail, stale cache serves
+	if got := len(env.Candidates("compute")); got != 4 {
+		t.Fatalf("stale candidates = %d, want 4", got)
+	}
+	st := env.DiscoveryStats()
+	want := DiscoveryStats{Calls: 2, Live: 1, Probes: 3}
+	if st != want {
+		t.Fatalf("naive stats = %+v, want %+v", st, want)
+	}
+	if st.Availability() != 1 {
+		t.Fatalf("availability = %v, want 1 (warm cache)", st.Availability())
+	}
+}
+
+func TestDiscoveryGuardBreaker(t *testing.T) {
+	outage := fault.Profile{Name: "outage", Outages: []fault.Window{{From: 0, To: 100}}}
+	env := discoveryEnv(t, outage, resilience.Profile{Name: "breaker",
+		Breaker: &resilience.BreakerConfig{FailureThreshold: 2, Cooldown: time.Hour, Jitter: 0}})
+
+	// Cold cache during an outage from round 0: fallbacks are unserved.
+	for i := 0; i < 4; i++ {
+		if got := len(env.Candidates("compute")); got != 0 {
+			t.Fatalf("call %d: outage with cold cache served %d candidates", i, got)
+		}
+	}
+	st := env.DiscoveryStats()
+	if st.Probes != 2 || st.Breaker.Trips != 1 {
+		t.Fatalf("breaker stats after threshold: %+v", st)
+	}
+	if st.FastFails != 2 {
+		t.Fatalf("fastFails = %d, want 2 (calls after the trip)", st.FastFails)
+	}
+	if st.Unserved != 4 || st.Availability() != 0 {
+		t.Fatalf("cold-cache availability: %+v (avail %v)", st, st.Availability())
+	}
+
+	// After the cooldown (virtual time) the breaker admits one probe.
+	env.Clock.Advance(time.Hour)
+	env.Candidates("compute")
+	st = env.DiscoveryStats()
+	if st.Probes != 3 {
+		t.Fatalf("probes after cooldown = %d, want 3 (one half-open probe)", st.Probes)
+	}
+	if st.Breaker.Trips != 2 {
+		t.Fatalf("trips = %d, want 2 (failed probe re-opens)", st.Breaker.Trips)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"wstrust/internal/core"
 	"wstrust/internal/fault"
 	"wstrust/internal/p2p"
+	"wstrust/internal/resilience"
 	"wstrust/internal/simclock"
 	"wstrust/internal/soa"
 	"wstrust/internal/workload"
@@ -59,6 +60,11 @@ type Env struct {
 	churners   []*fault.Churner
 	wireSeq    int64
 	faultRound int // current Run round; drives outage windows
+
+	// Resilience layer (zero profile = no guard; Candidates then behaves
+	// byte-identically to builds without this layer).
+	Resil     resilience.Profile
+	discovery *discoveryGuard
 }
 
 type oracleKey struct {
@@ -89,6 +95,10 @@ type EnvConfig struct {
 	// experiments that need a specific regime — including the explicitly
 	// perfect substrate of a baseline run — pass their own.
 	Faults *fault.Profile
+	// Resilience selects the discovery-resilience regime. nil inherits the
+	// process default (set by wsxsim -resilience); a non-nil profile is
+	// used verbatim, so R5 pins its regimes per run.
+	Resilience *resilience.Profile
 }
 
 // defaultFaults is the process-wide profile cfg.Faults == nil inherits.
@@ -99,6 +109,15 @@ var defaultFaults fault.Profile
 // SetDefaultFaults installs the fault profile environments inherit when
 // their config carries none. Call before running experiments.
 func SetDefaultFaults(p fault.Profile) { defaultFaults = p }
+
+// defaultResilience is the process-wide resilience profile
+// cfg.Resilience == nil inherits; same contract as defaultFaults.
+var defaultResilience resilience.Profile
+
+// SetDefaultResilience installs the discovery-resilience profile
+// environments inherit when their config carries none. Call before
+// running experiments.
+func SetDefaultResilience(p resilience.Profile) { defaultResilience = p }
 
 // NewEnv builds the marketplace: generates the populations, publishes
 // every service on a fabric, and assigns attackers.
@@ -153,6 +172,22 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 				return true
 			})
 		}
+	}
+	rp := defaultResilience
+	if cfg.Resilience != nil {
+		rp = *cfg.Resilience
+	}
+	if rp.Enabled() {
+		env.Resil = rp
+		g := &discoveryGuard{attempts: rp.Attempts}
+		if g.attempts < 1 {
+			g.attempts = 1
+		}
+		if rp.Breaker != nil {
+			g.breaker = resilience.NewBreaker(*rp.Breaker, clock,
+				simclock.Stream(cfg.Seed, "resilience.breaker"))
+		}
+		env.discovery = g
 	}
 	return env, nil
 }
@@ -274,11 +309,15 @@ func (e *Env) ReplaceSpec(s workload.ServiceSpec) {
 // identity and skip re-normalizing.
 func (e *Env) Candidates(category string) []core.Candidate {
 	uddi := e.Fabric.UDDI()
-	if !uddi.Available() {
+	if !e.discoveryUp(uddi) {
 		// Registry outage: degrade to the stale cached view rather than
 		// stalling selection — consumers keep choosing among the services
 		// they already know about until discovery comes back.
-		return e.candCache[category]
+		out := e.candCache[category]
+		if e.discovery != nil && len(out) == 0 {
+			e.discovery.unserved++
+		}
+		return out
 	}
 	if v := uddi.Version(); e.candCache == nil || v != e.candVersion {
 		e.candCache = map[string][]core.Candidate{}

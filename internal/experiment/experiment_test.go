@@ -158,8 +158,8 @@ func TestByID(t *testing.T) {
 	if _, err := ByID("nope"); err == nil {
 		t.Fatal("unknown id accepted")
 	}
-	if len(All()) != 23 {
-		t.Fatalf("experiment count = %d, want 23", len(All()))
+	if len(All()) != 25 {
+		t.Fatalf("experiment count = %d, want 25", len(All()))
 	}
 }
 

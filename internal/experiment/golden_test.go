@@ -36,7 +36,7 @@ func suiteText(t *testing.T, outs []Outcome) string {
 
 // TestGoldenSuiteSeed42 is the regression lock on the repository's core
 // promise: the full seed-42 suite output is byte-stable. It regenerates
-// all 23 reports sequentially and with -parallel 4, requires the two
+// all 25 reports sequentially and with -parallel 4, requires the two
 // renderings to be byte-identical, and compares their sha256 against the
 // committed digest. Any change to report bytes — a reordered fold, a new
 // RNG draw, a formatting tweak — fails here and must be accompanied by a

@@ -1,0 +1,86 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+)
+
+// panicSuite is a stub runner list: one healthy experiment on each side
+// of one that panics mid-run.
+func panicSuite() []Runner {
+	ok := func(id string) Runner {
+		return Runner{ID: id, Desc: "stub", Run: func(seed int64) (Report, error) {
+			return Report{ID: id, Title: "stub", Body: "ok\n", Shape: "ok", Pass: true}, nil
+		}}
+	}
+	boom := Runner{ID: "BOOM", Desc: "stub", Run: func(seed int64) (Report, error) {
+		panic("deliberate test panic")
+	}}
+	return []Runner{ok("OK1"), boom, ok("OK2")}
+}
+
+func TestRunSuitePanicIsolation(t *testing.T) {
+	for _, parallelism := range []int{1, 3} {
+		outs := RunSuite(panicSuite(), 42, parallelism)
+		if len(outs) != 3 {
+			t.Fatalf("parallelism %d: got %d outcomes, want 3", parallelism, len(outs))
+		}
+		if outs[0].Err != nil || outs[2].Err != nil {
+			t.Fatalf("parallelism %d: healthy experiments failed: %v / %v",
+				parallelism, outs[0].Err, outs[2].Err)
+		}
+		if !outs[0].Report.Pass || !outs[2].Report.Pass {
+			t.Fatalf("parallelism %d: healthy reports did not pass", parallelism)
+		}
+		err := outs[1].Err
+		if err == nil {
+			t.Fatalf("parallelism %d: panicking experiment reported no error", parallelism)
+		}
+		msg := err.Error()
+		if !strings.Contains(msg, "BOOM") || !strings.Contains(msg, "deliberate test panic") {
+			t.Fatalf("parallelism %d: panic error lacks id and value: %v", parallelism, msg)
+		}
+		if !strings.Contains(msg, "panic_test.go") {
+			t.Fatalf("parallelism %d: panic error lacks a stack trace: %v", parallelism, msg)
+		}
+	}
+}
+
+func TestPopulationsPanicIsolation(t *testing.T) {
+	// Inline path (no pool installed): the panicking replicate's error
+	// surfaces, the earlier replicates' work stands.
+	suitePool.Store(nil)
+	ran := make([]bool, 4)
+	err := Populations(4, func(rep int) error {
+		ran[rep] = true
+		if rep == 2 {
+			panic("replicate boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "replicate boom") {
+		t.Fatalf("Populations error = %v, want the replicate panic", err)
+	}
+	if !strings.Contains(err.Error(), "replicate 2") {
+		t.Fatalf("Populations error does not name the replicate: %v", err)
+	}
+	for i, r := range ran {
+		if !r {
+			t.Fatalf("replicate %d never ran after an earlier panic was contained", i)
+		}
+	}
+
+	// Pooled path: replicates on borrowed workers are contained too.
+	pool := newWorkPool(3)
+	suitePool.Store(pool)
+	defer suitePool.Store(nil)
+	err = Populations(4, func(rep int) error {
+		if rep == 1 {
+			panic("pooled boom")
+		}
+		return nil
+	})
+	if err == nil || !strings.Contains(err.Error(), "pooled boom") {
+		t.Fatalf("pooled Populations error = %v, want the replicate panic", err)
+	}
+}

@@ -1,6 +1,8 @@
 package experiment
 
 import (
+	"fmt"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -71,11 +73,11 @@ func Populations(n int, fn func(rep int) error) error {
 			go func(rep int) {
 				defer wg.Done()
 				defer pool.release()
-				errs[rep] = fn(rep)
+				errs[rep] = replicateProtected(fn, rep)
 			}(i)
 			continue
 		}
-		errs[i] = fn(i)
+		errs[i] = replicateProtected(fn, i)
 	}
 	wg.Wait()
 	for _, err := range errs {
@@ -84,4 +86,16 @@ func Populations(n int, fn func(rep int) error) error {
 		}
 	}
 	return nil
+}
+
+// replicateProtected runs one population replicate with the same panic
+// isolation RunSuite gives whole experiments: a panic on a borrowed
+// worker slot must fail its experiment, not kill the process.
+func replicateProtected(fn func(rep int) error, rep int) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("population replicate %d: panic: %v\n%s", rep, rec, debug.Stack())
+		}
+	}()
+	return fn(rep)
 }

@@ -1,6 +1,10 @@
 package experiment
 
-import "sync"
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+)
 
 // Outcome is one experiment's result within a suite run.
 type Outcome struct {
@@ -31,7 +35,7 @@ func RunSuite(runners []Runner, seed int64, parallelism int) []Outcome {
 		// offered to nested population fan-outs either.
 		suitePool.Store(nil)
 		for i, r := range runners {
-			rep, err := r.Run(seed)
+			rep, err := runProtected(r, seed)
 			out[i] = Outcome{Runner: r, Report: rep, Err: err}
 		}
 		return out
@@ -56,7 +60,7 @@ func RunSuite(runners []Runner, seed int64, parallelism int) []Outcome {
 			defer wg.Done()
 			for i := range jobs {
 				pool.acquire()
-				rep, err := runners[i].Run(seed)
+				rep, err := runProtected(runners[i], seed)
 				out[i] = Outcome{Runner: runners[i], Report: rep, Err: err}
 				pool.release()
 			}
@@ -68,4 +72,19 @@ func RunSuite(runners []Runner, seed int64, parallelism int) []Outcome {
 	close(jobs)
 	wg.Wait()
 	return out
+}
+
+// runProtected executes one experiment with panic isolation: a panicking
+// experiment becomes a failed Outcome carrying the panic value and stack,
+// instead of killing its worker goroutine and with it the whole suite.
+// wsxsim already exits non-zero on any Outcome.Err, so a panic still
+// fails the run — it just lets every other experiment finish and report
+// first.
+func runProtected(r Runner, seed int64) (rep Report, err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("experiment %s: panic: %v\n%s", r.ID, rec, debug.Stack())
+		}
+	}()
+	return r.Run(seed)
 }

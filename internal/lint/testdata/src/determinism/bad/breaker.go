@@ -1,0 +1,33 @@
+package bad
+
+import "time"
+
+// Breaker sketches a circuit breaker that times its cooldown off the wall
+// clock: the trip records time.Now and Allow compares against it, so
+// whether a request fast-fails depends on how long the host was busy —
+// the same seeded run gives different answers on different machines.
+type Breaker struct {
+	open     bool
+	reopenAt time.Time
+}
+
+// Trip opens the breaker and schedules the half-open probe in real time.
+func (b *Breaker) Trip(cooldown time.Duration) {
+	b.open = true
+	b.reopenAt = time.Now().Add(cooldown) // want `wall clock`
+}
+
+// Allow admits when the wall clock has passed the reopen deadline.
+func (b *Breaker) Allow() bool {
+	if !b.open {
+		return true
+	}
+	return time.Since(b.reopenAt) >= 0 // want `wall clock`
+}
+
+// TripAndClose is the timer-driven twin: the cooldown burns a real timer
+// instead of comparing clock readings.
+func (b *Breaker) TripAndClose(cooldown time.Duration) {
+	b.open = true
+	time.AfterFunc(cooldown, func() { b.open = false }) // want `wall clock`
+}

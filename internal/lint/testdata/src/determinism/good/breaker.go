@@ -1,0 +1,34 @@
+package good
+
+import "time"
+
+// NowClock is the injected-time seam for components that compare instants
+// rather than advance time: the breaker reads Now from whatever clock it
+// was built with — virtual in simulations, wall only inside simclock.
+type NowClock interface {
+	Now() time.Time
+}
+
+// Breaker is the compliant twin of bad/breaker.go: the cooldown deadline
+// comes from the injected clock, so a virtual clock replays the same trip
+// and reopen sequence on every run of a seed.
+type Breaker struct {
+	clock    NowClock
+	open     bool
+	reopenAt time.Time
+}
+
+// Trip opens the breaker and schedules the half-open probe on the
+// injected clock.
+func (b *Breaker) Trip(cooldown time.Duration) {
+	b.open = true
+	b.reopenAt = b.clock.Now().Add(cooldown)
+}
+
+// Allow admits when the injected clock has reached the reopen deadline.
+func (b *Breaker) Allow() bool {
+	if !b.open {
+		return true
+	}
+	return !b.clock.Now().Before(b.reopenAt)
+}

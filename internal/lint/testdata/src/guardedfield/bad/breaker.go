@@ -1,0 +1,31 @@
+package bad
+
+import "sync"
+
+// Breaker sketches a circuit breaker whose state machine fields share one
+// mutex — the shape internal/resilience uses. The accessors below read
+// and reset those fields lock-free, which is exactly the race a breaker
+// invites: Allow runs on every request, concurrently with Failure.
+type Breaker struct {
+	mu       sync.Mutex
+	state    int // guarded by mu
+	failures int // guarded by mu
+}
+
+// Trip moves to open correctly, under the lock.
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = 1
+	b.failures = 0
+}
+
+// Allow consults the state machine without the lock.
+func (b *Breaker) Allow() bool {
+	return b.state == 0 // want `never locks`
+}
+
+// Reset clears the failure streak without the lock.
+func (b *Breaker) Reset() {
+	b.failures = 0 // want `never locks`
+}

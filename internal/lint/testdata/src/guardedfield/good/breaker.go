@@ -1,0 +1,45 @@
+package good
+
+import "sync"
+
+// Breaker is the compliant twin of bad/breaker.go: every state-machine
+// access holds the mutex, including the hot read on the request path.
+type Breaker struct {
+	mu       sync.Mutex
+	state    int // guarded by mu
+	failures int // guarded by mu
+}
+
+// Trip moves to open under the lock.
+func (b *Breaker) Trip() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.state = 1
+	b.failures = 0
+}
+
+// Allow consults the state machine under the lock.
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == 0
+}
+
+// tripLocked is the transition helper its callers run under b.mu.
+//
+//lint:guarded tripLocked runs with b.mu held by Allow/Failure
+func tripLocked(b *Breaker) {
+	b.state = 1
+	b.failures = 0
+}
+
+// Failure counts a failure and trips at the threshold, all under one
+// critical section.
+func (b *Breaker) Failure(threshold int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.failures++
+	if b.failures >= threshold {
+		tripLocked(b)
+	}
+}

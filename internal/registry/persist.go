@@ -2,6 +2,7 @@ package registry
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"time"
@@ -9,6 +10,13 @@ import (
 	"wstrust/internal/core"
 	"wstrust/internal/qos"
 )
+
+// ErrTruncated is the sentinel warning Import returns when the stream ends
+// in a torn trailing record — the exact state a crash mid-write leaves
+// behind. The valid prefix has been imported; callers distinguish this
+// recoverable condition (errors.Is) from mid-stream corruption, which
+// still fails hard.
+var ErrTruncated = errors.New("registry: truncated trailing record")
 
 // This file gives the central QoS registry a durable form: the feedback
 // log exports to and imports from a line-delimited JSON stream, so a
@@ -95,13 +103,19 @@ func (s *Store) Export(w io.Writer) error {
 // Import reads line-delimited JSON records (as written by Export) and
 // submits each into the store, validating as it goes. It returns the
 // number of records imported; on a malformed record it stops with an error
-// after having imported the valid prefix.
+// after having imported the valid prefix. A record torn off mid-write at
+// the very end of the stream is reported as the warning ErrTruncated
+// rather than a hard failure, so a log severed by a crash still restores
+// its durable prefix.
 func (s *Store) Import(r io.Reader) (int, error) {
 	dec := json.NewDecoder(r)
 	n := 0
 	for dec.More() {
 		var rec feedbackRecord
 		if err := dec.Decode(&rec); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return n, fmt.Errorf("registry: import record %d: %w", n, ErrTruncated)
+			}
 			return n, fmt.Errorf("registry: import record %d: %w", n, err)
 		}
 		if err := s.Submit(rec.toFeedback()); err != nil {

@@ -11,6 +11,7 @@
 package registry
 
 import (
+	"encoding/json"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,6 +28,13 @@ type Store struct {
 	byConsumer map[core.ConsumerID][]int // guarded by mu
 	byPair     map[pairKey][]int         // guarded by mu
 	messages   int64                     // guarded by mu
+
+	// wal, when non-nil (stores built by Open), makes Submit durable:
+	// the record is framed, checksummed and appended to the log before
+	// the in-memory state changes. nextSeq numbers the frames.
+	wal     *walWriter // guarded by mu
+	nextSeq uint64     // guarded by mu
+	closed  bool       // guarded by mu; Close on a durable store sets it
 }
 
 type pairKey struct {
@@ -34,31 +42,66 @@ type pairKey struct {
 	service  core.ServiceID
 }
 
-// NewStore returns an empty registry.
+// NewStore returns an empty in-memory registry. For a crash-consistent,
+// WAL-backed registry use Open.
 func NewStore() *Store {
 	return &Store{
 		byService:  map[core.ServiceID][]int{},
 		byConsumer: map[core.ConsumerID][]int{},
 		byPair:     map[pairKey][]int{},
+		nextSeq:    1,
 	}
 }
 
 // Submit appends one feedback record. Malformed feedback is rejected.
-// Each submit counts as one consumer→registry message.
+// Each submit counts as one consumer→registry message. On a WAL-backed
+// store the record is appended (and, per the fsync batching policy,
+// made durable) before the in-memory state changes; a WAL write error
+// rejects the submit with the store unchanged.
 func (s *Store) Submit(fb core.Feedback) error {
 	if err := fb.Validate(); err != nil {
 		return fmt.Errorf("registry: %w", err)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("registry: store is closed")
+	}
+	if s.wal != nil {
+		payload, err := json.Marshal(toRecord(fb))
+		if err != nil {
+			return fmt.Errorf("registry: encode for wal: %w", err)
+		}
+		if err := s.wal.append(s.nextSeq, payload); err != nil {
+			return err
+		}
+	}
+	s.apply(fb)
+	s.messages++
+	if s.wal != nil && s.wal.opts.SnapshotEvery > 0 && s.wal.frames >= s.wal.opts.SnapshotEvery {
+		if err := s.snapshotLocked(); err != nil {
+			// The record itself is durable in the WAL; a failed compaction
+			// only means the log stays long. Surface it without undoing
+			// the accepted submit.
+			return fmt.Errorf("registry: auto-compaction: %w", err)
+		}
+	}
+	return nil
+}
+
+// apply appends fb to the in-memory log and indexes and advances the
+// WAL sequence. Recovery uses it directly: replayed records were counted
+// as messages when first submitted, so they are not re-counted.
+//
+//lint:guarded apply runs with s.mu held by Submit/Open's recovery path
+func (s *Store) apply(fb core.Feedback) {
 	idx := len(s.log)
 	s.log = append(s.log, fb)
 	s.byService[fb.Service] = append(s.byService[fb.Service], idx)
 	s.byConsumer[fb.Consumer] = append(s.byConsumer[fb.Consumer], idx)
 	k := pairKey{fb.Consumer, fb.Service}
 	s.byPair[k] = append(s.byPair[k], idx)
-	s.messages++
-	return nil
+	s.nextSeq++
 }
 
 // Len reports the number of stored feedback records.
@@ -177,8 +220,11 @@ func (s *Store) FacetSeries(id core.ServiceID, facet core.Facet) []float64 {
 	return out
 }
 
-// Reset clears all stored feedback but keeps the message counter, so cost
-// accounting spans experiment phases.
+// Reset clears all stored in-memory feedback but keeps the message
+// counter, so cost accounting spans experiment phases. Reset does not
+// touch durable state: it is an experiment-harness affordance for
+// in-memory stores; a WAL-backed store that must be cleared durably
+// should Reset and then Snapshot.
 func (s *Store) Reset() {
 	s.mu.Lock()
 	defer s.mu.Unlock()

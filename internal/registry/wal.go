@@ -1,0 +1,417 @@
+package registry
+
+// This file gives the central QoS registry crash consistency: an
+// append-only, checksummed, line-framed write-ahead log with batched
+// fsyncs, periodic snapshot + log compaction, and a recovery path
+// (Open) that replays snapshot + WAL and tolerates the torn final
+// record a crash mid-append leaves behind.
+//
+// On-disk layout, inside one directory:
+//
+//	wal.wsx       one frame per Submit since the last compaction:
+//	              "w1 <seq> <crc32-hex8> <json>\n"
+//	snapshot.wsx  the full log at the last compaction:
+//	              "s1 <count> <lastSeq>\n" followed by <count> frames
+//
+// Frames carry a monotonically increasing sequence number, so a crash
+// between "snapshot renamed" and "WAL truncated" is harmless: replay
+// skips WAL frames the snapshot already covers. The snapshot is written
+// to a temp file, fsynced and renamed, so it is never observed half
+// written; the WAL may end in a torn frame, which recovery truncates
+// away with a warning instead of failing the store.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"wstrust/internal/core"
+)
+
+const (
+	walName      = "wal.wsx"
+	snapshotName = "snapshot.wsx"
+	framePrefix  = "w1"
+	snapPrefix   = "s1"
+)
+
+// WALOptions tune the durability/throughput trade of a WAL-backed store.
+// The zero value is safe and conservative.
+type WALOptions struct {
+	// SyncEvery batches fsyncs: the WAL file is fsynced once every
+	// SyncEvery appended records (and always on Sync, Snapshot and
+	// Close). Values below 2 fsync every append — maximum durability.
+	SyncEvery int
+	// SnapshotEvery, when positive, compacts automatically once the live
+	// WAL accumulates that many frames: the full in-memory log is written
+	// to a fresh snapshot and the WAL truncated to empty.
+	SnapshotEvery int
+}
+
+// Recovery reports what Open found on disk.
+type Recovery struct {
+	// SnapshotRecords and WALRecords count the feedback entries restored
+	// from each file.
+	SnapshotRecords int
+	WALRecords      int
+	// SkippedRecords counts WAL frames the snapshot already covered
+	// (a crash landed between snapshot rename and WAL truncation).
+	SkippedRecords int
+	// Torn reports that the WAL ended in a partial or corrupt frame;
+	// TornBytes is how many trailing bytes were truncated away.
+	Torn      bool
+	TornBytes int64
+}
+
+// Records is the total number of feedback entries recovered.
+func (r Recovery) Records() int { return r.SnapshotRecords + r.WALRecords }
+
+// String renders the recovery summary for daemon logs.
+func (r Recovery) String() string {
+	s := fmt.Sprintf("recovered %d records (%d snapshot + %d wal, %d skipped)",
+		r.Records(), r.SnapshotRecords, r.WALRecords, r.SkippedRecords)
+	if r.Torn {
+		s += fmt.Sprintf("; truncated torn final record (%d bytes)", r.TornBytes)
+	}
+	return s
+}
+
+// walWriter is the open WAL file of a durable store. Its fields are only
+// touched with the owning Store's mu held.
+type walWriter struct {
+	dir      string
+	path     string
+	f        *os.File
+	bw       *bufio.Writer
+	unsynced int // appends since the last fsync
+	frames   int // frames in the file since the last compaction
+	opts     WALOptions
+}
+
+// Open builds (or recovers) a durable Store rooted at dir. It replays
+// snapshot.wsx then wal.wsx, verifying checksums; a torn final WAL record
+// — the state a crash mid-append leaves — is truncated away and reported
+// in Recovery rather than failing the store. Subsequent Submits append to
+// the WAL before touching memory, so anything acknowledged is durable up
+// to the fsync batching window.
+//
+//lint:guarded Open constructs the store; it is not shared until returned
+func Open(dir string, opts WALOptions) (*Store, Recovery, error) {
+	var rec Recovery
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, rec, fmt.Errorf("registry: open %s: %w", dir, err)
+	}
+	s := NewStore()
+
+	lastSeq, snapN, err := s.loadSnapshot(filepath.Join(dir, snapshotName))
+	if err != nil {
+		return nil, rec, err
+	}
+	rec.SnapshotRecords = snapN
+	s.nextSeq = lastSeq + 1
+
+	walPath := filepath.Join(dir, walName)
+	if err := s.replayWAL(walPath, lastSeq, &rec); err != nil {
+		return nil, rec, err
+	}
+
+	f, err := os.OpenFile(walPath, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, rec, fmt.Errorf("registry: open wal: %w", err)
+	}
+	s.wal = &walWriter{
+		dir:    dir,
+		path:   walPath,
+		f:      f,
+		bw:     bufio.NewWriter(f),
+		frames: rec.WALRecords + rec.SkippedRecords,
+		opts:   opts,
+	}
+	return s, rec, nil
+}
+
+// loadSnapshot restores the compacted log, returning the sequence number
+// of its last frame. A missing snapshot is a fresh store. Unlike the WAL,
+// the snapshot is written atomically (temp + rename), so any corruption
+// here is a real fault and fails recovery loudly.
+//
+//lint:guarded recovery runs before the store is shared (called from Open)
+func (s *Store) loadSnapshot(path string) (lastSeq uint64, n int, err error) {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return 0, 0, nil
+	}
+	if err != nil {
+		return 0, 0, fmt.Errorf("registry: read snapshot: %w", err)
+	}
+	line, rest, ok := bytes.Cut(data, []byte{'\n'})
+	if !ok {
+		return 0, 0, fmt.Errorf("registry: snapshot %s: missing header", path)
+	}
+	fields := strings.Fields(string(line))
+	if len(fields) != 3 || fields[0] != snapPrefix {
+		return 0, 0, fmt.Errorf("registry: snapshot %s: bad header %q", path, line)
+	}
+	count, err1 := strconv.Atoi(fields[1])
+	last, err2 := strconv.ParseUint(fields[2], 10, 64)
+	if err1 != nil || err2 != nil || count < 0 {
+		return 0, 0, fmt.Errorf("registry: snapshot %s: bad header %q", path, line)
+	}
+	for i := 0; i < count; i++ {
+		line, next, ok := bytes.Cut(rest, []byte{'\n'})
+		if !ok {
+			return 0, 0, fmt.Errorf("registry: snapshot %s: %d of %d records, then truncated", path, i, count)
+		}
+		rest = next
+		_, fb, err := parseFrame(line)
+		if err != nil {
+			return 0, 0, fmt.Errorf("registry: snapshot %s record %d: %w", path, i, err)
+		}
+		s.apply(fb)
+	}
+	return last, count, nil
+}
+
+// replayWAL applies every intact frame with seq > snapLastSeq, then
+// truncates any torn tail so future appends extend the durable prefix.
+//
+//lint:guarded recovery runs before the store is shared (called from Open)
+func (s *Store) replayWAL(path string, snapLastSeq uint64, rec *Recovery) error {
+	data, err := os.ReadFile(path)
+	if errors.Is(err, fs.ErrNotExist) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("registry: read wal: %w", err)
+	}
+	offset := int64(0) // end of the last intact frame
+	rest := data
+	for len(rest) > 0 {
+		line, next, ok := bytes.Cut(rest, []byte{'\n'})
+		if !ok {
+			break // no newline: a frame torn mid-write
+		}
+		seq, fb, err := parseFrame(line)
+		if err != nil {
+			break // short or checksum-failed frame: torn tail starts here
+		}
+		if seq <= snapLastSeq {
+			rec.SkippedRecords++
+		} else {
+			s.apply(fb)
+			if seq >= s.nextSeq {
+				s.nextSeq = seq + 1
+			}
+			rec.WALRecords++
+		}
+		offset += int64(len(line)) + 1
+		rest = next
+	}
+	if torn := int64(len(data)) - offset; torn > 0 {
+		rec.Torn = true
+		rec.TornBytes = torn
+		if err := os.Truncate(path, offset); err != nil {
+			return fmt.Errorf("registry: truncate torn wal tail: %w", err)
+		}
+	}
+	return nil
+}
+
+// encodeFrame renders one WAL frame: prefix, sequence number, CRC-32 of
+// the payload, payload, newline.
+func encodeFrame(seq uint64, payload []byte) []byte {
+	return []byte(fmt.Sprintf("%s %d %08x %s\n", framePrefix, seq, crc32.ChecksumIEEE(payload), payload))
+}
+
+// parseFrame decodes and checksum-verifies one frame line (without its
+// trailing newline) and unmarshals the feedback payload.
+func parseFrame(line []byte) (seq uint64, fb core.Feedback, err error) {
+	parts := strings.SplitN(string(line), " ", 4)
+	if len(parts) != 4 || parts[0] != framePrefix {
+		return 0, fb, errors.New("registry: malformed frame")
+	}
+	seq, err = strconv.ParseUint(parts[1], 10, 64)
+	if err != nil {
+		return 0, fb, fmt.Errorf("registry: frame seq: %w", err)
+	}
+	wantCRC, err := strconv.ParseUint(parts[2], 16, 32)
+	if err != nil {
+		return 0, fb, fmt.Errorf("registry: frame crc: %w", err)
+	}
+	payload := []byte(parts[3])
+	if got := crc32.ChecksumIEEE(payload); got != uint32(wantCRC) {
+		return 0, fb, fmt.Errorf("registry: frame %d checksum mismatch (%08x != %08x)", seq, got, wantCRC)
+	}
+	var rec feedbackRecord
+	if err := json.Unmarshal(payload, &rec); err != nil {
+		return 0, fb, fmt.Errorf("registry: frame %d payload: %w", seq, err)
+	}
+	return seq, rec.toFeedback(), nil
+}
+
+// append writes one frame and applies the fsync batching policy.
+//
+//lint:guarded append runs with the owning Store's mu held
+func (w *walWriter) append(seq uint64, payload []byte) error {
+	if _, err := w.bw.Write(encodeFrame(seq, payload)); err != nil {
+		return fmt.Errorf("registry: wal append: %w", err)
+	}
+	w.frames++
+	w.unsynced++
+	if w.opts.SyncEvery < 2 || w.unsynced >= w.opts.SyncEvery {
+		return w.sync()
+	}
+	return nil
+}
+
+// sync flushes buffered frames and fsyncs the WAL file.
+//
+//lint:guarded sync runs with the owning Store's mu held
+func (w *walWriter) sync() error {
+	if err := w.bw.Flush(); err != nil {
+		return fmt.Errorf("registry: wal flush: %w", err)
+	}
+	if err := w.f.Sync(); err != nil {
+		return fmt.Errorf("registry: wal fsync: %w", err)
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// Durable reports whether the store is WAL-backed (built by Open, not
+// NewStore).
+func (s *Store) Durable() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.wal != nil
+}
+
+// Sync flushes and fsyncs any WAL frames the batching window is holding.
+// A no-op on in-memory stores.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	return s.wal.sync()
+}
+
+// Snapshot compacts the log: the full in-memory state is written to a
+// fresh snapshot (atomically, via temp + rename) and the WAL truncated to
+// empty. Open replays the result to the identical store.
+func (s *Store) Snapshot() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return errors.New("registry: Snapshot on a store with no WAL (use Open)")
+	}
+	return s.snapshotLocked()
+}
+
+// snapshotLocked writes snapshot.wsx.tmp, fsyncs, renames it over
+// snapshot.wsx, fsyncs the directory, then truncates the WAL. A crash at
+// any point leaves a recoverable pair: before the rename the old
+// snapshot+WAL still replay; after it, WAL frames the new snapshot covers
+// are skipped by sequence number.
+//
+//lint:guarded snapshotLocked runs with s.mu held by Snapshot/Submit
+func (s *Store) snapshotLocked() error {
+	if err := s.wal.sync(); err != nil {
+		return err
+	}
+	w := s.wal
+	tmp := filepath.Join(w.dir, snapshotName+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return fmt.Errorf("registry: snapshot: %w", err)
+	}
+	bw := bufio.NewWriter(f)
+	lastSeq := s.nextSeq - 1
+	werr := func() error {
+		if _, err := fmt.Fprintf(bw, "%s %d %d\n", snapPrefix, len(s.log), lastSeq); err != nil {
+			return err
+		}
+		// Snapshot frames re-number densely from lastSeq-len+1..lastSeq;
+		// only the final sequence number matters for replay skipping.
+		base := lastSeq - uint64(len(s.log))
+		for i, fb := range s.log {
+			payload, err := json.Marshal(toRecord(fb))
+			if err != nil {
+				return err
+			}
+			if _, err := bw.Write(encodeFrame(base+uint64(i)+1, payload)); err != nil {
+				return err
+			}
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		return f.Sync()
+	}()
+	cerr := f.Close()
+	if werr != nil {
+		return fmt.Errorf("registry: snapshot: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("registry: snapshot: %w", cerr)
+	}
+	if err := os.Rename(tmp, filepath.Join(w.dir, snapshotName)); err != nil {
+		return fmt.Errorf("registry: snapshot rename: %w", err)
+	}
+	if err := fsyncDir(w.dir); err != nil {
+		return err
+	}
+	// The snapshot is durable; the WAL's frames are now redundant.
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("registry: wal truncate after snapshot: %w", err)
+	}
+	w.frames = 0
+	return nil
+}
+
+// Close fsyncs and closes the WAL. The store stays readable; further
+// Submits fail. A no-op on in-memory stores.
+func (s *Store) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.wal == nil {
+		return nil
+	}
+	serr := s.wal.sync()
+	cerr := s.wal.f.Close()
+	s.wal = nil
+	s.closed = true
+	if serr != nil {
+		return serr
+	}
+	if cerr != nil {
+		return fmt.Errorf("registry: wal close: %w", cerr)
+	}
+	return nil
+}
+
+// fsyncDir makes a directory-entry change (rename) durable.
+func fsyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("registry: open dir for fsync: %w", err)
+	}
+	serr := d.Sync()
+	cerr := d.Close()
+	if serr != nil {
+		return fmt.Errorf("registry: fsync dir: %w", serr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("registry: close dir: %w", cerr)
+	}
+	return nil
+}

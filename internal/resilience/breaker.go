@@ -1,0 +1,232 @@
+// Package resilience protects the serving path around the paper's central
+// QoS registry (Figure 2) from the failure modes Section 5 only names:
+// a registry that is down, slow, or overloaded. It supplies the classic
+// serving-layer primitives — circuit breaker, token-bucket load shedder
+// with priority classes, bulkhead semaphores, and per-request deadline
+// budgets that compose with the fault package's retry policies — all
+// clock-abstracted: simulations and tests drive them from a
+// simclock.Virtual so every trip, shed and probe replays byte-for-byte
+// from a seed, while the wsxd daemon runs the same code on the wall clock
+// (simclock.Wall).
+package resilience
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"wstrust/internal/simclock"
+)
+
+// State is a circuit breaker's position.
+type State int
+
+const (
+	// Closed passes traffic and counts consecutive failures.
+	Closed State = iota
+	// Open fast-fails everything until the cooldown elapses.
+	Open
+	// HalfOpen admits one probe at a time; enough consecutive probe
+	// successes re-close the circuit, any failure re-opens it.
+	HalfOpen
+)
+
+// String renders the state for logs and tables.
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return fmt.Sprintf("state(%d)", int(s))
+}
+
+// ErrOpen is returned by Breaker.Do when the circuit fast-fails a call.
+var ErrOpen = errors.New("resilience: circuit open")
+
+// BreakerConfig tunes a circuit breaker. The zero value gets sane
+// defaults from normalized.
+type BreakerConfig struct {
+	// FailureThreshold is the number of consecutive failures that trips
+	// the circuit (default 5).
+	FailureThreshold int
+	// Cooldown is how long the circuit stays Open before admitting a
+	// half-open probe (default 30s).
+	Cooldown time.Duration
+	// Jitter spreads each trip's cooldown uniformly over
+	// [1-Jitter, 1+Jitter] × Cooldown (default 0.1), so a fleet of
+	// breakers tripped by one outage does not probe in lockstep. The
+	// draw comes from the breaker's seeded stream: simulated breakers
+	// jitter reproducibly.
+	Jitter float64
+	// HalfOpenProbes is the number of consecutive probe successes that
+	// re-close the circuit (default 1).
+	HalfOpenProbes int
+}
+
+func (c BreakerConfig) normalized() BreakerConfig {
+	if c.FailureThreshold < 1 {
+		c.FailureThreshold = 5
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 30 * time.Second
+	}
+	if c.Jitter < 0 || c.Jitter >= 1 {
+		c.Jitter = 0.1
+	}
+	if c.HalfOpenProbes < 1 {
+		c.HalfOpenProbes = 1
+	}
+	return c
+}
+
+// BreakerStats is a snapshot of a breaker's accounting.
+type BreakerStats struct {
+	State     State
+	Trips     int64 // Closed/HalfOpen → Open transitions
+	FastFails int64 // calls refused without reaching the dependency
+	Probes    int64 // half-open trial calls admitted
+}
+
+// Breaker is a closed/open/half-open circuit breaker. It never reads the
+// wall clock directly: time comes from the injected Clock and the probe
+// jitter from the injected seeded stream, so breakers inside simulations
+// are deterministic. Safe for concurrent use.
+type Breaker struct {
+	cfg   BreakerConfig
+	clock simclock.Clock
+
+	mu        sync.Mutex
+	rng       *rand.Rand // guarded by mu
+	state     State      // guarded by mu
+	failures  int        // guarded by mu; consecutive failures while Closed
+	successes int        // guarded by mu; consecutive probe successes while HalfOpen
+	probing   bool       // guarded by mu; a half-open probe is in flight
+	reopenAt  time.Time  // guarded by mu; when Open yields to HalfOpen
+	trips     int64      // guarded by mu
+	fastFails int64      // guarded by mu
+	probes    int64      // guarded by mu
+}
+
+// NewBreaker builds a breaker over the given clock. rng supplies the
+// cooldown jitter and may be nil for none (typically simclock.Stream in
+// simulations, a seeded stream in the daemon).
+func NewBreaker(cfg BreakerConfig, clock simclock.Clock, rng *rand.Rand) *Breaker {
+	if clock == nil {
+		panic("resilience: NewBreaker requires a clock")
+	}
+	return &Breaker{cfg: cfg.normalized(), clock: clock, rng: rng}
+}
+
+// Allow reports whether a call may proceed, advancing Open → HalfOpen
+// when the cooldown has elapsed. Callers that get true must report the
+// call's outcome via Success or Failure; callers that get false must not
+// touch the dependency (that is the point).
+func (b *Breaker) Allow() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		return true
+	case Open:
+		if b.clock.Now().Before(b.reopenAt) {
+			b.fastFails++
+			return false
+		}
+		b.state = HalfOpen
+		b.successes = 0
+		b.probing = false
+		fallthrough
+	default: // HalfOpen: one probe in flight at a time
+		if b.probing {
+			b.fastFails++
+			return false
+		}
+		b.probing = true
+		b.probes++
+		return true
+	}
+}
+
+// Success reports a completed call.
+func (b *Breaker) Success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures = 0
+	case HalfOpen:
+		b.probing = false
+		b.successes++
+		if b.successes >= b.cfg.HalfOpenProbes {
+			b.state = Closed
+			b.failures = 0
+		}
+	}
+}
+
+// Failure reports a failed call: while Closed it counts toward the trip
+// threshold, while HalfOpen it re-opens immediately.
+func (b *Breaker) Failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case Closed:
+		b.failures++
+		if b.failures >= b.cfg.FailureThreshold {
+			b.tripLocked()
+		}
+	case HalfOpen:
+		b.probing = false
+		b.tripLocked()
+	}
+}
+
+// tripLocked opens the circuit with a jittered cooldown.
+//
+//lint:guarded tripLocked runs with b.mu held by Failure
+func (b *Breaker) tripLocked() {
+	b.state = Open
+	b.failures = 0
+	b.trips++
+	d := b.cfg.Cooldown
+	if b.rng != nil && b.cfg.Jitter > 0 {
+		d = time.Duration(float64(d) * (1 + b.cfg.Jitter*(2*b.rng.Float64()-1)))
+	}
+	b.reopenAt = b.clock.Now().Add(d)
+}
+
+// Do runs op under the breaker: fast-fails with ErrOpen when the circuit
+// refuses the call, otherwise reports op's outcome into the state machine
+// and returns its error.
+func (b *Breaker) Do(op func() error) error {
+	if !b.Allow() {
+		return ErrOpen
+	}
+	if err := op(); err != nil {
+		b.Failure()
+		return err
+	}
+	b.Success()
+	return nil
+}
+
+// State reports the current position (advancing Open → HalfOpen is left
+// to Allow, so a quiesced breaker reads as Open until the next call).
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats snapshots the accounting.
+func (b *Breaker) Stats() BreakerStats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return BreakerStats{State: b.state, Trips: b.trips, FastFails: b.fastFails, Probes: b.probes}
+}

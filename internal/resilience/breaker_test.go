@@ -1,0 +1,171 @@
+package resilience
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"wstrust/internal/simclock"
+)
+
+func newTestBreaker(cfg BreakerConfig) (*Breaker, *simclock.Virtual) {
+	clock := simclock.NewVirtual()
+	return NewBreaker(cfg, clock, simclock.Stream(42, "breaker-test")), clock
+}
+
+func TestBreakerTripAndRecover(t *testing.T) {
+	b, clock := newTestBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Minute, Jitter: 0})
+
+	if b.State() != Closed {
+		t.Fatalf("new breaker state = %v, want closed", b.State())
+	}
+	for i := 0; i < 2; i++ {
+		if !b.Allow() {
+			t.Fatalf("closed breaker refused call %d", i)
+		}
+		b.Failure()
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after 2/3 failures = %v, want closed", b.State())
+	}
+	b.Allow()
+	b.Failure() // third consecutive failure trips
+	if b.State() != Open {
+		t.Fatalf("state after threshold failures = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("open breaker admitted a call before cooldown")
+	}
+
+	clock.Advance(time.Minute) // jitter 0 → exactly Cooldown
+	if !b.Allow() {
+		t.Fatal("breaker refused the half-open probe after cooldown")
+	}
+	if b.State() != HalfOpen {
+		t.Fatalf("state after cooldown Allow = %v, want half-open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("second concurrent probe admitted while one is in flight")
+	}
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after successful probe = %v, want closed", b.State())
+	}
+
+	st := b.Stats()
+	if st.Trips != 1 || st.Probes != 1 {
+		t.Fatalf("stats = %+v, want 1 trip and 1 probe", st)
+	}
+	if st.FastFails != 2 {
+		t.Fatalf("FastFails = %d, want 2 (one open refusal, one probe collision)", st.FastFails)
+	}
+}
+
+func TestBreakerProbeFailureReopens(t *testing.T) {
+	b, clock := newTestBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute, Jitter: 0})
+
+	b.Allow()
+	b.Failure()
+	clock.Advance(time.Minute)
+	if !b.Allow() {
+		t.Fatal("probe refused after cooldown")
+	}
+	b.Failure()
+	if b.State() != Open {
+		t.Fatalf("state after failed probe = %v, want open", b.State())
+	}
+	if b.Allow() {
+		t.Fatal("re-opened breaker admitted a call immediately")
+	}
+	if got := b.Stats().Trips; got != 2 {
+		t.Fatalf("trips = %d, want 2", got)
+	}
+}
+
+func TestBreakerMultiProbeClose(t *testing.T) {
+	b, clock := newTestBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Minute, Jitter: 0, HalfOpenProbes: 2})
+
+	b.Allow()
+	b.Failure()
+	clock.Advance(time.Minute)
+
+	b.Allow()
+	b.Success()
+	if b.State() != HalfOpen {
+		t.Fatalf("state after 1/2 probe successes = %v, want half-open", b.State())
+	}
+	b.Allow()
+	b.Success()
+	if b.State() != Closed {
+		t.Fatalf("state after 2/2 probe successes = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerJitterDeterministic(t *testing.T) {
+	cooldowns := func() []time.Duration {
+		clock := simclock.NewVirtual()
+		b := NewBreaker(BreakerConfig{FailureThreshold: 1, Cooldown: time.Hour, Jitter: 0.2},
+			clock, simclock.Stream(42, "jitter"))
+		var out []time.Duration
+		for i := 0; i < 5; i++ {
+			b.Allow()
+			b.Failure() // trip
+			b.mu.Lock()
+			out = append(out, b.reopenAt.Sub(clock.Now()))
+			b.mu.Unlock()
+			clock.Advance(2 * time.Hour) // past any jittered cooldown
+			b.Allow()                    // half-open probe
+			b.Success()                  // close again for the next round
+		}
+		return out
+	}
+
+	a, bb := cooldowns(), cooldowns()
+	lo := time.Duration(float64(time.Hour) * 0.8)
+	hi := time.Duration(float64(time.Hour) * 1.2)
+	varied := false
+	for i := range a {
+		if a[i] != bb[i] {
+			t.Fatalf("cooldown %d differs across identically seeded runs: %s vs %s", i, a[i], bb[i])
+		}
+		if a[i] < lo || a[i] > hi {
+			t.Fatalf("cooldown %d = %s outside jitter band [%s, %s]", i, a[i], lo, hi)
+		}
+		if a[i] != time.Hour {
+			varied = true
+		}
+	}
+	if !varied {
+		t.Fatal("jitter 0.2 never moved the cooldown off its base")
+	}
+}
+
+func TestBreakerDo(t *testing.T) {
+	b, clock := newTestBreaker(BreakerConfig{FailureThreshold: 2, Cooldown: time.Minute, Jitter: 0})
+	boom := errors.New("boom")
+
+	for i := 0; i < 2; i++ {
+		if err := b.Do(func() error { return boom }); !errors.Is(err, boom) {
+			t.Fatalf("Do error = %v, want boom", err)
+		}
+	}
+	if err := b.Do(func() error { t.Fatal("op ran while open"); return nil }); !errors.Is(err, ErrOpen) {
+		t.Fatalf("Do while open = %v, want ErrOpen", err)
+	}
+	clock.Advance(time.Minute)
+	if err := b.Do(func() error { return nil }); err != nil {
+		t.Fatalf("probe Do = %v, want nil", err)
+	}
+	if b.State() != Closed {
+		t.Fatalf("state after successful Do probe = %v, want closed", b.State())
+	}
+}
+
+func TestBreakerNilClockPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewBreaker(nil clock) did not panic")
+		}
+	}()
+	NewBreaker(BreakerConfig{}, nil, nil)
+}

@@ -1,0 +1,95 @@
+package resilience
+
+import (
+	"time"
+
+	"wstrust/internal/fault"
+	"wstrust/internal/simclock"
+)
+
+// Budget is a per-request deadline in clock time: the single allowance a
+// request gets for everything it does — queueing, the call itself, and
+// every retry. Derived work (a retry schedule, a sub-call) asks the
+// budget whether it still Fits instead of keeping its own timer, which is
+// how retries are prevented from overrunning the caller's deadline.
+type Budget struct {
+	clock    simclock.Clock
+	deadline time.Time
+}
+
+// NewBudget starts a budget of d from the clock's current instant.
+func NewBudget(clock simclock.Clock, d time.Duration) Budget {
+	if clock == nil {
+		panic("resilience: NewBudget requires a clock")
+	}
+	return Budget{clock: clock, deadline: clock.Now().Add(d)}
+}
+
+// Deadline is the absolute instant the budget expires.
+func (b Budget) Deadline() time.Time { return b.deadline }
+
+// Remaining is the allowance left, floored at zero.
+func (b Budget) Remaining() time.Duration {
+	if r := b.deadline.Sub(b.clock.Now()); r > 0 {
+		return r
+	}
+	return 0
+}
+
+// Exceeded reports whether the deadline has passed.
+func (b Budget) Exceeded() bool { return b.Remaining() == 0 }
+
+// Fits reports whether spending d now would stay inside the budget.
+func (b Budget) Fits(d time.Duration) bool { return d <= b.Remaining() }
+
+// BudgetedRetrier implements p2p.Retrier by composing a fault.Policy's
+// seeded backoff schedule with a Budget: the attempt count is trimmed at
+// construction to the longest schedule prefix whose cumulative backoff
+// the budget can cover, so transport retries can never overrun the
+// caller's deadline no matter how generous the policy is. Backoff
+// advances the bound virtual clock exactly like fault.Retrier (the
+// network never sleeps).
+type BudgetedRetrier struct {
+	attempts int
+	sched    []time.Duration
+	clock    *simclock.Virtual
+}
+
+// UnderBudget compiles the policy's schedule for seed and trims it to the
+// budget. clock may be nil (backoff then costs no virtual time).
+func UnderBudget(p fault.Policy, seed int64, budget Budget, clock *simclock.Virtual) *BudgetedRetrier {
+	full := p.Schedule(seed)
+	remaining := budget.Remaining()
+	var cum time.Duration
+	kept := 0
+	for _, d := range full {
+		if cum+d > remaining {
+			break
+		}
+		cum += d
+		kept++
+	}
+	return &BudgetedRetrier{attempts: kept + 1, sched: full[:kept], clock: clock}
+}
+
+// Attempts implements p2p.Retrier: the budget-trimmed attempt bound.
+func (r *BudgetedRetrier) Attempts() int { return r.attempts }
+
+// Backoff implements p2p.Retrier: retry number attempt (1-based) waits
+// its scheduled delay in virtual time.
+func (r *BudgetedRetrier) Backoff(attempt int) {
+	i := attempt - 1
+	if i < 0 || i >= len(r.sched) {
+		return
+	}
+	if r.clock != nil {
+		r.clock.Advance(r.sched[i])
+	}
+}
+
+// Schedule exposes the trimmed backoff schedule (for tests and tables).
+func (r *BudgetedRetrier) Schedule() []time.Duration {
+	out := make([]time.Duration, len(r.sched))
+	copy(out, r.sched)
+	return out
+}

@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"wstrust/internal/fault"
+	"wstrust/internal/simclock"
+)
+
+func TestBudgetAccounting(t *testing.T) {
+	clock := simclock.NewVirtual()
+	b := NewBudget(clock, time.Minute)
+
+	if b.Exceeded() {
+		t.Fatal("fresh budget already exceeded")
+	}
+	if !b.Fits(time.Minute) || b.Fits(time.Minute+time.Nanosecond) {
+		t.Fatalf("Fits boundary wrong: remaining=%s", b.Remaining())
+	}
+	clock.Advance(40 * time.Second)
+	if got := b.Remaining(); got != 20*time.Second {
+		t.Fatalf("remaining after 40s = %s, want 20s", got)
+	}
+	clock.Advance(time.Hour)
+	if got := b.Remaining(); got != 0 {
+		t.Fatalf("remaining past deadline = %s, want 0", got)
+	}
+	if !b.Exceeded() {
+		t.Fatal("budget not exceeded past its deadline")
+	}
+}
+
+func TestUnderBudgetTrimsSchedule(t *testing.T) {
+	pol := fault.Policy{MaxAttempts: 6, Base: 10 * time.Second, Cap: 10 * time.Second, Multiplier: 1}
+	clock := simclock.NewVirtual()
+	full := pol.Schedule(42)
+	if len(full) != 5 {
+		t.Fatalf("policy schedule length = %d, want 5 backoffs for 6 attempts", len(full))
+	}
+	var total time.Duration
+	for _, d := range full {
+		total += d
+	}
+
+	// A budget covering the whole schedule keeps every attempt.
+	r := UnderBudget(pol, 42, NewBudget(clock, total+time.Second), clock)
+	if r.Attempts() != 6 {
+		t.Fatalf("uncut retrier attempts = %d, want 6", r.Attempts())
+	}
+
+	// A budget covering only the first two backoffs keeps three attempts.
+	r = UnderBudget(pol, 42, NewBudget(clock, full[0]+full[1]), clock)
+	if r.Attempts() != 3 {
+		t.Fatalf("trimmed retrier attempts = %d, want 3 (schedule %v, budget %s)",
+			r.Attempts(), full, full[0]+full[1])
+	}
+	if got := r.Schedule(); len(got) != 2 || got[0] != full[0] || got[1] != full[1] {
+		t.Fatalf("trimmed schedule = %v, want prefix %v", got, full[:2])
+	}
+
+	// An exhausted budget still allows exactly one attempt, zero retries.
+	spent := NewBudget(clock, 0)
+	r = UnderBudget(pol, 42, spent, clock)
+	if r.Attempts() != 1 || len(r.Schedule()) != 0 {
+		t.Fatalf("zero-budget retrier = %d attempts, schedule %v; want 1 attempt, empty", r.Attempts(), r.Schedule())
+	}
+}
+
+func TestBudgetedRetrierBackoffAdvancesVirtualTime(t *testing.T) {
+	pol := fault.Policy{MaxAttempts: 4, Base: time.Second, Cap: time.Second, Multiplier: 1}
+	clock := simclock.NewVirtual()
+	r := UnderBudget(pol, 7, NewBudget(clock, time.Hour), clock)
+
+	start := clock.Now()
+	sched := r.Schedule()
+	for i := 1; i < r.Attempts(); i++ {
+		r.Backoff(i)
+	}
+	var want time.Duration
+	for _, d := range sched {
+		want += d
+	}
+	if got := clock.Now().Sub(start); got != want {
+		t.Fatalf("backoffs advanced clock by %s, want %s", got, want)
+	}
+	r.Backoff(0)   // out of range: no-op
+	r.Backoff(100) // out of range: no-op
+	if got := clock.Now().Sub(start); got != want {
+		t.Fatal("out-of-range Backoff moved the clock")
+	}
+}
+
+func TestBudgetedRetrierRetriesCannotOverrunDeadline(t *testing.T) {
+	// Whatever the policy asks for, the cumulative backoff a budgeted
+	// retrier performs fits inside the budget it was built from.
+	pol := fault.Policy{MaxAttempts: 10, Base: 500 * time.Millisecond, Cap: 30 * time.Second, Multiplier: 2}
+	for _, allowance := range []time.Duration{0, time.Second, 5 * time.Second, time.Minute} {
+		clock := simclock.NewVirtual()
+		budget := NewBudget(clock, allowance)
+		r := UnderBudget(pol, 42, budget, clock)
+		for i := 1; i < r.Attempts(); i++ {
+			r.Backoff(i)
+		}
+		if budget.Exceeded() && allowance > 0 {
+			t.Fatalf("allowance %s: retries overran the deadline (remaining %s)", allowance, budget.Remaining())
+		}
+	}
+}

@@ -1,0 +1,71 @@
+package resilience
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+// Bulkhead is a concurrency compartment: at most capacity callers hold a
+// slot at once, so one slow dependency cannot absorb every goroutine in
+// the process — the naval metaphor the pattern is named for. Safe for
+// concurrent use.
+type Bulkhead struct {
+	slots    chan struct{}
+	rejected atomic.Int64
+}
+
+// NewBulkhead builds a compartment with the given capacity (minimum 1).
+func NewBulkhead(capacity int) *Bulkhead {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Bulkhead{slots: make(chan struct{}, capacity)}
+}
+
+// TryAcquire grabs a slot only if one is free right now; false is the
+// caller's cue to fast-fail. Pair every true with a Release.
+func (b *Bulkhead) TryAcquire() bool {
+	select {
+	case b.slots <- struct{}{}:
+		return true
+	default:
+		b.rejected.Add(1)
+		return false
+	}
+}
+
+// Acquire blocks for a slot until ctx is done; a ctx error counts as a
+// rejection. Pair every nil return with a Release.
+func (b *Bulkhead) Acquire(ctx context.Context) error {
+	select {
+	case b.slots <- struct{}{}:
+		return nil
+	default:
+	}
+	select {
+	case b.slots <- struct{}{}:
+		return nil
+	case <-ctx.Done():
+		b.rejected.Add(1)
+		return ctx.Err()
+	}
+}
+
+// Release frees a slot. Releasing more than was acquired panics — that is
+// a caller bug, not load.
+func (b *Bulkhead) Release() {
+	select {
+	case <-b.slots:
+	default:
+		panic("resilience: Bulkhead.Release without Acquire")
+	}
+}
+
+// InUse reports how many slots are currently held.
+func (b *Bulkhead) InUse() int { return len(b.slots) }
+
+// Capacity reports the compartment size.
+func (b *Bulkhead) Capacity() int { return cap(b.slots) }
+
+// Rejected reports how many acquisitions were refused or abandoned.
+func (b *Bulkhead) Rejected() int64 { return b.rejected.Load() }

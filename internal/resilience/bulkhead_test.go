@@ -1,0 +1,70 @@
+package resilience
+
+import (
+	"context"
+	"testing"
+)
+
+func TestBulkheadCapacity(t *testing.T) {
+	b := NewBulkhead(2)
+	if b.Capacity() != 2 {
+		t.Fatalf("capacity = %d, want 2", b.Capacity())
+	}
+	if !b.TryAcquire() || !b.TryAcquire() {
+		t.Fatal("could not fill an empty 2-slot bulkhead")
+	}
+	if b.TryAcquire() {
+		t.Fatal("acquired a third slot from a 2-slot bulkhead")
+	}
+	if b.InUse() != 2 {
+		t.Fatalf("InUse = %d, want 2", b.InUse())
+	}
+	b.Release()
+	if !b.TryAcquire() {
+		t.Fatal("slot not reusable after Release")
+	}
+	if b.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", b.Rejected())
+	}
+}
+
+func TestBulkheadAcquireContext(t *testing.T) {
+	b := NewBulkhead(1)
+	if err := b.Acquire(context.Background()); err != nil {
+		t.Fatalf("acquire on empty bulkhead = %v", err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := b.Acquire(ctx); err != context.Canceled {
+		t.Fatalf("acquire on full bulkhead with cancelled ctx = %v, want context.Canceled", err)
+	}
+	if b.Rejected() != 1 {
+		t.Fatalf("rejected = %d, want 1", b.Rejected())
+	}
+
+	// A waiter gets the slot when the holder releases.
+	done := make(chan error, 1)
+	go func() { done <- b.Acquire(context.Background()) }()
+	b.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("blocked acquire after release = %v", err)
+	}
+}
+
+func TestBulkheadOverReleasePanics(t *testing.T) {
+	b := NewBulkhead(1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Release without Acquire did not panic")
+		}
+	}()
+	b.Release()
+}
+
+func TestBulkheadMinimumCapacity(t *testing.T) {
+	b := NewBulkhead(0)
+	if b.Capacity() != 1 {
+		t.Fatalf("capacity = %d, want floor of 1", b.Capacity())
+	}
+}

@@ -1,0 +1,117 @@
+package resilience
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"wstrust/internal/simclock"
+)
+
+// The hammer tests mirror trusttest.Hammer's shape — 8 goroutines × 250
+// ops against one shared primitive — so `make race` exercises every lock
+// around the breaker's state machine, the shedder's bucket, and the
+// bulkhead's slots. Assertions stay structural (counters balance, no
+// panic, no deadlock); exact values are unpredictable under races.
+
+func TestBreakerHammer(t *testing.T) {
+	clock := simclock.NewVirtual()
+	b := NewBreaker(BreakerConfig{FailureThreshold: 3, Cooldown: time.Millisecond, Jitter: 0.2},
+		clock, simclock.Stream(42, "hammer"))
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				if b.Allow() {
+					if (w+i)%10 < 4 { // runs of failures long enough to trip
+						b.Failure()
+					} else {
+						b.Success()
+					}
+				}
+				if w == 0 && i%10 == 9 {
+					clock.Advance(time.Millisecond)
+				}
+				_ = b.State()
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := b.Stats()
+	if st.State != Closed && st.State != Open && st.State != HalfOpen {
+		t.Fatalf("hammered breaker in impossible state %d", st.State)
+	}
+	if st.Trips < 1 {
+		t.Fatalf("hammer with 1/3 failure rate never tripped the breaker: %+v", st)
+	}
+}
+
+func TestShedderHammer(t *testing.T) {
+	clock := simclock.NewVirtual()
+	s := NewShedder(ShedderConfig{Rate: 100, Burst: 50}, clock)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 250; i++ {
+				s.Admit(Priority(i % int(numPriorities)))
+				if w == 0 && i%20 == 19 {
+					clock.Advance(100 * time.Millisecond)
+				}
+				_ = s.Tokens()
+			}
+		}()
+	}
+	wg.Wait()
+
+	st := s.Stats()
+	if got := st.TotalAdmitted() + st.TotalShed(); got != 8*250 {
+		t.Fatalf("admitted %d + shed %d = %d, want every one of %d requests accounted",
+			st.TotalAdmitted(), st.TotalShed(), got, 8*250)
+	}
+	if tokens := s.Tokens(); tokens < 0 || tokens > 50 {
+		t.Fatalf("bucket out of range after hammer: %v", tokens)
+	}
+}
+
+func TestBulkheadHammer(t *testing.T) {
+	b := NewBulkhead(4)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := 0; i < 250; i++ {
+				switch i % 2 {
+				case 0:
+					if b.TryAcquire() {
+						if b.InUse() < 1 {
+							panic("held slot but InUse < 1")
+						}
+						b.Release()
+					}
+				case 1:
+					if err := b.Acquire(ctx); err == nil {
+						b.Release()
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+
+	if got := b.InUse(); got != 0 {
+		t.Fatalf("slots leaked: InUse = %d after every acquire was released", got)
+	}
+}

@@ -1,0 +1,132 @@
+package resilience
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Profile describes one discovery-resilience regime for the simulator:
+// how the mediated-selection path treats a registry that stops answering.
+// The zero value is the PR-4 behaviour — one availability probe, no
+// breaker — and leaves every report byte-identical to builds without this
+// layer.
+type Profile struct {
+	// Name labels the profile in reports and flags.
+	Name string
+	// Breaker, when non-nil, guards registry discovery with a circuit
+	// breaker: failed probes trip it, and while it is open consumers go
+	// straight to their stale catalog without spending a message.
+	Breaker *BreakerConfig
+	// Attempts is how many availability probes a discovery call pays
+	// while the registry is down before falling back to the stale
+	// catalog (naive retry; min 1). With a breaker installed the breaker
+	// decides instead and Attempts is ignored.
+	Attempts int
+}
+
+// Enabled reports whether the profile changes discovery behaviour at all.
+func (p Profile) Enabled() bool { return p.Breaker != nil || p.Attempts > 1 }
+
+// String renders the profile compactly for report headers.
+func (p Profile) String() string {
+	if !p.Enabled() {
+		return "none"
+	}
+	parts := []string{}
+	if p.Name != "" {
+		parts = append(parts, p.Name)
+	}
+	if p.Breaker != nil {
+		b := p.Breaker.normalized()
+		parts = append(parts, fmt.Sprintf("breaker(threshold=%d,cooldown=%s,probes=%d)",
+			b.FailureThreshold, b.Cooldown, b.HalfOpenProbes))
+	} else if p.Attempts > 1 {
+		parts = append(parts, fmt.Sprintf("attempts=%d", p.Attempts))
+	}
+	return strings.Join(parts, ",")
+}
+
+// Presets returns the named profiles `wsxsim -resilience` accepts
+// alongside the key=value syntax, in display order. Cooldowns are sized
+// against the simulator's one-hour rounds.
+func Presets() []Profile {
+	return []Profile{
+		{Name: "breaker", Breaker: &BreakerConfig{FailureThreshold: 3, Cooldown: 90 * time.Minute}},
+		{Name: "naive", Attempts: 3},
+	}
+}
+
+// ParseProfile turns a -resilience argument into a Profile: "none"/"" for
+// the plain substrate, a preset name from Presets, or a comma-separated
+// key=value list — breaker=on,threshold=3,cooldown=90m,jitter=0.1,
+// probes=1,attempts=3. Unknown keys are errors.
+func ParseProfile(s string) (Profile, error) {
+	s = strings.TrimSpace(s)
+	if s == "" || s == "none" {
+		return Profile{}, nil
+	}
+	for _, p := range Presets() {
+		if p.Name == s {
+			return p, nil
+		}
+	}
+	p := Profile{Name: "custom"}
+	var bc BreakerConfig
+	useBreaker := false
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return Profile{}, fmt.Errorf("resilience: %q is not key=value (and not a preset; see -resilience help)", part)
+		}
+		switch key {
+		case "breaker":
+			switch val {
+			case "on", "true", "1":
+				useBreaker = true
+			case "off", "false", "0":
+				useBreaker = false
+			default:
+				return Profile{}, fmt.Errorf("resilience: breaker=%q wants on or off", val)
+			}
+		case "threshold", "probes":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Profile{}, fmt.Errorf("resilience: %s=%q wants an integer ≥ 1", key, val)
+			}
+			useBreaker = true
+			if key == "threshold" {
+				bc.FailureThreshold = n
+			} else {
+				bc.HalfOpenProbes = n
+			}
+		case "cooldown":
+			d, err := time.ParseDuration(val)
+			if err != nil || d <= 0 {
+				return Profile{}, fmt.Errorf("resilience: cooldown=%q wants a positive duration", val)
+			}
+			useBreaker = true
+			bc.Cooldown = d
+		case "jitter":
+			f, err := strconv.ParseFloat(val, 64)
+			if err != nil || f < 0 || f >= 1 {
+				return Profile{}, fmt.Errorf("resilience: jitter=%q wants a fraction in [0,1)", val)
+			}
+			useBreaker = true
+			bc.Jitter = f
+		case "attempts":
+			n, err := strconv.Atoi(val)
+			if err != nil || n < 1 {
+				return Profile{}, fmt.Errorf("resilience: attempts=%q wants an integer ≥ 1", val)
+			}
+			p.Attempts = n
+		default:
+			return Profile{}, fmt.Errorf("resilience: unknown profile key %q", key)
+		}
+	}
+	if useBreaker {
+		p.Breaker = &bc
+	}
+	return p, nil
+}

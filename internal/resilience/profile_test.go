@@ -1,0 +1,92 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseProfile(t *testing.T) {
+	cases := []struct {
+		in      string
+		wantErr bool
+		check   func(t *testing.T, p Profile)
+	}{
+		{in: "", check: func(t *testing.T, p Profile) {
+			if p.Enabled() {
+				t.Fatalf("empty profile enabled: %+v", p)
+			}
+		}},
+		{in: "none", check: func(t *testing.T, p Profile) {
+			if p.Enabled() || p.String() != "none" {
+				t.Fatalf("none profile = %+v (%s)", p, p)
+			}
+		}},
+		{in: "breaker", check: func(t *testing.T, p Profile) {
+			if p.Breaker == nil || p.Breaker.FailureThreshold != 3 || p.Breaker.Cooldown != 90*time.Minute {
+				t.Fatalf("breaker preset = %+v", p.Breaker)
+			}
+		}},
+		{in: "naive", check: func(t *testing.T, p Profile) {
+			if p.Breaker != nil || p.Attempts != 3 {
+				t.Fatalf("naive preset = %+v", p)
+			}
+		}},
+		{in: "threshold=2,cooldown=45m,jitter=0.2", check: func(t *testing.T, p Profile) {
+			if p.Breaker == nil {
+				t.Fatal("threshold key did not imply a breaker")
+			}
+			if p.Breaker.FailureThreshold != 2 || p.Breaker.Cooldown != 45*time.Minute || p.Breaker.Jitter != 0.2 {
+				t.Fatalf("custom breaker = %+v", p.Breaker)
+			}
+		}},
+		{in: "attempts=5", check: func(t *testing.T, p Profile) {
+			if p.Breaker != nil || p.Attempts != 5 || !p.Enabled() {
+				t.Fatalf("attempts profile = %+v", p)
+			}
+		}},
+		{in: "breaker=on", check: func(t *testing.T, p Profile) {
+			if p.Breaker == nil {
+				t.Fatal("breaker=on left Breaker nil")
+			}
+		}},
+		{in: "bogus", wantErr: true},
+		{in: "threshold=zero", wantErr: true},
+		{in: "threshold=0", wantErr: true},
+		{in: "cooldown=-5m", wantErr: true},
+		{in: "jitter=1.5", wantErr: true},
+		{in: "attempts=0", wantErr: true},
+		{in: "volume=11", wantErr: true},
+	}
+	for _, tc := range cases {
+		p, err := ParseProfile(tc.in)
+		if tc.wantErr {
+			if err == nil {
+				t.Errorf("ParseProfile(%q) = %+v, want error", tc.in, p)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("ParseProfile(%q) error: %v", tc.in, err)
+			continue
+		}
+		tc.check(t, p)
+	}
+}
+
+func TestProfileString(t *testing.T) {
+	p, err := ParseProfile("breaker")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := "breaker,breaker(threshold=3,cooldown=1h30m0s,probes=1)"
+	if got := p.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+	n, err := ParseProfile("naive")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := n.String(); got != "naive,attempts=3" {
+		t.Fatalf("naive String() = %q", got)
+	}
+}

@@ -1,0 +1,187 @@
+package resilience
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"wstrust/internal/simclock"
+)
+
+// Priority classes requests for admission control. Lower values are more
+// important: when the token bucket runs down, Low work is shed first,
+// then Normal, then High; Critical work (health checks, drains) is
+// admitted while any token remains.
+type Priority int
+
+const (
+	Critical Priority = iota
+	High
+	Normal
+	Low
+	numPriorities
+)
+
+// String renders the priority for stats tables.
+func (p Priority) String() string {
+	switch p {
+	case Critical:
+		return "critical"
+	case High:
+		return "high"
+	case Normal:
+		return "normal"
+	case Low:
+		return "low"
+	}
+	return fmt.Sprintf("priority(%d)", int(p))
+}
+
+// ShedderConfig tunes a token-bucket load shedder.
+type ShedderConfig struct {
+	// Rate is the sustained admission rate, in requests per second of
+	// clock time (required, > 0).
+	Rate float64
+	// Burst is the bucket capacity (default: one second of Rate).
+	Burst float64
+	// Reserve maps each priority to the fraction of Burst fenced off
+	// from it: the class is admitted only while the bucket holds more
+	// than Reserve×Burst tokens. Critical defaults to 0 (admitted to the
+	// last token); unset classes inherit defaultReserves.
+	Reserve map[Priority]float64
+}
+
+// defaultReserves shed roughly the bottom 60% of the bucket from Low
+// traffic and the bottom 25% from Normal, keeping headroom for the
+// classes above them.
+var defaultReserves = map[Priority]float64{
+	Critical: 0,
+	High:     0.10,
+	Normal:   0.25,
+	Low:      0.60,
+}
+
+func (c ShedderConfig) normalized() ShedderConfig {
+	if c.Rate <= 0 {
+		c.Rate = 1
+	}
+	if c.Burst <= 0 {
+		c.Burst = c.Rate
+	}
+	reserve := make(map[Priority]float64, int(numPriorities))
+	for p := Critical; p < numPriorities; p++ {
+		r, ok := c.Reserve[p]
+		if !ok {
+			r = defaultReserves[p]
+		}
+		if r < 0 {
+			r = 0
+		}
+		if r > 1 {
+			r = 1
+		}
+		reserve[p] = r
+	}
+	c.Reserve = reserve
+	return c
+}
+
+// ShedStats is a per-class admission snapshot.
+type ShedStats struct {
+	Admitted [numPriorities]int64
+	Shed     [numPriorities]int64
+}
+
+// TotalShed sums sheds across classes.
+func (s ShedStats) TotalShed() int64 {
+	var n int64
+	for _, v := range s.Shed {
+		n += v
+	}
+	return n
+}
+
+// TotalAdmitted sums admissions across classes.
+func (s ShedStats) TotalAdmitted() int64 {
+	var n int64
+	for _, v := range s.Admitted {
+		n += v
+	}
+	return n
+}
+
+// Shedder is a token-bucket load shedder with priority classes. Tokens
+// refill continuously at Rate per second of clock time up to Burst; each
+// admitted request spends one. A request is admitted only if, after
+// spending its token, the bucket stays above the reserve fenced off from
+// its priority class — so overload starves Low traffic first and Critical
+// traffic last. Deterministic under a virtual clock; safe for concurrent
+// use.
+type Shedder struct {
+	cfg   ShedderConfig
+	clock simclock.Clock
+
+	mu     sync.Mutex
+	tokens float64   // guarded by mu
+	last   time.Time // guarded by mu; last refill instant
+	stats  ShedStats // guarded by mu
+}
+
+// NewShedder builds a shedder over the given clock, starting with a full
+// bucket.
+func NewShedder(cfg ShedderConfig, clock simclock.Clock) *Shedder {
+	if clock == nil {
+		panic("resilience: NewShedder requires a clock")
+	}
+	n := cfg.normalized()
+	return &Shedder{cfg: n, clock: clock, tokens: n.Burst, last: clock.Now()}
+}
+
+// Admit decides one request: true spends a token, false sheds the
+// request (and is the caller's cue to answer 429/503 immediately rather
+// than queue).
+func (s *Shedder) Admit(p Priority) bool {
+	if p < Critical || p >= numPriorities {
+		p = Low
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	if dt := now.Sub(s.last).Seconds(); dt > 0 {
+		s.tokens += dt * s.cfg.Rate
+		if s.tokens > s.cfg.Burst {
+			s.tokens = s.cfg.Burst
+		}
+	}
+	s.last = now
+	floor := s.cfg.Reserve[p] * s.cfg.Burst
+	if s.tokens-1 < floor {
+		s.stats.Shed[p]++
+		return false
+	}
+	s.tokens--
+	s.stats.Admitted[p]++
+	return true
+}
+
+// Tokens reports the current bucket level (after refilling to now).
+func (s *Shedder) Tokens() float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clock.Now()
+	if dt := now.Sub(s.last).Seconds(); dt > 0 {
+		s.tokens += dt * s.cfg.Rate
+		if s.tokens > s.cfg.Burst {
+			s.tokens = s.cfg.Burst
+		}
+		s.last = now
+	}
+	return s.tokens
+}
+
+// Stats snapshots the per-class accounting.
+func (s *Shedder) Stats() ShedStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}

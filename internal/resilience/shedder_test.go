@@ -1,0 +1,109 @@
+package resilience
+
+import (
+	"testing"
+	"time"
+
+	"wstrust/internal/simclock"
+)
+
+func TestShedderPriorityOrder(t *testing.T) {
+	clock := simclock.NewVirtual()
+	s := NewShedder(ShedderConfig{Rate: 10, Burst: 100}, clock)
+
+	// Drain the bucket with Critical traffic (reserve 0: admitted to the
+	// last whole token) without advancing the clock, then check each class
+	// against its floor.
+	admitted := 0
+	for s.Admit(Critical) {
+		admitted++
+		if admitted > 200 {
+			t.Fatal("critical admissions never exhausted a 100-token bucket")
+		}
+	}
+	if admitted != 100 {
+		t.Fatalf("critical drained %d tokens from a 100-token bucket", admitted)
+	}
+	for _, p := range []Priority{Low, Normal, High, Critical} {
+		if s.Admit(p) {
+			t.Fatalf("%v admitted on an empty bucket", p)
+		}
+	}
+
+	// Refill 30 tokens: above Normal's 25-token floor, below Low's 60.
+	clock.Advance(3 * time.Second)
+	if s.Admit(Low) {
+		t.Fatal("low admitted below its reserve floor")
+	}
+	if !s.Admit(Normal) {
+		t.Fatal("normal shed above its reserve floor")
+	}
+	if !s.Admit(High) {
+		t.Fatal("high shed above its reserve floor")
+	}
+
+	st := s.Stats()
+	if st.Shed[Low] != 2 || st.Admitted[Normal] != 1 || st.Admitted[High] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if st.TotalAdmitted() != 102 {
+		t.Fatalf("TotalAdmitted = %d, want 102", st.TotalAdmitted())
+	}
+}
+
+func TestShedderRefillCapsAtBurst(t *testing.T) {
+	clock := simclock.NewVirtual()
+	s := NewShedder(ShedderConfig{Rate: 5, Burst: 20}, clock)
+
+	for i := 0; i < 20; i++ {
+		if !s.Admit(Critical) {
+			t.Fatalf("admission %d refused from a full bucket", i)
+		}
+	}
+	if got := s.Tokens(); got != 0 {
+		t.Fatalf("tokens after drain = %v, want 0", got)
+	}
+	clock.Advance(2 * time.Second)
+	if got := s.Tokens(); got != 10 {
+		t.Fatalf("tokens after 2s at rate 5 = %v, want 10", got)
+	}
+	clock.Advance(time.Hour)
+	if got := s.Tokens(); got != 20 {
+		t.Fatalf("tokens after an idle hour = %v, want Burst=20", got)
+	}
+}
+
+func TestShedderDeterministicUnderVirtualClock(t *testing.T) {
+	run := func() ShedStats {
+		clock := simclock.NewVirtual()
+		s := NewShedder(ShedderConfig{Rate: 8, Burst: 16}, clock)
+		for i := 0; i < 400; i++ {
+			s.Admit(Priority(i % int(numPriorities)))
+			if i%3 == 0 {
+				clock.Advance(50 * time.Millisecond)
+			}
+		}
+		return s.Stats()
+	}
+	if a, b := run(), run(); a != b {
+		t.Fatalf("identical virtual-clock runs diverged:\n  %+v\n  %+v", a, b)
+	}
+}
+
+func TestShedderDefaultsAndBounds(t *testing.T) {
+	clock := simclock.NewVirtual()
+	s := NewShedder(ShedderConfig{}, clock) // all defaults: rate 1, burst 1
+	if !s.Admit(Critical) {
+		t.Fatal("default shedder refused the first critical request")
+	}
+	if s.Admit(Critical) {
+		t.Fatal("default 1-token bucket admitted a second request instantly")
+	}
+	// Out-of-range priorities are treated as Low, not panics.
+	if s.Admit(Priority(99)) {
+		t.Fatal("out-of-range priority admitted on an empty bucket")
+	}
+	if got := s.Stats().Shed[Low]; got != 1 {
+		t.Fatalf("out-of-range priority shed count landed on %v classes, want Low=1, got %d", s.Stats().Shed, got)
+	}
+}

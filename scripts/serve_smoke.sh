@@ -1,0 +1,56 @@
+#!/bin/sh
+# serve_smoke.sh — boot wsxd on an ephemeral port, exercise the full
+# lifecycle (healthz, submit, rank, drain), and assert a clean exit 0.
+# Run via `make serve-smoke`; CI runs it after the test gates.
+set -eu
+
+workdir=$(mktemp -d)
+log="$workdir/wsxd.log"
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/wsxd" ./cmd/wsxd
+
+"$workdir/wsxd" -addr 127.0.0.1:0 -data "$workdir/data" >"$log" 2>&1 &
+pid=$!
+
+# The daemon prints "wsxd: listening on 127.0.0.1:PORT (...)" once the
+# listener is up; poll the log for it instead of racing the boot.
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^wsxd: listening on \([^ ]*\).*/\1/p' "$log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "serve-smoke: wsxd died during boot"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "serve-smoke: no listen line after 5s"; cat "$log"; exit 1; }
+echo "serve-smoke: wsxd up at $addr"
+
+fail() {
+    echo "serve-smoke: $1"
+    cat "$log"
+    kill "$pid" 2>/dev/null || true
+    exit 1
+}
+
+curl -fsS "http://$addr/healthz" >/dev/null || fail "healthz failed"
+curl -fsS "http://$addr/readyz" >/dev/null || fail "readyz failed"
+
+body='{"consumer":"smoke","service":"svc-smoke","provider":"prov-smoke","context":"compute","rating":0.9}'
+curl -fsS -X POST -d "$body" "http://$addr/submit" | grep -q '"accepted":true' \
+    || fail "submit not accepted"
+
+curl -fsS "http://$addr/rank?consumer=smoke&n=3" | grep -q '"ranked"' \
+    || fail "rank returned no ranking"
+
+curl -fsS -X POST "http://$addr/drain" | grep -q '"drained":true' \
+    || fail "drain did not complete"
+
+# Drain must end in a voluntary, clean exit.
+rc=0
+wait "$pid" || rc=$?
+[ "$rc" -eq 0 ] || fail "wsxd exited $rc after drain, want 0"
+
+# The drain snapshot must be on disk for the next boot to recover from.
+[ -f "$workdir/data/snapshot.wsx" ] || fail "no snapshot written on drain"
+
+echo "serve-smoke: PASS (submit + rank served, drained, exit 0, snapshot on disk)"
