@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz-smoke serve-smoke bench bench-suite bench-json ci
+.PHONY: all build vet lint test race cover fuzz-smoke serve-smoke bench bench-suite bench-json bench-diff loadtest loadtest-smoke ci
 
 # Aggregate statement-coverage floor for the packages the fault layer and
 # the mechanism test harness are responsible for.
@@ -69,9 +69,27 @@ bench-suite:
 	$(GO) test -bench 'BenchmarkSuite' -benchtime 1x .
 
 # Machine-readable benchmark record: suite wall-clock, the C4 critical
-# path, and the cf microbenchmarks, written to BENCH_PR3.json (committed
-# so perf claims in EXPERIMENTS.md stay auditable).
+# path, the cf microbenchmarks, and the sharded-registry submit paths at
+# GOMAXPROCS 1/2/4, written to BENCH_PR6.json (committed so perf claims in
+# EXPERIMENTS.md stay auditable). Load-test entries scripts/loadtest.sh
+# already merged into the file are preserved.
 bench-json:
-	$(GO) run ./cmd/wsxbench -out BENCH_PR3.json
+	$(GO) run ./cmd/wsxbench -out BENCH_PR6.json
+
+# Regression diff across the two most recent committed benchmark records:
+# flags >10% slowdowns on the named hot paths (RankSession, cf scoring,
+# suite wall-clock, wsxd load-test p99). Non-blocking in CI.
+bench-diff:
+	$(GO) run ./cmd/wsxbench -diff BENCH_PR3.json BENCH_PR6.json
+
+# Open-loop load sweep: wsxload drives wsxd's submit+rank mix at
+# GOMAXPROCS 1/2/4 and folds p50/p95/p99 + goodput into BENCH_PR6.json.
+loadtest:
+	./scripts/loadtest.sh
+
+# Short harness gate for CI: one brief wsxload run against a fresh wsxd,
+# asserting non-zero goodput and a clean drain.
+loadtest-smoke:
+	./scripts/loadtest_smoke.sh
 
 ci: vet lint build test cover

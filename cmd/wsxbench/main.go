@@ -1,30 +1,37 @@
 // Command wsxbench runs the repository's key benchmarks — whole-suite
-// wall-clock, the C4 critical-path experiment, and the cf mechanism
-// microbenchmarks behind PR 3's epoch caches — and renders the parsed
-// results as one JSON document (the committed BENCH_PR3.json).
+// wall-clock, the C4 critical-path experiment, the cf mechanism
+// microbenchmarks behind PR 3's epoch caches, and the PR 6 sharded
+// registry submit paths at several GOMAXPROCS settings — and renders the
+// parsed results as one JSON document (the committed BENCH_PR*.json,
+// schema in internal/benchfmt).
 //
 // It shells out to `go test -bench` so the numbers are exactly what the
 // standard benchmark harness reports; wsxbench only parses and formats.
 // The output deliberately carries no timestamp or hostname: it is a
 // reproduction record keyed by go version, regenerated via
-// `make bench-json`.
+// `make bench-json`. Load-test entries already present in the output file
+// (written by scripts/loadtest.sh) are preserved.
 //
 // Usage:
 //
-//	wsxbench                 # writes BENCH_PR3.json
-//	wsxbench -out -          # writes the JSON to stdout
-//	wsxbench -benchtime 2s   # longer microbenchmark runs
+//	wsxbench                           # writes BENCH_PR6.json
+//	wsxbench -out -                    # writes the JSON to stdout
+//	wsxbench -benchtime 2s             # longer microbenchmark runs
+//	wsxbench -diff old.json new.json   # flag >10% hot-path regressions
 package main
 
 import (
-	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
+	"io/fs"
 	"os"
 	"os/exec"
 	"runtime"
 	"strconv"
 	"strings"
+
+	"wstrust/internal/benchfmt"
 )
 
 // job is one `go test -bench` invocation.
@@ -32,37 +39,57 @@ type job struct {
 	pkg       string
 	bench     string // -bench regexp
 	benchtime string // empty = harness default
-}
-
-// result is one parsed benchmark line.
-type result struct {
-	Package    string `json:"package"`
-	Name       string `json:"name"`
-	Procs      int    `json:"procs"`
-	Iterations int64  `json:"iterations"`
-	// Metrics maps benchmark units (ns/op, B/op, allocs/op, and any
-	// custom b.ReportMetric units) to their values.
-	Metrics map[string]float64 `json:"metrics"`
-}
-
-// document is the emitted JSON root.
-type document struct {
-	Description string   `json:"description"`
-	GoVersion   string   `json:"go_version"`
-	GOOS        string   `json:"goos"`
-	GOARCH      string   `json:"goarch"`
-	NumCPU      int      `json:"num_cpu"`
-	Benchmarks  []result `json:"benchmarks"`
+	cpu       string // -cpu list, e.g. "1,2,4"; empty = current GOMAXPROCS
 }
 
 func main() {
-	out := flag.String("out", "BENCH_PR3.json", "output path, '-' for stdout")
+	out := flag.String("out", "BENCH_PR6.json", "output path, '-' for stdout")
 	benchtime := flag.String("benchtime", "", "benchtime for the mechanism microbenchmarks (harness default when empty)")
+	diff := flag.Bool("diff", false, "compare two BENCH_PR*.json records (old new) and flag >tolerance hot-path regressions")
+	tolerance := flag.Float64("tolerance", 0.10, "fractional regression tolerance for -diff")
 	flag.Parse()
+	if *diff {
+		if flag.NArg() != 2 {
+			fmt.Fprintln(os.Stderr, "wsxbench: -diff needs exactly two record paths (old new)")
+			os.Exit(2)
+		}
+		code, err := runDiff(flag.Arg(0), flag.Arg(1), *tolerance)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsxbench:", err)
+			os.Exit(2)
+		}
+		os.Exit(code)
+	}
 	if err := run(*out, *benchtime); err != nil {
 		fmt.Fprintln(os.Stderr, "wsxbench:", err)
 		os.Exit(1)
 	}
+}
+
+// runDiff loads two records and prints regressions on the named hot
+// paths. Exit code 1 means "regressions found" so CI can surface the step
+// as failed while keeping it non-blocking (continue-on-error).
+func runDiff(oldPath, newPath string, tolerance float64) (int, error) {
+	oldDoc, err := benchfmt.Load(oldPath)
+	if err != nil {
+		return 0, err
+	}
+	newDoc, err := benchfmt.Load(newPath)
+	if err != nil {
+		return 0, err
+	}
+	regs := benchfmt.Diff(oldDoc, newDoc, benchfmt.DefaultHotPaths, tolerance)
+	if len(regs) == 0 {
+		fmt.Printf("wsxbench diff: no hot-path regressions > %.0f%% (%s -> %s)\n",
+			tolerance*100, oldPath, newPath)
+		return 0, nil
+	}
+	fmt.Printf("wsxbench diff: %d hot-path regression(s) > %.0f%% (%s -> %s):\n",
+		len(regs), tolerance*100, oldPath, newPath)
+	for _, r := range regs {
+		fmt.Println("  " + r.String())
+	}
+	return 1, nil
 }
 
 func run(out, benchtime string) error {
@@ -73,13 +100,24 @@ func run(out, benchtime string) error {
 		{pkg: ".", bench: "^(BenchmarkSuiteSequential|BenchmarkSuiteParallel|BenchmarkClaimPersonalization)$", benchtime: "1x"},
 		// The cf mechanism microbenchmarks the epoch caches target.
 		{pkg: "./internal/trust/cf", bench: "^(BenchmarkScorePearson|BenchmarkScoreCosine|BenchmarkScoreSelectionSweep|BenchmarkItemMean|BenchmarkSubmit)$", benchtime: benchtime},
+		// PR 6: sharded registry submit paths vs the committed unsharded
+		// baseline, swept across GOMAXPROCS. The durable pair is the
+		// group-commit fsync-amortization claim; keep iteration counts
+		// fixed so runs are comparable.
+		{pkg: "./internal/registry", bench: "^(BenchmarkSubmitMemSharded|BenchmarkSubmitMemUnsharded|BenchmarkSubmitDurableGroupCommit|BenchmarkSubmitDurableUnsharded|BenchmarkRatingMatrixCOW|BenchmarkForServiceView)$", benchtime: "2000x", cpu: "1,2,4"},
 	}
-	doc := document{
-		Description: "wstrust benchmark record for PR 3 (epoch-cached mechanism scoring + population-parallel experiments); regenerate with `make bench-json`",
+	doc := benchfmt.Document{
+		Description: "wstrust benchmark record for PR 6 (sharded registry + group-commit WAL + wsxload); regenerate with `make bench-json` and `make loadtest`",
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
+	}
+	// Keep load-test entries scripts/loadtest.sh already wrote to the file.
+	if prev, err := benchfmt.Load(out); err == nil {
+		doc.LoadTests = prev.LoadTests
+	} else if !errors.Is(err, fs.ErrNotExist) && out != "-" {
+		fmt.Fprintf(os.Stderr, "wsxbench: ignoring unreadable %s: %v\n", out, err)
 	}
 	for _, j := range jobs {
 		results, err := runJob(j)
@@ -88,22 +126,16 @@ func run(out, benchtime string) error {
 		}
 		doc.Benchmarks = append(doc.Benchmarks, results...)
 	}
-	buf, err := json.MarshalIndent(doc, "", "  ")
-	if err != nil {
-		return err
-	}
-	buf = append(buf, '\n')
-	if out == "-" {
-		_, err := os.Stdout.Write(buf)
-		return err
-	}
-	return os.WriteFile(out, buf, 0o644)
+	return benchfmt.Save(out, doc)
 }
 
-func runJob(j job) ([]result, error) {
+func runJob(j job) ([]benchfmt.Result, error) {
 	args := []string{"test", "-run", "^$", "-bench", j.bench, "-benchmem"}
 	if j.benchtime != "" {
 		args = append(args, "-benchtime", j.benchtime)
+	}
+	if j.cpu != "" {
+		args = append(args, "-cpu", j.cpu)
 	}
 	args = append(args, j.pkg)
 	cmd := exec.Command("go", args...)
@@ -112,7 +144,7 @@ func runJob(j job) ([]result, error) {
 	if err != nil {
 		return nil, fmt.Errorf("go %s: %w\n%s", strings.Join(args, " "), err, output)
 	}
-	var results []result
+	var results []benchfmt.Result
 	for _, line := range strings.Split(output, "\n") {
 		r, ok, err := parseLine(j.pkg, line)
 		if err != nil {
@@ -134,10 +166,10 @@ func runJob(j job) ([]result, error) {
 //
 // including any custom b.ReportMetric pairs. Non-benchmark lines return
 // ok=false.
-func parseLine(pkg, line string) (result, bool, error) {
+func parseLine(pkg, line string) (benchfmt.Result, bool, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || len(fields)%2 != 0 {
-		return result{}, false, nil
+		return benchfmt.Result{}, false, nil
 	}
 	name, procs := strings.TrimPrefix(fields[0], "Benchmark"), 1
 	if i := strings.LastIndex(name, "-"); i >= 0 {
@@ -147,13 +179,13 @@ func parseLine(pkg, line string) (result, bool, error) {
 	}
 	iters, err := strconv.ParseInt(fields[1], 10, 64)
 	if err != nil {
-		return result{}, false, nil // a Benchmark-prefixed non-result line
+		return benchfmt.Result{}, false, nil // a Benchmark-prefixed non-result line
 	}
-	r := result{Package: pkg, Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
+	r := benchfmt.Result{Package: pkg, Name: name, Procs: procs, Iterations: iters, Metrics: map[string]float64{}}
 	for i := 2; i+1 < len(fields); i += 2 {
 		v, err := strconv.ParseFloat(fields[i], 64)
 		if err != nil {
-			return result{}, false, fmt.Errorf("metric value %q: %w", fields[i], err)
+			return benchfmt.Result{}, false, fmt.Errorf("metric value %q: %w", fields[i], err)
 		}
 		r.Metrics[fields[i+1]] = v
 	}

@@ -8,6 +8,7 @@ import (
 	"net/http"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"wstrust/internal/core"
@@ -41,8 +42,17 @@ type server struct {
 	timeout  time.Duration
 
 	// rankMu serializes engine access: the engine's exploration RNG and
-	// rank buffers are single-consumer state.
-	rankMu sync.Mutex
+	// the rank session's buffers are single-consumer state. /rank readers
+	// do not queue on it — they serve the published snapshot and only the
+	// one request winning TryLock recomputes (see handleRank).
+	rankMu  sync.Mutex
+	session *core.RankSession // guarded by rankMu
+
+	// rankVer counts accepted submits; a rank snapshot stamped with an
+	// older version is stale. rankSnap is the published copy-on-write
+	// ranking (never mutated in place).
+	rankVer  atomic.Uint64
+	rankSnap atomic.Pointer[rankSnapshot]
 
 	stateMu   sync.Mutex
 	draining  bool // guarded by stateMu
@@ -67,6 +77,8 @@ type serverConfig struct {
 
 // newServer builds the serving stack: demo catalog, mechanism warmed by
 // replaying the recovered store, engine, and the resilience primitives.
+//
+//lint:guarded newServer constructs the server; it is not shared until returned
 func newServer(cfg serverConfig) (*server, error) {
 	if cfg.Clock == nil {
 		cfg.Clock = simclock.Wall()
@@ -116,7 +128,74 @@ func newServer(cfg serverConfig) (*server, error) {
 		timeout: cfg.Timeout,
 		drained: make(chan struct{}),
 	}
+	s.session = s.engine.NewRankSession(s.catalog)
+	s.rankSnap.Store(s.computeRankSnapshot("")) // never nil: /rank always has something to serve
 	return s, nil
+}
+
+// rankSnapshot is one immutable published ranking. entries is the full
+// catalog ranked best-first; handlers slice it per request and must not
+// mutate it.
+type rankSnapshot struct {
+	version uint64
+	entries []rankEntry
+}
+
+// computeRankSnapshot ranks the catalog under rankMu and freezes the
+// result (construction-time path; handlers go through freshRankSnapshot).
+func (s *server) computeRankSnapshot(consumer core.ConsumerID) *rankSnapshot {
+	s.rankMu.Lock()
+	defer s.rankMu.Unlock()
+	return s.buildRankSnapshotLocked(consumer)
+}
+
+// freshRankSnapshot returns the published ranking, recomputing it first
+// when submits have landed since it was built. Only one request recomputes
+// — the TryLock winner; every other concurrent request serves the current
+// snapshot. The staleness is bounded (at most the one in-flight
+// recomputation behind), which is what keeps /rank p99 flat while /submit
+// runs at saturation. With no write load the version check always demands
+// freshness, preserving sequential read-your-writes semantics.
+func (s *server) freshRankSnapshot(consumer core.ConsumerID) *rankSnapshot {
+	snap := s.rankSnap.Load()
+	if snap.version == s.rankVer.Load() {
+		return snap
+	}
+	if !s.rankMu.TryLock() {
+		return s.rankSnap.Load() // bounded-stale: a recompute is in flight
+	}
+	defer s.rankMu.Unlock()
+	ns := s.buildRankSnapshotLocked(consumer)
+	s.rankSnap.Store(ns)
+	return ns
+}
+
+// buildRankSnapshotLocked ranks and freezes. The version is read before
+// ranking, so a submit landing mid-computation leaves the snapshot stamped
+// stale and the next /rank recomputes.
+//
+// One global snapshot serves every consumer: the default Beta mechanism
+// is unpersonalized (rating queries ignore the asking perspective), and
+// Engine.Rank consumes no randomness, so the ranking is identical for all
+// consumers. If wsxd ever enables a personalized mechanism, this cache
+// must be keyed by consumer.
+//
+//lint:guarded buildRankSnapshotLocked runs with rankMu held by its callers
+func (s *server) buildRankSnapshotLocked(consumer core.ConsumerID) *rankSnapshot {
+	version := s.rankVer.Load()
+	ranked := s.session.Rank(consumer, s.prefs)
+	entries := make([]rankEntry, len(ranked))
+	for i, rk := range ranked {
+		entries[i] = rankEntry{
+			Service:    string(rk.Service),
+			Provider:   string(rk.Provider),
+			Score:      rk.Score,
+			Trust:      rk.Trust.Score,
+			Confidence: rk.Trust.Confidence,
+			Utility:    rk.Utility,
+		}
+	}
+	return &rankSnapshot{version: version, entries: entries}
 }
 
 // routes builds the HTTP mux. Health and drain endpoints bypass the
@@ -255,6 +334,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "mechanism submit: "+err.Error())
 		return
 	}
+	s.rankVer.Add(1) // the published rank snapshot is now stale
 	writeJSON(w, http.StatusOK, map[string]any{"accepted": true, "records": s.store.Len()})
 }
 
@@ -299,23 +379,10 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.rankMu.Lock()
-	ranked := s.engine.Rank(core.ConsumerID(consumer), s.prefs, s.catalog)
-	s.rankMu.Unlock()
-	if n > len(ranked) {
-		n = len(ranked)
-	}
-	out := make([]rankEntry, n)
-	for i := 0; i < n; i++ {
-		rk := ranked[i]
-		out[i] = rankEntry{
-			Service:    string(rk.Service),
-			Provider:   string(rk.Provider),
-			Score:      rk.Score,
-			Trust:      rk.Trust.Score,
-			Confidence: rk.Trust.Confidence,
-			Utility:    rk.Utility,
-		}
+	snap := s.freshRankSnapshot(core.ConsumerID(consumer))
+	out := snap.entries
+	if n < len(out) {
+		out = out[:n:n]
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"consumer": consumer, "ranked": out})
 }

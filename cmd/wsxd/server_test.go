@@ -300,3 +300,62 @@ func TestServerRestartRecoversFeedback(t *testing.T) {
 		t.Fatalf("replayed mechanism has no evidence for %s: %+v ok=%v", target, tv, ok)
 	}
 }
+
+// TestRankSnapshotFreshAndStale pins the copy-on-write /rank cache
+// contract: sequential submit-then-rank always sees fresh scores (the
+// version check forces a recompute when uncontended), identical requests
+// reuse the published snapshot, and a request that loses the recompute
+// race serves the previous — bounded-stale — snapshot instead of queueing.
+func TestRankSnapshotFreshAndStale(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir(), nil)
+	h := s.routes()
+
+	rank := func() *httptest.ResponseRecorder {
+		return do(t, h, http.MethodGet, "/rank?consumer=c001&n=3", "")
+	}
+	if rr := rank(); rr.Code != http.StatusOK {
+		t.Fatalf("rank: %d %s", rr.Code, rr.Body)
+	}
+	snap1 := s.rankSnap.Load()
+	if rr := rank(); rr.Code != http.StatusOK {
+		t.Fatalf("rank: %d %s", rr.Code, rr.Body)
+	}
+	if s.rankSnap.Load() != snap1 {
+		t.Fatal("unchanged store must reuse the published snapshot")
+	}
+
+	top := snap1.entries[0].Service
+	body := `{"consumer":"c001","service":"` + top + `","provider":"p","context":"compute","rating":0.95}`
+	if rr := do(t, h, http.MethodPost, "/submit", body); rr.Code != http.StatusOK {
+		t.Fatalf("submit: %d %s", rr.Code, rr.Body)
+	}
+	if rr := rank(); rr.Code != http.StatusOK {
+		t.Fatalf("rank: %d %s", rr.Code, rr.Body)
+	}
+	snap2 := s.rankSnap.Load()
+	if snap2 == snap1 {
+		t.Fatal("rank after submit must recompute the snapshot")
+	}
+	var fresh bool
+	for _, e := range snap2.entries {
+		if e.Service == top && e.Confidence > 0 {
+			fresh = true
+		}
+	}
+	if !fresh {
+		t.Fatalf("recomputed snapshot missing the new feedback: %+v", snap2.entries)
+	}
+
+	// Hold rankMu to simulate a recompute in flight: a stale-version rank
+	// must serve the published snapshot instead of blocking.
+	s.rankVer.Add(1)
+	s.rankMu.Lock()
+	if got := s.freshRankSnapshot("c001"); got != snap2 {
+		s.rankMu.Unlock()
+		t.Fatal("contended rank must serve the bounded-stale snapshot")
+	}
+	s.rankMu.Unlock()
+	if got := s.freshRankSnapshot("c001"); got == snap2 {
+		t.Fatal("uncontended stale rank must recompute")
+	}
+}

@@ -83,16 +83,18 @@ func (r feedbackRecord) toFeedback() core.Feedback {
 	return fb
 }
 
-// Export writes the full feedback log as line-delimited JSON, in
-// submission order.
-func (s *Store) Export(w io.Writer) error {
-	s.mu.RLock()
-	log := make([]core.Feedback, len(s.log))
-	copy(log, s.log)
-	s.mu.RUnlock()
+// marshalRecord renders one feedback entry in its JSON wire form — the
+// payload of WAL frames and export lines.
+func marshalRecord(fb core.Feedback) ([]byte, error) {
+	return json.Marshal(toRecord(fb))
+}
 
+// Export writes the full feedback log as line-delimited JSON, in
+// submission (sequence) order. It reads the copy-on-write view, so no
+// copy is taken and concurrent submits are not blocked.
+func (s *Store) Export(w io.Writer) error {
 	enc := json.NewEncoder(w)
-	for i, fb := range log {
+	for i, fb := range s.currentView().log {
 		if err := enc.Encode(toRecord(fb)); err != nil {
 			return fmt.Errorf("registry: export record %d: %w", i, err)
 		}
@@ -127,12 +129,10 @@ func (s *Store) Import(r io.Reader) (int, error) {
 }
 
 // Replay feeds every stored feedback into a mechanism, in submission
-// order — rebuilding a reputation state from a persisted log.
+// (sequence) order — rebuilding a reputation state from a persisted log.
+// Like Export, it reads the copy-on-write view without copying.
 func (s *Store) Replay(mech core.Mechanism) (int, error) {
-	s.mu.RLock()
-	log := make([]core.Feedback, len(s.log))
-	copy(log, s.log)
-	s.mu.RUnlock()
+	log := s.currentView().log
 	for i, fb := range log {
 		if err := mech.Submit(fb); err != nil {
 			return i, fmt.Errorf("registry: replay record %d: %w", i, err)

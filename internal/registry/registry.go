@@ -8,33 +8,72 @@
 // The registry also keeps communication accounting (one message per submit
 // and per query) so experiments F2 and C6 can compare the centralized
 // design's costs against decentralized alternatives.
+//
+// Concurrency architecture (PR 6): the write path is sharded — records land
+// in one of shardCount lock-striped log segments chosen by a hash of the
+// service key, so concurrent Submits for different services never contend.
+// A global atomic sequence number stamps every record; all read APIs serve
+// from an immutable copy-on-write View (see view.go) assembled by merging
+// the shard segments in sequence order, so queries are deterministic and
+// never take a write lock. Durable stores batch concurrent Submits into WAL
+// group commits (see wal.go) amortizing one fsync across the batch.
 package registry
 
 import (
-	"encoding/json"
 	"fmt"
-	"sort"
 	"sync"
+	"sync/atomic"
 
 	"wstrust/internal/core"
 )
 
-// Store is the central QoS registry. The zero value is unusable; build
-// with NewStore. Store is safe for concurrent use.
-type Store struct {
-	mu         sync.RWMutex
-	log        []core.Feedback           // guarded by mu
-	byService  map[core.ServiceID][]int  // guarded by mu
-	byConsumer map[core.ConsumerID][]int // guarded by mu
-	byPair     map[pairKey][]int         // guarded by mu
-	messages   int64                     // guarded by mu
+// shardCount is the number of lock stripes; a power of two so the shard
+// selector is a mask. Fixed (not GOMAXPROCS-derived) so the data layout is
+// identical on every machine.
+const shardCount = 16
 
-	// wal, when non-nil (stores built by Open), makes Submit durable:
-	// the record is framed, checksummed and appended to the log before
-	// the in-memory state changes. nextSeq numbers the frames.
-	wal     *walWriter // guarded by mu
-	nextSeq uint64     // guarded by mu
-	closed  bool       // guarded by mu; Close on a durable store sets it
+// Store is the central QoS registry. The zero value is unusable; build
+// with NewStore (in-memory) or Open (durable, WAL-backed). Store is safe
+// for concurrent use: writers stripe across shards, readers serve from an
+// immutable copy-on-write view.
+type Store struct {
+	shards [shardCount]shard
+
+	seq      atomic.Uint64 // last assigned record sequence number
+	count    atomic.Int64  // live records across all shards
+	version  atomic.Uint64 // bumped on every mutation; staleness hint for the view
+	gen      atomic.Uint64 // bumped on Reset; invalidates incremental view reuse
+	messages atomic.Int64  // cumulative submits + queries (communication cost)
+
+	view   atomic.Pointer[View]
+	viewMu sync.Mutex // serializes view refreshes (see currentView)
+
+	// state is the world lock: Submit holds it shared for its whole span
+	// (WAL commit + shard apply), while Snapshot, Sync, Reset and Close
+	// hold it exclusively — guaranteeing no record is durable-but-unapplied
+	// (or applied-but-unlogged) while the log is compacted or closed.
+	state  sync.RWMutex
+	wal    *walWriter // guarded by state; non-nil on stores built by Open
+	closed bool       // guarded by state; Close on a durable store sets it
+}
+
+// shard is one lock stripe of the store: an append-only segment of
+// sequence-stamped records plus local indexes into it. A (consumer,
+// service) pair always lands in the shard of its service key, so per-pair
+// and per-service history is shard-local while per-consumer history merges
+// across shards.
+type shard struct {
+	mu         sync.RWMutex
+	recs       []record                   // guarded by mu
+	byService  map[core.ServiceID][]int32 // guarded by mu
+	byConsumer map[core.ConsumerID][]int32 // guarded by mu
+	byPair     map[pairKey][]int32        // guarded by mu
+}
+
+// record is one stored feedback entry with its global sequence number.
+type record struct {
+	seq uint64
+	fb  core.Feedback
 }
 
 type pairKey struct {
@@ -42,44 +81,77 @@ type pairKey struct {
 	service  core.ServiceID
 }
 
+// shardFor hashes the service key (FNV-1a) onto a stripe. Sharding by
+// service keeps each (consumer, service) pair's history in one shard.
+func shardFor(id core.ServiceID) int {
+	h := uint32(2166136261)
+	for i := 0; i < len(id); i++ {
+		h ^= uint32(id[i])
+		h *= 16777619
+	}
+	return int(h & (shardCount - 1))
+}
+
 // NewStore returns an empty in-memory registry. For a crash-consistent,
 // WAL-backed registry use Open.
 func NewStore() *Store {
-	return &Store{
-		byService:  map[core.ServiceID][]int{},
-		byConsumer: map[core.ConsumerID][]int{},
-		byPair:     map[pairKey][]int{},
-		nextSeq:    1,
+	s := &Store{}
+	for i := range s.shards {
+		s.shards[i].init()
 	}
+	return s
+}
+
+//lint:guarded init runs before the shard is shared (NewStore) or with mu held (Reset)
+func (sh *shard) init() {
+	sh.recs = nil
+	sh.byService = map[core.ServiceID][]int32{}
+	sh.byConsumer = map[core.ConsumerID][]int32{}
+	sh.byPair = map[pairKey][]int32{}
 }
 
 // Submit appends one feedback record. Malformed feedback is rejected.
 // Each submit counts as one consumer→registry message. On a WAL-backed
-// store the record is appended (and, per the fsync batching policy,
-// made durable) before the in-memory state changes; a WAL write error
-// rejects the submit with the store unchanged.
+// store the record joins a group commit — it is framed, checksummed and
+// appended to the log (and, per the fsync batching policy, made durable)
+// before the in-memory state changes; a WAL write error rejects the submit
+// with the store unchanged. Submits for different services proceed in
+// parallel on separate shards.
 func (s *Store) Submit(fb core.Feedback) error {
 	if err := fb.Validate(); err != nil {
 		return fmt.Errorf("registry: %w", err)
 	}
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.state.RLock()
 	if s.closed {
+		s.state.RUnlock()
 		return fmt.Errorf("registry: store is closed")
 	}
+	var seq uint64
 	if s.wal != nil {
-		payload, err := json.Marshal(toRecord(fb))
+		payload, err := marshalRecord(fb)
 		if err != nil {
+			s.state.RUnlock()
 			return fmt.Errorf("registry: encode for wal: %w", err)
 		}
-		if err := s.wal.append(s.nextSeq, payload); err != nil {
+		seq, err = s.wal.commit(&s.seq, payload)
+		if err != nil {
+			s.state.RUnlock()
 			return err
 		}
+	} else {
+		seq = s.seq.Add(1)
 	}
-	s.apply(fb)
-	s.messages++
-	if s.wal != nil && s.wal.opts.SnapshotEvery > 0 && s.wal.frames >= s.wal.opts.SnapshotEvery {
-		if err := s.snapshotLocked(); err != nil {
+	sh := &s.shards[shardFor(fb.Service)]
+	sh.mu.Lock()
+	sh.apply(seq, fb)
+	sh.mu.Unlock()
+	s.count.Add(1)
+	s.messages.Add(1)
+	s.version.Add(1)
+	compact := s.wal != nil && s.wal.shouldCompact()
+	s.state.RUnlock()
+	if compact {
+		if err := s.compact(); err != nil {
 			// The record itself is durable in the WAL; a failed compaction
 			// only means the log stays long. Surface it without undoing
 			// the accepted submit.
@@ -89,131 +161,97 @@ func (s *Store) Submit(fb core.Feedback) error {
 	return nil
 }
 
-// apply appends fb to the in-memory log and indexes and advances the
-// WAL sequence. Recovery uses it directly: replayed records were counted
-// as messages when first submitted, so they are not re-counted.
+// apply appends one sequence-stamped record to the shard segment and its
+// local indexes.
 //
-//lint:guarded apply runs with s.mu held by Submit/Open's recovery path
-func (s *Store) apply(fb core.Feedback) {
-	idx := len(s.log)
-	s.log = append(s.log, fb)
-	s.byService[fb.Service] = append(s.byService[fb.Service], idx)
-	s.byConsumer[fb.Consumer] = append(s.byConsumer[fb.Consumer], idx)
+//lint:guarded apply runs with the shard's mu held (Submit, recovery)
+func (sh *shard) apply(seq uint64, fb core.Feedback) {
+	pos := int32(len(sh.recs))
+	sh.recs = append(sh.recs, record{seq: seq, fb: fb})
+	sh.byService[fb.Service] = append(sh.byService[fb.Service], pos)
+	sh.byConsumer[fb.Consumer] = append(sh.byConsumer[fb.Consumer], pos)
 	k := pairKey{fb.Consumer, fb.Service}
-	s.byPair[k] = append(s.byPair[k], idx)
-	s.nextSeq++
+	sh.byPair[k] = append(sh.byPair[k], pos)
+}
+
+// applyRecovered installs one replayed record during Open. Recovery is
+// single-goroutine and the store is not yet shared; locks are taken for
+// uniformity. Replayed records were counted as messages when first
+// submitted, so they are not re-counted.
+func (s *Store) applyRecovered(seq uint64, fb core.Feedback) {
+	sh := &s.shards[shardFor(fb.Service)]
+	sh.mu.Lock()
+	sh.apply(seq, fb)
+	sh.mu.Unlock()
+	if seq > s.seq.Load() {
+		s.seq.Store(seq)
+	}
+	s.count.Add(1)
+	s.version.Add(1)
 }
 
 // Len reports the number of stored feedback records.
-func (s *Store) Len() int {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return len(s.log)
-}
+func (s *Store) Len() int { return int(s.count.Load()) }
 
 // MessageCount reports cumulative messages (submits + queries), the
 // centralized system's communication cost.
-func (s *Store) MessageCount() int64 {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.messages
-}
+func (s *Store) MessageCount() int64 { return s.messages.Load() }
 
-// countQuery bumps the message counter for a read. Callers hold no lock.
-func (s *Store) countQuery() {
-	s.mu.Lock()
-	s.messages++
-	s.mu.Unlock()
-}
+// countQuery bumps the message counter for a read.
+func (s *Store) countQuery() { s.messages.Add(1) }
 
 // ForService returns all feedback about the service in submission order.
+// The returned slice is a shared, immutable view — treat it as read-only
+// (appending is safe: capacity is clipped).
 func (s *Store) ForService(id core.ServiceID) []core.Feedback {
 	s.countQuery()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.collect(s.byService[id])
+	return clip(s.currentView().byService[id])
 }
 
 // ForConsumer returns all feedback submitted by the consumer in order.
+// The returned slice is shared and read-only, as in ForService.
 func (s *Store) ForConsumer(id core.ConsumerID) []core.Feedback {
 	s.countQuery()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.collect(s.byConsumer[id])
+	return clip(s.currentView().byConsumer[id])
 }
 
 // ForPair returns the feedback consumer has submitted about service.
+// The returned slice is shared and read-only, as in ForService.
 func (s *Store) ForPair(consumer core.ConsumerID, service core.ServiceID) []core.Feedback {
 	s.countQuery()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	return s.collect(s.byPair[pairKey{consumer, service}])
+	return clip(s.currentView().byPair[pairKey{consumer, service}])
 }
 
-// collect copies the records at idxs out of the log.
-//
-//lint:guarded collect runs with s.mu read-held by its callers
-func (s *Store) collect(idxs []int) []core.Feedback {
-	out := make([]core.Feedback, len(idxs))
-	for i, idx := range idxs {
-		out[i] = s.log[idx]
-	}
-	return out
-}
-
-// Services returns the distinct rated services, sorted.
+// Services returns the distinct rated services, sorted. The slice is
+// shared and read-only, as in ForService.
 func (s *Store) Services() []core.ServiceID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]core.ServiceID, 0, len(s.byService))
-	for id := range s.byService {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return clip(s.currentView().services)
 }
 
-// Consumers returns the distinct raters, sorted.
+// Consumers returns the distinct raters, sorted. The slice is shared and
+// read-only, as in ForService.
 func (s *Store) Consumers() []core.ConsumerID {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := make([]core.ConsumerID, 0, len(s.byConsumer))
-	for id := range s.byConsumer {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return clip(s.currentView().consumers)
 }
 
-// RatingMatrix builds the consumer × service matrix of overall ratings —
+// RatingMatrix returns the consumer × service matrix of overall ratings —
 // the input collaborative filtering works on. When a consumer rated a
 // service several times the most recent rating wins, honouring the paper's
-// "new experiences are more important than old ones".
+// "new experiences are more important than old ones". The matrix is the
+// copy-on-write view's own (rebuilt incrementally, never in place): treat
+// it as read-only.
 func (s *Store) RatingMatrix() map[core.ConsumerID]map[core.ServiceID]float64 {
 	s.countQuery()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
-	out := map[core.ConsumerID]map[core.ServiceID]float64{}
-	for _, fb := range s.log { // submission order → later overwrite earlier
-		row, ok := out[fb.Consumer]
-		if !ok {
-			row = map[core.ServiceID]float64{}
-			out[fb.Consumer] = row
-		}
-		row[fb.Service] = fb.Overall()
-	}
-	return out
+	return s.currentView().matrix
 }
 
 // FacetSeries returns the chronological values of one facet rating for a
 // service, across all consumers.
 func (s *Store) FacetSeries(id core.ServiceID, facet core.Facet) []float64 {
 	s.countQuery()
-	s.mu.RLock()
-	defer s.mu.RUnlock()
 	var out []float64
-	for _, idx := range s.byService[id] {
-		if v, ok := s.log[idx].Ratings[facet]; ok {
+	for _, fb := range s.currentView().byService[id] {
+		if v, ok := fb.Ratings[facet]; ok {
 			out = append(out, v)
 		}
 	}
@@ -226,10 +264,19 @@ func (s *Store) FacetSeries(id core.ServiceID, facet core.Facet) []float64 {
 // in-memory stores; a WAL-backed store that must be cleared durably
 // should Reset and then Snapshot.
 func (s *Store) Reset() {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.log = nil
-	s.byService = map[core.ServiceID][]int{}
-	s.byConsumer = map[core.ConsumerID][]int{}
-	s.byPair = map[pairKey][]int{}
+	s.state.Lock()
+	defer s.state.Unlock()
+	for i := range s.shards {
+		sh := &s.shards[i]
+		sh.mu.Lock()
+		sh.init()
+		sh.mu.Unlock()
+	}
+	s.count.Store(0)
+	s.gen.Add(1)
+	s.version.Add(1)
 }
+
+// clip caps the slice at its length so a caller's append cannot write into
+// the view's shared backing array.
+func clip[T any](s []T) []T { return s[:len(s):len(s)] }

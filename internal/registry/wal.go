@@ -1,8 +1,8 @@
 package registry
 
 // This file gives the central QoS registry crash consistency: an
-// append-only, checksummed, line-framed write-ahead log with batched
-// fsyncs, periodic snapshot + log compaction, and a recovery path
+// append-only, checksummed, line-framed write-ahead log with group
+// commit, periodic snapshot + log compaction, and a recovery path
 // (Open) that replays snapshot + WAL and tolerates the torn final
 // record a crash mid-append leaves behind.
 //
@@ -19,6 +19,14 @@ package registry
 // to a temp file, fsynced and renamed, so it is never observed half
 // written; the WAL may end in a torn frame, which recovery truncates
 // away with a warning instead of failing the store.
+//
+// Group commit (PR 6): concurrent Submits enqueue encoded frames under a
+// short queue lock; the first enqueuer becomes the flush leader and writes
+// everything queued — including frames that arrive while it is writing —
+// with a single write + fsync per batch, amortizing the fsync that
+// previously serialized every Submit. Sequence numbers are assigned under
+// the queue lock, so the file's frame order is always seq-ascending and a
+// crash still leaves a clean prefix plus at most one torn frame.
 
 import (
 	"bufio"
@@ -32,6 +40,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"wstrust/internal/core"
 )
@@ -48,7 +58,8 @@ const (
 type WALOptions struct {
 	// SyncEvery batches fsyncs: the WAL file is fsynced once every
 	// SyncEvery appended records (and always on Sync, Snapshot and
-	// Close). Values below 2 fsync every append — maximum durability.
+	// Close). Values below 2 fsync every group-commit batch — maximum
+	// durability (a batch of one is a per-record fsync).
 	SyncEvery int
 	// SnapshotEvery, when positive, compacts automatically once the live
 	// WAL accumulates that many frames: the full in-memory log is written
@@ -84,16 +95,155 @@ func (r Recovery) String() string {
 	return s
 }
 
-// walWriter is the open WAL file of a durable store. Its fields are only
-// touched with the owning Store's mu held.
+// walWriter is the open WAL file of a durable store, with the group-commit
+// queue. Committers enqueue frames under mu; one leader at a time drains
+// the queue to the file with mu released, so the fsync cost is shared by
+// every frame in the batch. The file handle itself is written only by the
+// flush leader (flushing set) or with the store world-quiesced
+// (Snapshot/Sync/Close hold Store.state exclusively), never both at once.
 type walWriter struct {
-	dir      string
-	path     string
-	f        *os.File
-	bw       *bufio.Writer
-	unsynced int // appends since the last fsync
-	frames   int // frames in the file since the last compaction
-	opts     WALOptions
+	dir  string
+	path string
+	f    *os.File
+	opts WALOptions
+
+	mu            sync.Mutex
+	flushed       sync.Cond // signaled under mu after every batch write
+	pending       []byte    // guarded by mu: encoded frames awaiting write
+	pendingFrames int       // guarded by mu: frame count in pending
+	pendingTop    uint64    // guarded by mu: highest seq in pending
+	spare         []byte    // guarded by mu: recycled batch buffer
+	flushing      bool      // guarded by mu: a leader is draining the queue
+	acked         uint64    // guarded by mu: highest seq written to the file
+	unsynced      int       // guarded by mu: frames written since the last fsync
+	frames        int       // guarded by mu: frames in the file since compaction
+	broken        error     // guarded by mu: sticky first write/fsync failure
+}
+
+// commit assigns the next sequence number, enqueues one frame, and returns
+// once that frame has been written to the WAL file (and fsynced, when the
+// SyncEvery policy calls for it). The first committer to find the queue
+// idle becomes the leader and performs one write (+ one fsync) for every
+// frame queued meanwhile; later committers merely wait for their frame's
+// acknowledgement. Sequence numbers are taken from seqSrc under the queue
+// lock so the file's frame order is seq-ascending.
+//
+// Any write or fsync failure marks the whole WAL broken: bytes of a torn
+// batch may already be on disk, so retrying in place could interleave
+// frames out of order. Every queued and future commit then fails with the
+// same error; recovery (Open) handles the torn tail.
+func (w *walWriter) commit(seqSrc *atomic.Uint64, payload []byte) (uint64, error) {
+	w.mu.Lock()
+	if w.broken != nil {
+		err := w.broken
+		w.mu.Unlock()
+		return 0, err
+	}
+	seq := seqSrc.Add(1)
+	w.pending = append(w.pending, encodeFrame(seq, payload)...)
+	w.pendingFrames++
+	w.pendingTop = seq
+	if w.flushing {
+		// Follower: a leader is already draining the queue and will pick
+		// this frame up; wait for it to be acknowledged.
+		for w.acked < seq && w.broken == nil {
+			w.flushed.Wait()
+		}
+	} else {
+		w.flushing = true
+		w.lead()
+		w.flushing = false
+		w.flushed.Broadcast()
+	}
+	ok := w.acked >= seq
+	err := w.broken
+	w.mu.Unlock()
+	if !ok {
+		return 0, err
+	}
+	return seq, nil
+}
+
+// lead drains the commit queue: repeatedly swap out the pending buffer,
+// write (and per policy fsync) it with the queue unlocked, then
+// acknowledge the batch. Frames enqueued while a batch is in flight are
+// picked up by the next iteration, so the leader never returns with work
+// queued. Called and returns with w.mu held, flushing set.
+//
+//lint:guarded lead runs with w.mu held (commit); it relocks around file I/O
+func (w *walWriter) lead() {
+	for w.pendingFrames > 0 && w.broken == nil {
+		buf, n, top := w.pending, w.pendingFrames, w.pendingTop
+		w.pending = w.spare[:0]
+		w.pendingFrames = 0
+		needSync := w.opts.SyncEvery < 2 || w.unsynced+n >= w.opts.SyncEvery
+		w.mu.Unlock()
+		_, err := w.f.Write(buf)
+		if err == nil && needSync {
+			err = w.f.Sync()
+		}
+		w.mu.Lock()
+		w.spare = buf[:0]
+		if err != nil {
+			w.broken = fmt.Errorf("registry: wal group commit: %w", err)
+		} else {
+			w.frames += n
+			if needSync {
+				w.unsynced = 0
+			} else {
+				w.unsynced += n
+			}
+			w.acked = top
+		}
+		w.flushed.Broadcast()
+	}
+}
+
+// sync flushes any queued frames and fsyncs the WAL file. Callers hold the
+// store's state lock exclusively (world quiesced), so no leader is in
+// flight; the defensive drain covers a commit that errored after enqueue.
+func (w *walWriter) sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.broken != nil {
+		return w.broken
+	}
+	if w.pendingFrames > 0 {
+		if _, err := w.f.Write(w.pending); err != nil {
+			w.broken = fmt.Errorf("registry: wal flush: %w", err)
+			return w.broken
+		}
+		w.frames += w.pendingFrames
+		w.acked = w.pendingTop
+		w.pending = w.pending[:0]
+		w.pendingFrames = 0
+	}
+	if err := w.f.Sync(); err != nil {
+		w.broken = fmt.Errorf("registry: wal fsync: %w", err)
+		return w.broken
+	}
+	w.unsynced = 0
+	return nil
+}
+
+// shouldCompact reports whether the live WAL has accumulated enough frames
+// to trigger auto-compaction.
+func (w *walWriter) shouldCompact() bool {
+	if w.opts.SnapshotEvery <= 0 {
+		return false
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.frames >= w.opts.SnapshotEvery
+}
+
+// resetAfterCompact clears the frame accounting once the WAL file has been
+// truncated under a fresh snapshot.
+func (w *walWriter) resetAfterCompact() {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	w.frames = 0
+	w.unsynced = 0
 }
 
 // Open builds (or recovers) a durable Store rooted at dir. It replays
@@ -116,7 +266,9 @@ func Open(dir string, opts WALOptions) (*Store, Recovery, error) {
 		return nil, rec, err
 	}
 	rec.SnapshotRecords = snapN
-	s.nextSeq = lastSeq + 1
+	if lastSeq > s.seq.Load() {
+		s.seq.Store(lastSeq)
+	}
 
 	walPath := filepath.Join(dir, walName)
 	if err := s.replayWAL(walPath, lastSeq, &rec); err != nil {
@@ -127,14 +279,15 @@ func Open(dir string, opts WALOptions) (*Store, Recovery, error) {
 	if err != nil {
 		return nil, rec, fmt.Errorf("registry: open wal: %w", err)
 	}
-	s.wal = &walWriter{
+	w := &walWriter{
 		dir:    dir,
 		path:   walPath,
 		f:      f,
-		bw:     bufio.NewWriter(f),
-		frames: rec.WALRecords + rec.SkippedRecords,
 		opts:   opts,
+		frames: rec.WALRecords + rec.SkippedRecords,
 	}
+	w.flushed.L = &w.mu
+	s.wal = w
 	return s, rec, nil
 }
 
@@ -142,8 +295,6 @@ func Open(dir string, opts WALOptions) (*Store, Recovery, error) {
 // of its last frame. A missing snapshot is a fresh store. Unlike the WAL,
 // the snapshot is written atomically (temp + rename), so any corruption
 // here is a real fault and fails recovery loudly.
-//
-//lint:guarded recovery runs before the store is shared (called from Open)
 func (s *Store) loadSnapshot(path string) (lastSeq uint64, n int, err error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -171,19 +322,17 @@ func (s *Store) loadSnapshot(path string) (lastSeq uint64, n int, err error) {
 			return 0, 0, fmt.Errorf("registry: snapshot %s: %d of %d records, then truncated", path, i, count)
 		}
 		rest = next
-		_, fb, err := parseFrame(line)
+		seq, fb, err := parseFrame(line)
 		if err != nil {
 			return 0, 0, fmt.Errorf("registry: snapshot %s record %d: %w", path, i, err)
 		}
-		s.apply(fb)
+		s.applyRecovered(seq, fb)
 	}
 	return last, count, nil
 }
 
 // replayWAL applies every intact frame with seq > snapLastSeq, then
 // truncates any torn tail so future appends extend the durable prefix.
-//
-//lint:guarded recovery runs before the store is shared (called from Open)
 func (s *Store) replayWAL(path string, snapLastSeq uint64, rec *Recovery) error {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
@@ -206,10 +355,7 @@ func (s *Store) replayWAL(path string, snapLastSeq uint64, rec *Recovery) error 
 		if seq <= snapLastSeq {
 			rec.SkippedRecords++
 		} else {
-			s.apply(fb)
-			if seq >= s.nextSeq {
-				s.nextSeq = seq + 1
-			}
+			s.applyRecovered(seq, fb)
 			rec.WALRecords++
 		}
 		offset += int64(len(line)) + 1
@@ -257,48 +403,19 @@ func parseFrame(line []byte) (seq uint64, fb core.Feedback, err error) {
 	return seq, rec.toFeedback(), nil
 }
 
-// append writes one frame and applies the fsync batching policy.
-//
-//lint:guarded append runs with the owning Store's mu held
-func (w *walWriter) append(seq uint64, payload []byte) error {
-	if _, err := w.bw.Write(encodeFrame(seq, payload)); err != nil {
-		return fmt.Errorf("registry: wal append: %w", err)
-	}
-	w.frames++
-	w.unsynced++
-	if w.opts.SyncEvery < 2 || w.unsynced >= w.opts.SyncEvery {
-		return w.sync()
-	}
-	return nil
-}
-
-// sync flushes buffered frames and fsyncs the WAL file.
-//
-//lint:guarded sync runs with the owning Store's mu held
-func (w *walWriter) sync() error {
-	if err := w.bw.Flush(); err != nil {
-		return fmt.Errorf("registry: wal flush: %w", err)
-	}
-	if err := w.f.Sync(); err != nil {
-		return fmt.Errorf("registry: wal fsync: %w", err)
-	}
-	w.unsynced = 0
-	return nil
-}
-
 // Durable reports whether the store is WAL-backed (built by Open, not
 // NewStore).
 func (s *Store) Durable() bool {
-	s.mu.RLock()
-	defer s.mu.RUnlock()
+	s.state.RLock()
+	defer s.state.RUnlock()
 	return s.wal != nil
 }
 
 // Sync flushes and fsyncs any WAL frames the batching window is holding.
 // A no-op on in-memory stores.
 func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.state.Lock()
+	defer s.state.Unlock()
 	if s.wal == nil {
 		return nil
 	}
@@ -309,10 +426,22 @@ func (s *Store) Sync() error {
 // fresh snapshot (atomically, via temp + rename) and the WAL truncated to
 // empty. Open replays the result to the identical store.
 func (s *Store) Snapshot() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.state.Lock()
+	defer s.state.Unlock()
 	if s.wal == nil {
 		return errors.New("registry: Snapshot on a store with no WAL (use Open)")
+	}
+	return s.snapshotLocked()
+}
+
+// compact runs the auto-compaction a Submit triggered, re-checking the
+// threshold under the exclusive state lock so concurrent triggers collapse
+// into one snapshot.
+func (s *Store) compact() error {
+	s.state.Lock()
+	defer s.state.Unlock()
+	if s.closed || s.wal == nil || !s.wal.shouldCompact() {
+		return nil
 	}
 	return s.snapshotLocked()
 }
@@ -321,30 +450,32 @@ func (s *Store) Snapshot() error {
 // snapshot.wsx, fsyncs the directory, then truncates the WAL. A crash at
 // any point leaves a recoverable pair: before the rename the old
 // snapshot+WAL still replay; after it, WAL frames the new snapshot covers
-// are skipped by sequence number.
+// are skipped by sequence number. The world is quiesced (state held
+// exclusively), so every acknowledged record is both durable and applied.
 //
-//lint:guarded snapshotLocked runs with s.mu held by Snapshot/Submit
+//lint:guarded snapshotLocked runs with s.state held by Snapshot/compact
 func (s *Store) snapshotLocked() error {
 	if err := s.wal.sync(); err != nil {
 		return err
 	}
 	w := s.wal
+	log := s.currentView().log
 	tmp := filepath.Join(w.dir, snapshotName+".tmp")
 	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
 	if err != nil {
 		return fmt.Errorf("registry: snapshot: %w", err)
 	}
 	bw := bufio.NewWriter(f)
-	lastSeq := s.nextSeq - 1
+	lastSeq := s.seq.Load()
 	werr := func() error {
-		if _, err := fmt.Fprintf(bw, "%s %d %d\n", snapPrefix, len(s.log), lastSeq); err != nil {
+		if _, err := fmt.Fprintf(bw, "%s %d %d\n", snapPrefix, len(log), lastSeq); err != nil {
 			return err
 		}
 		// Snapshot frames re-number densely from lastSeq-len+1..lastSeq;
 		// only the final sequence number matters for replay skipping.
-		base := lastSeq - uint64(len(s.log))
-		for i, fb := range s.log {
-			payload, err := json.Marshal(toRecord(fb))
+		base := lastSeq - uint64(len(log))
+		for i, fb := range log {
+			payload, err := marshalRecord(fb)
 			if err != nil {
 				return err
 			}
@@ -374,15 +505,15 @@ func (s *Store) snapshotLocked() error {
 	if err := w.f.Truncate(0); err != nil {
 		return fmt.Errorf("registry: wal truncate after snapshot: %w", err)
 	}
-	w.frames = 0
+	w.resetAfterCompact()
 	return nil
 }
 
 // Close fsyncs and closes the WAL. The store stays readable; further
 // Submits fail. A no-op on in-memory stores.
 func (s *Store) Close() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.state.Lock()
+	defer s.state.Unlock()
 	if s.wal == nil {
 		return nil
 	}

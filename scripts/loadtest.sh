@@ -1,0 +1,54 @@
+#!/bin/sh
+# loadtest.sh — the PR 6 performance sweep: boot wsxd, drive it with
+# wsxload's open-loop submit+rank mix at GOMAXPROCS 1, 2 and 4, and fold
+# each run's latency histograms and goodput into BENCH_PR6.json
+# (schema: internal/benchfmt; label "mix" keyed by GOMAXPROCS).
+# Run via `make loadtest`. Tunables via env:
+#   LOAD_RPS       offered rate per run        (default 2000)
+#   LOAD_DURATION  measured window per run     (default 10s)
+#   LOAD_OUT       merged record path          (default BENCH_PR6.json)
+set -eu
+
+rps="${LOAD_RPS:-2000}"
+duration="${LOAD_DURATION:-10s}"
+out="${LOAD_OUT:-BENCH_PR6.json}"
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/wsxd" ./cmd/wsxd
+go build -o "$workdir/wsxload" ./cmd/wsxload
+
+# boot <procs> — start wsxd fresh; sets $addr and $pid in the caller's
+# shell (no subshell: the caller must be able to `wait` on wsxd).
+boot() {
+    log="$workdir/wsxd-$1.log"
+    rm -rf "$workdir/data"
+    GOMAXPROCS="$1" "$workdir/wsxd" -addr 127.0.0.1:0 -data "$workdir/data" \
+        -shed-rate 1000000 -bulkhead 64 -sync-every 64 >"$log" 2>&1 &
+    pid=$!
+    addr=""
+    for _ in $(seq 1 50); do
+        addr=$(sed -n 's/^wsxd: listening on \([^ ]*\).*/\1/p' "$log")
+        [ -n "$addr" ] && break
+        kill -0 "$pid" 2>/dev/null || { echo "loadtest: wsxd died during boot" >&2; cat "$log" >&2; exit 1; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { echo "loadtest: no listen line after 5s" >&2; cat "$log" >&2; exit 1; }
+}
+
+for procs in 1 2 4; do
+    boot "$procs"
+    echo "loadtest: GOMAXPROCS=$procs, wsxd at $addr, offering $rps rps for $duration"
+    # The driver runs at GOMAXPROCS 4 regardless: the variable under test
+    # is the server's parallelism, not the generator's. -record-procs keys
+    # the merged entry by the server's setting.
+    GOMAXPROCS=4 "$workdir/wsxload" -addr "$addr" -rps "$rps" -duration "$duration" \
+        -warmup 2s -mix 0.5 -conns 32 -label mix -merge "$out" -min-goodput 1 \
+        -record-procs "$procs"
+    curl -fsS -X POST "http://$addr/drain" >/dev/null || { echo "loadtest: drain failed" >&2; exit 1; }
+    rc=0; wait "$pid" || rc=$?
+    [ "$rc" -eq 0 ] || { echo "loadtest: wsxd exited $rc" >&2; exit 1; }
+done
+
+echo "loadtest: sweep complete -> $out"

@@ -1,0 +1,49 @@
+#!/bin/sh
+# loadtest_smoke.sh — CI gate for the load-test harness itself: boot wsxd,
+# run wsxload briefly at a modest rate, assert non-zero goodput (wsxload's
+# own -min-goodput check) and a clean drain + exit 0. Run via
+# `make loadtest-smoke`; CI runs it next to serve-smoke.
+set -eu
+
+workdir=$(mktemp -d)
+log="$workdir/wsxd.log"
+trap 'rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/wsxd" ./cmd/wsxd
+go build -o "$workdir/wsxload" ./cmd/wsxload
+
+"$workdir/wsxd" -addr 127.0.0.1:0 -data "$workdir/data" \
+    -shed-rate 100000 -bulkhead 32 -sync-every 64 >"$log" 2>&1 &
+pid=$!
+
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^wsxd: listening on \([^ ]*\).*/\1/p' "$log")
+    [ -n "$addr" ] && break
+    kill -0 "$pid" 2>/dev/null || { echo "loadtest-smoke: wsxd died during boot"; cat "$log"; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { echo "loadtest-smoke: no listen line after 5s"; cat "$log"; exit 1; }
+echo "loadtest-smoke: wsxd up at $addr"
+
+fail() {
+    echo "loadtest-smoke: $1"
+    cat "$log"
+    kill "$pid" 2>/dev/null || true
+    exit 1
+}
+
+# -min-goodput 1 is the non-zero-goodput assertion: wsxload exits 1 if
+# every request failed or was dropped.
+"$workdir/wsxload" -addr "$addr" -rps 300 -duration 3s -warmup 500ms \
+    -mix 0.5 -conns 8 -label smoke -min-goodput 1 \
+    || fail "wsxload reported no goodput"
+
+curl -fsS -X POST "http://$addr/drain" | grep -q '"drained":true' \
+    || fail "drain did not complete"
+
+rc=0
+wait "$pid" || rc=$?
+[ "$rc" -eq 0 ] || fail "wsxd exited $rc after drain, want 0"
+
+echo "loadtest-smoke: PASS (goodput > 0, clean drain, exit 0)"
