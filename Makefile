@@ -5,7 +5,7 @@
 
 GO ?= go
 
-.PHONY: all build vet lint test race cover fuzz-smoke serve-smoke bench bench-suite bench-json bench-diff loadtest loadtest-smoke ci
+.PHONY: all build vet lint lint-json test race cover fuzz-smoke serve-smoke bench bench-suite bench-json bench-diff loadtest loadtest-smoke ci
 
 # Aggregate statement-coverage floor for the packages the fault layer and
 # the mechanism test harness are responsible for.
@@ -27,11 +27,17 @@ vet:
 lint:
 	$(GO) run ./cmd/wsxlint ./...
 
+# Machine-readable lint pass: one JSON object per finding (NDJSON),
+# consumed in CI through .github/wsxlint.json so findings surface as PR
+# annotations. Locally `make lint` stays the human-readable entry point.
+lint-json:
+	$(GO) run ./cmd/wsxlint -json ./...
+
 test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -shuffle=on ./...
 
 # Coverage gate: the trust mechanisms, the fault layer, and the p2p
 # substrate must keep aggregate statement coverage at or above COVER_MIN —
@@ -92,4 +98,4 @@ loadtest:
 loadtest-smoke:
 	./scripts/loadtest_smoke.sh
 
-ci: vet lint build test cover
+ci: vet lint lint-json build test cover

@@ -166,6 +166,8 @@ func runJob(j job) ([]benchfmt.Result, error) {
 //
 // including any custom b.ReportMetric pairs. Non-benchmark lines return
 // ok=false.
+//
+//lint:immutable parseLine builds the Result; it is unpublished until returned.
 func parseLine(pkg, line string) (benchfmt.Result, bool, error) {
 	fields := strings.Fields(line)
 	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") || len(fields)%2 != 0 {

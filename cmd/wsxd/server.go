@@ -133,9 +133,10 @@ func newServer(cfg serverConfig) (*server, error) {
 	return s, nil
 }
 
-// rankSnapshot is one immutable published ranking. entries is the full
-// catalog ranked best-first; handlers slice it per request and must not
-// mutate it.
+// rankSnapshot is one published ranking, immutable after publish: entries
+// is the full catalog ranked best-first, shared lock-free by every /rank
+// handler through s.rankSnap; handlers slice it per request and must not
+// mutate it (wsxlint's immutable analyzer enforces this).
 type rankSnapshot struct {
 	version uint64
 	entries []rankEntry
@@ -156,6 +157,9 @@ func (s *server) computeRankSnapshot(consumer core.ConsumerID) *rankSnapshot {
 // recomputation behind), which is what keeps /rank p99 flat while /submit
 // runs at saturation. With no write load the version check always demands
 // freshness, preserving sequential read-your-writes semantics.
+//
+//lint:hotpath every /rank request passes through here; the fast path is
+// two atomic loads and must stay allocation-free.
 func (s *server) freshRankSnapshot(consumer core.ConsumerID) *rankSnapshot {
 	snap := s.rankSnap.Load()
 	if snap.version == s.rankVer.Load() {

@@ -1,7 +1,8 @@
 // Command wsxlint checks the repository's determinism and concurrency
-// invariants (see DESIGN.md §"Determinism invariants"). The experiment
-// suite's reports must be byte-identical for a given seed at any
-// -parallel N; wsxlint turns the conventions that guarantee into
+// invariants (see DESIGN.md §"Determinism invariants" and §"Static
+// invariants"). The experiment suite's reports must be byte-identical for
+// a given seed at any -parallel N, and the serving path's lock-free reads
+// must stay sound; wsxlint turns the conventions that guarantee both into
 // machine-checked rules:
 //
 //	determinism   no global math/rand draws, wall-clock reads, or env
@@ -11,12 +12,30 @@
 //	              under that mutex
 //	errdrop       no discarded errors in registry persistence and wsxsim
 //	              I/O paths
+//	lockorder     cross-package lock-acquisition graph: no cyclic
+//	              acquisition orders, no blocking calls (fsync, channel
+//	              ops, Cond.Wait outside a loop, network I/O) while a
+//	              mutex is held
+//	hotalloc      functions marked //lint:hotpath must not allocate per
+//	              call (no fmt, map allocation, &composite/new,
+//	              un-preallocated loop append, interface boxing)
+//	immutable     types annotated '// immutable after publish' may only
+//	              have fields written in //lint:immutable-justified
+//	              constructors/builders
+//	goleak        goroutines in the serving path must be tied to a
+//	              tracked shutdown path (WaitGroup, done channel, or
+//	              context)
 //
 // Usage:
 //
 //	wsxlint ./...              # lint the whole module (CI entry point)
 //	wsxlint ./internal/...     # lint a subtree
+//	wsxlint -json ./...        # one JSON object per finding (NDJSON)
 //	wsxlint -list              # list analyzers and exit
+//
+// -json emits each finding as one line of JSON — {"file", "line", "col",
+// "rule", "message"} — for machine consumers; CI pipes it through a
+// GitHub Actions problem matcher so findings land as PR annotations.
 //
 // Deliberate exceptions are annotated in source with //lint:<rule>
 // comments carrying a justification; wsxlint stays silent on them.
@@ -24,6 +43,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -31,8 +51,18 @@ import (
 	"wstrust/internal/lint"
 )
 
+// jsonDiag is the NDJSON shape of one finding, stable for CI tooling.
+type jsonDiag struct {
+	File    string `json:"file"`
+	Line    int    `json:"line"`
+	Col     int    `json:"col"`
+	Rule    string `json:"rule"`
+	Message string `json:"message"`
+}
+
 func main() {
 	list := flag.Bool("list", false, "list analyzers and exit")
+	jsonOut := flag.Bool("json", false, "emit findings as newline-delimited JSON")
 	flag.Parse()
 
 	if *list {
@@ -56,8 +86,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	for _, d := range diags {
-		fmt.Println(d)
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		for _, d := range diags {
+			if err := enc.Encode(jsonDiag{
+				File:    d.Pos.Filename,
+				Line:    d.Pos.Line,
+				Col:     d.Pos.Column,
+				Rule:    d.Analyzer,
+				Message: d.Message,
+			}); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Println(d)
+		}
 	}
 	if len(diags) > 0 {
 		fmt.Fprintf(os.Stderr, "wsxlint: %d finding(s)\n", len(diags))

@@ -312,10 +312,10 @@ func report(cfg config, stats []workerStats, sent int, droppedSubmit, droppedRan
 			SubmitMix:   cfg.mix,
 		}
 		if submit.Count() > 0 || submitErr > 0 {
-			lt.Submit = loadOp(&submit, submitErr, droppedSubmit, elapsed)
+			lt.Submit = loadOp(&submit, submitErr, droppedSubmit, elapsed) //lint:immutable still building lt; published by MergeLoadTest below
 		}
 		if rank.Count() > 0 || rankErr > 0 {
-			lt.Rank = loadOp(&rank, rankErr, droppedRank, elapsed)
+			lt.Rank = loadOp(&rank, rankErr, droppedRank, elapsed) //lint:immutable still building lt; published by MergeLoadTest below
 		}
 		doc, err := benchfmt.Load(cfg.merge)
 		if err != nil {

@@ -14,7 +14,10 @@ import (
 	"strings"
 )
 
-// Result is one parsed `go test -bench` line.
+// Result is one parsed `go test -bench` line. Result is immutable after
+// publish: once a record lands in a Document (and ultimately the committed
+// BENCH_PR*.json files) it is a measurement, and diffing depends on nobody
+// editing it in place.
 type Result struct {
 	Package    string `json:"package"`
 	Name       string `json:"name"`
@@ -25,7 +28,8 @@ type Result struct {
 	Metrics map[string]float64 `json:"metrics"`
 }
 
-// LoadOp is the per-operation slice of one load-test run (submit or rank).
+// LoadOp is the per-operation slice of one load-test run (submit or
+// rank), immutable after publish like Result.
 type LoadOp struct {
 	Count      uint64  `json:"count"`
 	Errors     uint64  `json:"errors"`
@@ -40,7 +44,8 @@ type LoadOp struct {
 	MeanMs     float64 `json:"mean_ms"`
 }
 
-// LoadTest is one wsxload run against wsxd.
+// LoadTest is one wsxload run against wsxd, immutable after publish like
+// Result.
 type LoadTest struct {
 	Label       string  `json:"label"`
 	GOMAXPROCS  int     `json:"gomaxprocs"`

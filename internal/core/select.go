@@ -330,6 +330,9 @@ func (s *RankSession) Candidates() []Candidate { return s.cands }
 // Rank scores the prepared candidates for the consumer, sorted best-first;
 // results are bit-identical to Engine.Rank on the same set. The returned
 // slice is reused by the next Rank/Select call.
+//
+//lint:hotpath the selection-loop inner call; rankInto reuses s.scratch,
+// so steady-state allocations are zero.
 func (s *RankSession) Rank(consumer ConsumerID, prefs qos.Preferences) []Ranked {
 	if len(s.cands) == 0 {
 		return nil
@@ -341,10 +344,13 @@ func (s *RankSession) Rank(consumer ConsumerID, prefs qos.Preferences) []Ranked 
 // Select ranks the prepared candidates and applies the engine's policy,
 // mirroring Engine.Select (same RNG draws, same choice). The returned
 // ranking aliases the session buffer; see Rank.
+//
+//lint:hotpath selection-loop entry point; the only allocation is the
+// empty-candidates error, which is cold.
 func (s *RankSession) Select(consumer ConsumerID, prefs qos.Preferences) (Ranked, []Ranked, error) {
 	ranked := s.Rank(consumer, prefs)
 	if len(ranked) == 0 {
-		return Ranked{}, nil, fmt.Errorf("core: no candidates to select from")
+		return Ranked{}, nil, fmt.Errorf("core: no candidates to select from") //lint:hotalloc cold error path, hit only with an empty catalog
 	}
 	return ranked[s.engine.pick(ranked)], ranked, nil
 }

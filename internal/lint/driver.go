@@ -48,6 +48,7 @@ func LoadAndRun(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnos
 	fset := token.NewFileSet()
 	imp := newImporter(fset, exports)
 
+	BeginAll(analyzers)
 	var diags []Diagnostic
 	for _, pkg := range targets {
 		files, err := parsePackage(fset, pkg)
@@ -60,6 +61,10 @@ func LoadAndRun(dir string, patterns []string, analyzers []*Analyzer) ([]Diagnos
 		}
 		diags = append(diags, RunAnalyzers(pass, analyzers)...)
 	}
+	// Whole-program findings (lock-order cycles spanning packages, writes
+	// to types another package declared immutable) come last, once every
+	// target has contributed its edges and annotations.
+	diags = append(diags, FinishAll(analyzers)...)
 	SortDiagnostics(diags)
 	return diags, nil
 }

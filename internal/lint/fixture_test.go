@@ -29,6 +29,10 @@ func TestAnalyzerFixtures(t *testing.T) {
 		{"mapiter", MapIter},
 		{"guardedfield", GuardedField},
 		{"errdrop", ErrDrop},
+		{"lockorder", LockOrder},
+		{"hotalloc", HotAlloc},
+		{"immutable", Immutable},
+		{"goleak", GoLeak},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name+"/bad", func(t *testing.T) {
@@ -46,6 +50,35 @@ func TestAnalyzerFixtures(t *testing.T) {
 			}
 		})
 	}
+}
+
+// TestGenericsFixture runs the full suite over a package built around
+// type parameters: generic guarded state, generic hot paths, and concrete
+// instantiations. Nothing may crash and nothing may be reported — the
+// analyzers' type reasoning has to survive instantiated types.
+func TestGenericsFixture(t *testing.T) {
+	pass := loadFixture(t, filepath.Join("testdata", "src", "generics"))
+	for _, a := range All() {
+		for _, d := range RunOne(pass, a) {
+			t.Errorf("%s: unexpected finding on generic fixture: %s", a.Name, d)
+		}
+	}
+}
+
+// TestSuppressionScope proves //lint: comments are scoped to their line
+// or their documented function only: the scope fixture floats a
+// file-level suppression comment and blesses one constructor, and the
+// violations outside both must still be reported (and only those).
+func TestSuppressionScope(t *testing.T) {
+	pass := loadFixture(t, filepath.Join("testdata", "src", "scope"))
+	diags := RunOne(pass, Immutable)
+	if len(diags) != 2 {
+		for _, d := range diags {
+			t.Logf("finding: %s", d)
+		}
+		t.Fatalf("scope fixture: got %d findings, want exactly 2 (file-level and func-doc suppressions must not leak)", len(diags))
+	}
+	checkWants(t, pass, diags)
 }
 
 // loadFixture parses and type-checks one fixture package. Fixture imports

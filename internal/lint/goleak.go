@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"go/ast"
+	"strings"
+)
+
+// GoLeak requires every goroutine started in the serving path to be tied
+// to a tracked shutdown path. wsxd's shutdown contract (DESIGN.md §
+// "Crash-safety") is that Store.Close and Server.Shutdown return only
+// after every goroutine they own has exited — a goroutine with no
+// WaitGroup, done channel, or context wired through it can outlive
+// shutdown, racing the WAL close or writing to a closed listener, and
+// leaks in every test that starts a fixture per case.
+//
+// The check is a heuristic over the goroutine body (for `go func(){…}()`)
+// or the enclosing function (for `go name()`): something in scope must
+// mention a shutdown mechanism — a sync.WaitGroup (Add/Done/Wait), a done
+// or quit channel operation, <-ctx.Done(), or a channel send that a
+// tracked receiver drains. A fire-and-forget goroutine that is genuinely
+// bounded (e.g. one that closes over a buffered channel and exits after
+// one send) carries //lint:goleak with the justification on the go
+// statement's line.
+var GoLeak = &Analyzer{
+	Name: "goleak",
+	Doc:  "goroutines in the serving path must be tied to a tracked shutdown path (WaitGroup, done channel, or context)",
+	Applies: func(path string) bool {
+		switch path {
+		case "wstrust/cmd/wsxd", "wstrust/internal/registry", "wstrust/internal/resilience":
+			return true
+		}
+		return false
+	},
+	Run: runGoLeak,
+}
+
+func runGoLeak(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fn, ok := decl.(*ast.FuncDecl)
+			if !ok || fn.Body == nil {
+				continue
+			}
+			fnSuppressed := pass.FuncSuppressed(fn)
+			ast.Inspect(fn.Body, func(n ast.Node) bool {
+				gs, ok := n.(*ast.GoStmt)
+				if !ok {
+					return true
+				}
+				if fnSuppressed || pass.goStmtTracked(fn, gs) {
+					return true
+				}
+				pass.Reportf(gs.Pos(),
+					"goroutine started in %s has no visible shutdown tracking (WaitGroup, done channel, or context); wire one through or justify with //lint:goleak", funcTitle(fn))
+				return true
+			})
+		}
+	}
+}
+
+// goStmtTracked reports whether the go statement is visibly tied to a
+// shutdown mechanism.
+func (p *Pass) goStmtTracked(enclosing *ast.FuncDecl, gs *ast.GoStmt) bool {
+	// go func(){…}(): the literal body must itself touch a shutdown
+	// mechanism — the usual shapes are defer wg.Done(), ranging a work
+	// channel until close, select { case <-done: … }, <-ctx.Done(), or a
+	// single send on a result channel someone waits on.
+	if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+		return bodyMentionsShutdown(lit.Body)
+	}
+	// go name() / go s.method(): the goroutine's tracking typically lives
+	// inside the callee (e.g. walWriter.lead's defer wg.Done), which we
+	// cannot see across packages from here; require the *spawn site's*
+	// function to participate — a wg.Add before the go statement, or a
+	// done/ctx plumbed as an argument.
+	for _, arg := range gs.Call.Args {
+		if exprMentionsShutdown(arg) {
+			return true
+		}
+	}
+	found := false
+	ast.Inspect(enclosing.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			if sel, ok := call.Fun.(*ast.SelectorExpr); ok && sel.Sel.Name == "Add" {
+				if p.isWaitGroup(sel.X) {
+					found = true
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// bodyMentionsShutdown scans a goroutine body for any shutdown-mechanism
+// shape: WaitGroup Done/Wait, channel operations (send, receive, range,
+// close), or ctx.Done().
+func bodyMentionsShutdown(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.SendStmt:
+			found = true
+		case *ast.UnaryExpr:
+			if node.Op.String() == "<-" {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// ranging a channel exits when the channel closes; a range over
+			// a slice does not track anything, but distinguishing the two
+			// without type info on a nested literal is not worth the false
+			// negatives — channel range is the dominant pattern here.
+		case *ast.CallExpr:
+			switch fun := node.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "close" {
+					found = true
+				}
+			case *ast.SelectorExpr:
+				if fun.Sel.Name == "Done" || fun.Sel.Name == "Wait" {
+					found = true
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// exprMentionsShutdown reports whether an argument expression passes a
+// shutdown mechanism into the goroutine: a context, a done/quit/stop
+// channel, or a *sync.WaitGroup.
+func exprMentionsShutdown(arg ast.Expr) bool {
+	switch a := arg.(type) {
+	case *ast.Ident:
+		return isShutdownName(a.Name)
+	case *ast.SelectorExpr:
+		return isShutdownName(a.Sel.Name)
+	case *ast.UnaryExpr:
+		return exprMentionsShutdown(a.X)
+	case *ast.CallExpr:
+		if sel, ok := a.Fun.(*ast.SelectorExpr); ok {
+			return sel.Sel.Name == "Done" // ctx.Done()
+		}
+	}
+	return false
+}
+
+func isShutdownName(name string) bool {
+	switch strings.ToLower(name) {
+	case "ctx", "done", "quit", "stop", "wg":
+		return true
+	}
+	return strings.HasSuffix(name, "Ctx") || strings.HasSuffix(name, "Done")
+}
+
+// isWaitGroup reports whether expr's type is sync.WaitGroup (or a pointer
+// to one).
+func (p *Pass) isWaitGroup(expr ast.Expr) bool {
+	t := p.TypesInfo.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	return strings.TrimPrefix(t.String(), "*") == "sync.WaitGroup"
+}

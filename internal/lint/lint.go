@@ -41,6 +41,17 @@ type Analyzer struct {
 	Applies func(importPath string) bool
 	// Run inspects one type-checked package and reports findings.
 	Run func(*Pass)
+	// Begin, when non-nil, resets cross-package state before the first
+	// package of a driver invocation. Analyzers that accumulate a
+	// whole-program view (lockorder's acquisition graph, immutable's
+	// annotated-type registry) use it so consecutive runs do not bleed
+	// state into each other.
+	Begin func()
+	// Finish, when non-nil, reports findings that need every analyzed
+	// package first (e.g. a lock-order cycle whose two halves live in
+	// different packages). Suppression is captured at collection time, so
+	// Finish-time reports honour //lint: comments like Run-time ones.
+	Finish func(report func(Diagnostic))
 }
 
 // Pass carries one type-checked package through an analyzer.
@@ -140,7 +151,29 @@ func (a *Analyzer) suppressKey() string {
 
 // All returns every analyzer in the suite, in stable order.
 func All() []*Analyzer {
-	return []*Analyzer{Determinism, MapIter, GuardedField, ErrDrop}
+	return []*Analyzer{Determinism, MapIter, GuardedField, ErrDrop, LockOrder, HotAlloc, Immutable, GoLeak}
+}
+
+// BeginAll resets every analyzer's cross-package state. The driver calls
+// it once per invocation, before the first package.
+func BeginAll(analyzers []*Analyzer) {
+	for _, a := range analyzers {
+		if a.Begin != nil {
+			a.Begin()
+		}
+	}
+}
+
+// FinishAll collects every analyzer's whole-program findings, sorted.
+func FinishAll(analyzers []*Analyzer) []Diagnostic {
+	var out []Diagnostic
+	for _, a := range analyzers {
+		if a.Finish != nil {
+			a.Finish(func(d Diagnostic) { out = append(out, d) })
+		}
+	}
+	SortDiagnostics(out)
+	return out
 }
 
 // RunAnalyzers applies every analyzer whose Applies accepts the package
@@ -162,12 +195,19 @@ func RunAnalyzers(pass Pass, analyzers []*Analyzer) []Diagnostic {
 }
 
 // RunOne applies a single analyzer unconditionally (ignoring Applies) —
-// the entry point fixture tests use.
+// the entry point fixture tests use. Begin/Finish bracket the single
+// package, so cross-package analyzers report cycles found within it.
 func RunOne(pass Pass, a *Analyzer) []Diagnostic {
 	var out []Diagnostic
+	if a.Begin != nil {
+		a.Begin()
+	}
 	pass.analyzer = a
 	pass.report = func(d Diagnostic) { out = append(out, d) }
 	a.Run(&pass)
+	if a.Finish != nil {
+		a.Finish(func(d Diagnostic) { out = append(out, d) })
+	}
 	SortDiagnostics(out)
 	return out
 }

@@ -1,0 +1,64 @@
+// Package generics proves the loader and every analyzer handle type
+// parameters: generic types with guarded fields, generic hot paths, and
+// instantiations must neither crash the type-checked walk nor produce
+// false positives.
+package generics
+
+import "sync"
+
+// Cache is a generic mutex-guarded map.
+type Cache[K comparable, V any] struct {
+	mu sync.Mutex
+	m  map[K]V // guarded by mu
+}
+
+// NewCache builds an empty cache.
+func NewCache[K comparable, V any]() *Cache[K, V] {
+	return &Cache[K, V]{m: map[K]V{}}
+}
+
+// Get reads under the lock.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.m[k]
+	return v, ok
+}
+
+// Put writes under the lock.
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.m[k] = v
+}
+
+// Map projects a slice through f with a presized output.
+func Map[T, U any](in []T, f func(T) U) []U {
+	out := make([]U, 0, len(in))
+	for _, v := range in {
+		out = append(out, f(v))
+	}
+	return out
+}
+
+// Sum is a generic hot path: the reduction must not false-positive on
+// instantiated type parameters.
+//
+//lint:hotpath fixture: generic reducer on the measured path
+func Sum[T ~int | ~float64](in []T) T {
+	var tot T
+	for _, v := range in {
+		tot += v
+	}
+	return tot
+}
+
+// useInstantiations exercises concrete instantiations so the analyzers
+// see instantiated types, not just the generic declarations.
+func useInstantiations() (int, float64) {
+	c := NewCache[string, int]()
+	c.Put("a", 1)
+	a, _ := c.Get("a")
+	doubled := Map([]int{1, 2, 3}, func(v int) int { return v * 2 })
+	return a + Sum(doubled), Sum([]float64{1.5, 2.5})
+}

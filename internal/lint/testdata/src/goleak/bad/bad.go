@@ -1,0 +1,34 @@
+// Package bad starts goroutines with no visible shutdown tracking: a
+// fire-and-forget literal, a named call with nothing plumbed through, and
+// a literal that loops forever touching no channel, context, or
+// WaitGroup.
+package bad
+
+// counter is shared mutable state a leaked goroutine keeps touching.
+type counter struct {
+	n int
+}
+
+// spin starts an infinite goroutine nothing can stop.
+func spin(c *counter) {
+	go func() { // want `no visible shutdown tracking`
+		for {
+			c.n++
+		}
+	}()
+}
+
+// fire launches a named worker with no WaitGroup, channel, or context.
+func fire() {
+	go work() // want `no visible shutdown tracking`
+}
+
+func work() {}
+
+// double leaks two at once.
+func double(c *counter) {
+	go func() { // want `no visible shutdown tracking`
+		c.n = 0
+	}()
+	go work() // want `no visible shutdown tracking`
+}

@@ -1,0 +1,59 @@
+// Package good ties every goroutine to a tracked shutdown path: a
+// WaitGroup, a done channel, a context, or a result channel someone
+// drains — plus one justified bounded fire-and-forget.
+package good
+
+import (
+	"context"
+	"sync"
+)
+
+// tracked closes a done channel the spawner waits on.
+func tracked() {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+	}()
+	<-done
+}
+
+// pooled adds to a WaitGroup before spawning a named worker that carries
+// it.
+func pooled() {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go worker(&wg)
+	wg.Wait()
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+// resulted sends its one result on a channel the caller drains.
+func resulted() chan int {
+	ch := make(chan int, 1)
+	go func() {
+		ch <- 42
+	}()
+	return ch
+}
+
+// svc wires a context through its loop.
+type svc struct{}
+
+func (s *svc) loop(ctx context.Context) {
+	<-ctx.Done()
+}
+
+// start hands the loop its cancellation context.
+func (s *svc) start(ctx context.Context) {
+	go s.loop(ctx)
+}
+
+// oneshot is a justified bounded goroutine: it exits after one call.
+func oneshot() {
+	go beat() //lint:goleak fixture: bounded, exits after one beat
+}
+
+func beat() {}

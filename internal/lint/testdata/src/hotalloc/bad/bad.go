@@ -1,0 +1,93 @@
+// Package bad seeds every hotalloc violation inside //lint:hotpath
+// functions: fmt calls, map allocation (literal and make), heap-escaping
+// &composite and new, un-preallocated loop appends, and interface boxing.
+// The same patterns in unannotated functions stay silent — the analyzer
+// is scoped to declared hot paths.
+package bad
+
+import (
+	"fmt"
+	"sort"
+)
+
+// score is a toy record.
+type score struct {
+	id string
+	v  float64
+}
+
+// render formats on the hot path through fmt.
+//
+//lint:hotpath fixture: measured formatter
+func render(s score) string {
+	return fmt.Sprintf("%s=%f", s.id, s.v) // want `fmt.Sprintf allocates`
+}
+
+// index allocates a map literal per call.
+//
+//lint:hotpath fixture: measured indexer
+func index(ss []score) map[string]float64 {
+	out := map[string]float64{} // want `map literal allocates`
+	for _, s := range ss {
+		out[s.id] = s.v
+	}
+	return out
+}
+
+// index2 allocates via make(map) per call.
+//
+//lint:hotpath fixture: measured indexer
+func index2(ss []score) map[string]float64 {
+	out := make(map[string]float64, len(ss)) // want `make\(map\) allocates`
+	for _, s := range ss {
+		out[s.id] = s.v
+	}
+	return out
+}
+
+// box escapes a composite literal to the heap.
+//
+//lint:hotpath fixture: measured copier
+func box(s score) *score {
+	return &score{id: s.id, v: s.v} // want `&composite literal escapes`
+}
+
+// fresh heap-allocates with new.
+//
+//lint:hotpath fixture: measured allocator
+func fresh() *score {
+	return new(score) // want `new\(T\) heap-allocates`
+}
+
+// ids grows an unsized slice inside the loop.
+//
+//lint:hotpath fixture: measured projection
+func ids(ss []score) []string {
+	var out []string
+	for _, s := range ss {
+		out = append(out, s.id) // want `un-preallocated slice`
+	}
+	return out
+}
+
+// sortScores boxes the slice into sort.Slice's any parameter.
+//
+//lint:hotpath fixture: measured sort
+func sortScores(ss []score) {
+	sort.Slice(ss, func(i, j int) bool { return ss[i].v < ss[j].v }) // want `boxes it on hot path`
+}
+
+// coldRender repeats every pattern unannotated: hotalloc must not fire
+// outside declared hot paths.
+func coldRender(ss []score) string {
+	m := map[string]float64{}
+	var lines []string
+	for _, s := range ss {
+		m[s.id] = s.v
+		lines = append(lines, fmt.Sprintf("%s=%f", s.id, s.v))
+	}
+	sort.Strings(lines)
+	p := new(score)
+	_ = p
+	return fmt.Sprint(lines)
+}

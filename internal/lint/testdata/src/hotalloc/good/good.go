@@ -1,0 +1,73 @@
+// Package good is the compliant twin of the hotalloc bad fixture: the
+// same hot paths written allocation-free — strconv appends, preallocated
+// and reused buffers, comparator sorts without interface boxing — plus a
+// justified cold-branch fmt call.
+package good
+
+import (
+	"fmt"
+	"slices"
+	"strconv"
+)
+
+// score is a toy record.
+type score struct {
+	id string
+	v  float64
+}
+
+// renderer reuses one scratch buffer across calls.
+type renderer struct {
+	buf []byte
+}
+
+// render appends with strconv into the reused buffer.
+//
+//lint:hotpath fixture: measured formatter
+func (r *renderer) render(s score) string {
+	buf := r.buf[:0]
+	buf = append(buf, s.id...)
+	buf = append(buf, '=')
+	buf = strconv.AppendFloat(buf, s.v, 'f', -1, 64)
+	r.buf = buf
+	return string(buf)
+}
+
+// ids presizes the output slice before the loop.
+//
+//lint:hotpath fixture: measured projection
+func ids(ss []score) []string {
+	out := make([]string, 0, len(ss))
+	for _, s := range ss {
+		out = append(out, s.id)
+	}
+	return out
+}
+
+// sortScores sorts with a typed comparator — no any parameter, no boxing.
+//
+//lint:hotpath fixture: measured sort
+func sortScores(ss []score) {
+	slices.SortFunc(ss, func(a, b score) int {
+		switch {
+		case a.v < b.v:
+			return -1
+		case a.v > b.v:
+			return 1
+		}
+		return 0
+	})
+}
+
+// lookup validates input and formats only on the cold error branch,
+// justified inline.
+//
+//lint:hotpath fixture: measured lookup
+func lookup(ss []score, id string) (float64, error) {
+	for _, s := range ss {
+		if s.id == id {
+			return s.v, nil
+		}
+	}
+	return 0, fmt.Errorf("no score %q", id) //lint:hotalloc cold miss path, fixture
+}

@@ -1,0 +1,51 @@
+// Package bad mutates a type annotated immutable after publish in every
+// way the analyzer tracks: direct field writes, compound assignment and
+// increment, slice-element and map writes reached through a frozen field,
+// and a write through a nested pointer field.
+package bad
+
+// frozen is a published record shared by concurrent readers.
+//
+// frozen is immutable after publish.
+type frozen struct {
+	name string
+	hits int
+	vals []float64
+	tags map[string]bool
+	next *frozen
+}
+
+// mutable is not annotated: writes to it must stay silent.
+type mutable struct {
+	name string
+}
+
+// rename writes a field directly.
+func rename(f *frozen, n string) {
+	f.name = n // want `mutates a type declared immutable`
+}
+
+// bump increments a field.
+func bump(f *frozen) {
+	f.hits++ // want `mutates a type declared immutable`
+}
+
+// set writes a slice element through a frozen field.
+func set(f *frozen, i int, v float64) {
+	f.vals[i] = v // want `mutates a type declared immutable`
+}
+
+// tag writes a map entry through a frozen field.
+func tag(f *frozen, k string) {
+	f.tags[k] = true // want `mutates a type declared immutable`
+}
+
+// relink writes through a nested frozen pointer.
+func relink(f *frozen, n string) {
+	f.next.name = n // want `mutates a type declared immutable`
+}
+
+// retitle writes the unannotated twin — no finding.
+func retitle(m *mutable, n string) {
+	m.name = n
+}

@@ -1,0 +1,38 @@
+// Package good is the compliant twin of the immutable bad fixture: the
+// annotated type is written only inside a justified constructor (plus one
+// justified pre-publish line), and updates build fresh values instead of
+// mutating published ones.
+package good
+
+// frozen is a published record shared by concurrent readers.
+//
+// frozen is immutable after publish.
+type frozen struct {
+	name string
+	hits int
+	vals []float64
+}
+
+// newFrozen is the constructor: every write lands before the value is
+// returned, which is the publish point.
+//
+//lint:immutable constructor; the value is unpublished until returned
+func newFrozen(name string, vals []float64) *frozen {
+	f := &frozen{}
+	f.name = name
+	f.vals = vals
+	return f
+}
+
+// stamp performs one deliberate pre-publish write, justified on its line.
+func stamp(f *frozen, hits int) *frozen {
+	f.hits = hits //lint:immutable fixture: caller passes an unpublished value
+	return f
+}
+
+// withName returns a fresh value instead of mutating the published one —
+// the copy-on-write idiom the annotation demands.
+func withName(f *frozen, n string) *frozen {
+	nf := frozen{name: n, hits: f.hits, vals: f.vals}
+	return &nf
+}

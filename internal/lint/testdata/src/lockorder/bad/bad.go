@@ -1,0 +1,105 @@
+// Package bad seeds every lockorder violation: a two-lock cycle taken
+// directly, the same cycle closed through a method call, and each class of
+// blocking operation performed while a mutex is held.
+package bad
+
+import (
+	"net"
+	"os"
+	"sync"
+)
+
+// pair holds two locks that two functions acquire in opposite orders.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// lockAB takes a then b.
+func lockAB(p *pair) {
+	p.a.Lock()
+	p.b.Lock() // want `lock-order cycle`
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// lockBA takes b then a — the opposite order, closing the cycle.
+func lockBA(p *pair) {
+	p.b.Lock()
+	p.a.Lock() // want `lock-order cycle`
+	p.a.Unlock()
+	p.b.Unlock()
+}
+
+// inter closes a cycle through a call: lockCthenD holds c and calls a
+// method that takes d, while lockDthenC takes d then c directly.
+type inter struct {
+	c sync.Mutex
+	d sync.Mutex
+}
+
+// lockD takes and releases d.
+func (i *inter) lockD() {
+	i.d.Lock()
+	i.d.Unlock()
+}
+
+// lockCthenD acquires d through lockD while holding c.
+func (i *inter) lockCthenD() {
+	i.c.Lock()
+	i.lockD() // want `lock-order cycle`
+	i.c.Unlock()
+}
+
+// lockDthenC takes the two locks in the opposite order.
+func (i *inter) lockDthenC() {
+	i.d.Lock()
+	i.c.Lock() // want `lock-order cycle`
+	i.c.Unlock()
+	i.d.Unlock()
+}
+
+// q performs blocking operations under its mutex.
+type q struct {
+	mu    sync.Mutex
+	ch    chan int
+	f     *os.File
+	cond  *sync.Cond
+	ready bool
+}
+
+// send blocks on a channel send while holding mu.
+func (q *q) send(v int) {
+	q.mu.Lock()
+	q.ch <- v // want `channel send while holding mutex`
+	q.mu.Unlock()
+}
+
+// recv blocks on a channel receive with mu held to function end.
+func (q *q) recv() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return <-q.ch // want `channel receive while holding mutex`
+}
+
+// flush fsyncs while holding mu.
+func (q *q) flush() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.f.Sync() // want `fsync`
+}
+
+// waitNaked calls Cond.Wait with no predicate re-check loop.
+func (q *q) waitNaked() {
+	q.cond.Wait() // want `Cond.Wait outside a for loop`
+}
+
+// dial makes a network call while holding mu.
+func (q *q) dial() {
+	q.mu.Lock()
+	conn, err := net.Dial("tcp", "localhost:1") // want `network call net.Dial`
+	q.mu.Unlock()
+	if err == nil {
+		conn.Close()
+	}
+}

@@ -1,0 +1,74 @@
+// Package good is the compliant twin of the lockorder bad fixture: a
+// single global acquisition order, Cond.Wait in a predicate loop,
+// channel operations made non-blocking with a default clause, and a
+// justified fsync on a quiesced path.
+package good
+
+import (
+	"os"
+	"sync"
+)
+
+// pair holds two locks every function acquires in the same order.
+type pair struct {
+	a sync.Mutex
+	b sync.Mutex
+}
+
+// both takes a then b.
+func both(p *pair) {
+	p.a.Lock()
+	p.b.Lock()
+	p.b.Unlock()
+	p.a.Unlock()
+}
+
+// bothAgain takes a then b too — same order, no cycle.
+func bothAgain(p *pair) {
+	p.a.Lock()
+	defer p.a.Unlock()
+	p.b.Lock()
+	defer p.b.Unlock()
+}
+
+// q moves its blocking work outside the critical section.
+type q struct {
+	mu    sync.Mutex
+	ch    chan int
+	f     *os.File
+	cond  *sync.Cond
+	ready bool
+}
+
+// send snapshots under the lock and sends after releasing it.
+func (q *q) send(v int) {
+	q.mu.Lock()
+	q.mu.Unlock()
+	q.ch <- v
+}
+
+// trySend is non-blocking: the select has a default clause.
+func (q *q) trySend(v int) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	select {
+	case q.ch <- v:
+		return true
+	default:
+		return false
+	}
+}
+
+// flush fsyncs under mu on a world-quiesced path, justified inline.
+func (q *q) flush() error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.f.Sync() //lint:lockorder fixture: callers quiesce the world first
+}
+
+// waitReady re-checks its predicate in a loop, as a woken waiter must.
+func (q *q) waitReady() {
+	for !q.ready {
+		q.cond.Wait()
+	}
+}

@@ -1,0 +1,36 @@
+// Package scope proves //lint: suppressions are scoped: a justification
+// applies to its own line or, for analyzers that honour doc comments, to
+// the one function it documents — never to the rest of the file.
+//
+//lint:immutable this comment floats at file level and must suppress NOTHING below
+package scope
+
+// rec is a published record.
+//
+// rec is immutable after publish.
+type rec struct {
+	n int
+}
+
+// build is the constructor; its doc-comment justification blesses only
+// this function's writes.
+//
+//lint:immutable constructor; unpublished until returned
+func build(v int) *rec {
+	r := &rec{}
+	r.n = v
+	return r
+}
+
+// mutate is NOT blessed: neither the file-level comment above nor build's
+// doc comment reaches here.
+func mutate(r *rec, v int) {
+	r.n = v // want `mutates a type declared immutable`
+}
+
+// reset shows line scoping: the first write is justified, the second —
+// one line down — is not.
+func reset(r *rec) {
+	r.n = 0 //lint:immutable fixture: line-scoped justification
+	r.n++   // want `mutates a type declared immutable`
+}

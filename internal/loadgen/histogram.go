@@ -62,6 +62,8 @@ func bucketLow(i int) uint64 {
 }
 
 // Record adds one sample. Negative samples clamp to zero.
+//
+//lint:hotpath called once per load-test request; fixed-size buckets, no allocation
 func (h *Histogram) Record(v int64) {
 	u := uint64(0)
 	if v > 0 {

@@ -7,6 +7,7 @@ package registry
 // WAL are measured against the exact architecture they replaced.
 
 import (
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"sync"
@@ -47,7 +48,8 @@ func (u *unshardedStore) submit(fb core.Feedback) error {
 		if err != nil {
 			return err
 		}
-		if _, err := u.f.Write(encodeFrame(u.seq, payload)); err != nil {
+		frame := appendFrame(nil, u.seq, crc32.ChecksumIEEE(payload), payload)
+		if _, err := u.f.Write(frame); err != nil {
 			return err
 		}
 		if err := u.f.Sync(); err != nil {

@@ -203,6 +203,8 @@ func (s *Store) countQuery() { s.messages.Add(1) }
 // ForService returns all feedback about the service in submission order.
 // The returned slice is a shared, immutable view — treat it as read-only
 // (appending is safe: capacity is clipped).
+//
+//lint:hotpath per-request accessor: a map lookup on the current view, no allocation
 func (s *Store) ForService(id core.ServiceID) []core.Feedback {
 	s.countQuery()
 	return clip(s.currentView().byService[id])
@@ -210,6 +212,8 @@ func (s *Store) ForService(id core.ServiceID) []core.Feedback {
 
 // ForConsumer returns all feedback submitted by the consumer in order.
 // The returned slice is shared and read-only, as in ForService.
+//
+//lint:hotpath per-request accessor, as ForService
 func (s *Store) ForConsumer(id core.ConsumerID) []core.Feedback {
 	s.countQuery()
 	return clip(s.currentView().byConsumer[id])
@@ -217,6 +221,8 @@ func (s *Store) ForConsumer(id core.ConsumerID) []core.Feedback {
 
 // ForPair returns the feedback consumer has submitted about service.
 // The returned slice is shared and read-only, as in ForService.
+//
+//lint:hotpath per-request accessor, as ForService
 func (s *Store) ForPair(consumer core.ConsumerID, service core.ServiceID) []core.Feedback {
 	s.countQuery()
 	return clip(s.currentView().byPair[pairKey{consumer, service}])
@@ -240,6 +246,8 @@ func (s *Store) Consumers() []core.ConsumerID {
 // "new experiences are more important than old ones". The matrix is the
 // copy-on-write view's own (rebuilt incrementally, never in place): treat
 // it as read-only.
+//
+//lint:hotpath per-request accessor: hands out the view's prebuilt matrix
 func (s *Store) RatingMatrix() map[core.ConsumerID]map[core.ServiceID]float64 {
 	s.countQuery()
 	return s.currentView().matrix
@@ -247,10 +255,13 @@ func (s *Store) RatingMatrix() map[core.ConsumerID]map[core.ServiceID]float64 {
 
 // FacetSeries returns the chronological values of one facet rating for a
 // service, across all consumers.
+//
+//lint:hotpath feeds trend scoring per ranked service; one sized allocation
 func (s *Store) FacetSeries(id core.ServiceID, facet core.Facet) []float64 {
 	s.countQuery()
-	var out []float64
-	for _, fb := range s.currentView().byService[id] {
+	series := s.currentView().byService[id]
+	out := make([]float64, 0, len(series))
+	for _, fb := range series {
 		if v, ok := fb.Ratings[facet]; ok {
 			out = append(out, v)
 		}

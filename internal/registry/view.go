@@ -15,6 +15,11 @@ import (
 // per-key slices are extended in place, which is safe because refreshes
 // are serialized by Store.viewMu and published views are never mutated
 // within a reader's observed bounds).
+//
+// View is immutable after publish: once stored in Store.view it is shared
+// lock-free by every reader, and only the buildView/rebuildView
+// constructors (which run before the Store.view.Store publish) may write
+// its fields. wsxlint's immutable analyzer enforces this.
 type View struct {
 	version uint64 // Store.version at build time
 	gen     uint64 // Store.gen at build time
@@ -65,6 +70,9 @@ func (s *Store) currentView() *View {
 // buildView assembles the next view. It reads the store version first and
 // collects shard deltas after, so the resulting view covers at least that
 // version (a record's shard apply happens-before its version bump).
+//
+//lint:immutable buildView is the constructor: every write lands on nv
+// before currentView publishes it via Store.view.Store.
 func (s *Store) buildView(prev *View) *View {
 	version := s.version.Load()
 	gen := s.gen.Load()
@@ -157,6 +165,8 @@ func (s *Store) buildView(prev *View) *View {
 // rebuildView constructs a view from scratch out of all shard records.
 // lens must have been captured from the shards; only the first lens[i]
 // records of each shard are read (that region is append-only).
+//
+//lint:immutable rebuildView is a constructor: nv is unpublished until returned.
 func (s *Store) rebuildView(version, gen uint64, lens [shardCount]int) *View {
 	var all []record
 	for i := range s.shards {

@@ -132,7 +132,13 @@ type walWriter struct {
 // batch may already be on disk, so retrying in place could interleave
 // frames out of order. Every queued and future commit then fails with the
 // same error; recovery (Open) handles the torn tail.
+//
+//lint:hotpath commit is on every Submit; only the seq assignment and the
+// frame append may run under the queue mutex.
 func (w *walWriter) commit(seqSrc *atomic.Uint64, payload []byte) (uint64, error) {
+	// The checksum covers only the payload, so it can be computed before
+	// taking the queue lock; only the sequence number needs the lock.
+	crc := crc32.ChecksumIEEE(payload)
 	w.mu.Lock()
 	if w.broken != nil {
 		err := w.broken
@@ -140,7 +146,7 @@ func (w *walWriter) commit(seqSrc *atomic.Uint64, payload []byte) (uint64, error
 		return 0, err
 	}
 	seq := seqSrc.Add(1)
-	w.pending = append(w.pending, encodeFrame(seq, payload)...)
+	w.pending = appendFrame(w.pending, seq, crc, payload)
 	w.pendingFrames++
 	w.pendingTop = seq
 	if w.flushing {
@@ -218,7 +224,7 @@ func (w *walWriter) sync() error {
 		w.pending = w.pending[:0]
 		w.pendingFrames = 0
 	}
-	if err := w.f.Sync(); err != nil {
+	if err := w.f.Sync(); err != nil { //lint:lockorder world quiesced: callers hold Store.state exclusively, so no other locker can block on w.mu
 		w.broken = fmt.Errorf("registry: wal fsync: %w", err)
 		return w.broken
 	}
@@ -371,10 +377,29 @@ func (s *Store) replayWAL(path string, snapLastSeq uint64, rec *Recovery) error 
 	return nil
 }
 
-// encodeFrame renders one WAL frame: prefix, sequence number, CRC-32 of
-// the payload, payload, newline.
-func encodeFrame(seq uint64, payload []byte) []byte {
-	return []byte(fmt.Sprintf("%s %d %08x %s\n", framePrefix, seq, crc32.ChecksumIEEE(payload), payload))
+// appendFrame renders one WAL frame — prefix, sequence number, CRC-32 of
+// the payload as fixed-width hex, payload, newline — appending into dst.
+// It replaced a fmt.Sprintf-based encoder that allocated a fresh []byte
+// per frame while commit held the queue mutex; appending straight into
+// the pending buffer with strconv keeps the critical section to the
+// bytes themselves.
+//
+//lint:hotpath runs under walWriter.mu on every Submit
+func appendFrame(dst []byte, seq uint64, crc uint32, payload []byte) []byte {
+	dst = append(dst, framePrefix...)
+	dst = append(dst, ' ')
+	dst = strconv.AppendUint(dst, seq, 10)
+	dst = append(dst, ' ')
+	const hexdigits = "0123456789abcdef"
+	var hex [8]byte
+	for i := 7; i >= 0; i-- {
+		hex[i] = hexdigits[crc&0xf]
+		crc >>= 4
+	}
+	dst = append(dst, hex[:]...)
+	dst = append(dst, ' ')
+	dst = append(dst, payload...)
+	return append(dst, '\n')
 }
 
 // parseFrame decodes and checksum-verifies one frame line (without its
@@ -474,12 +499,14 @@ func (s *Store) snapshotLocked() error {
 		// Snapshot frames re-number densely from lastSeq-len+1..lastSeq;
 		// only the final sequence number matters for replay skipping.
 		base := lastSeq - uint64(len(log))
+		var frame []byte
 		for i, fb := range log {
 			payload, err := marshalRecord(fb)
 			if err != nil {
 				return err
 			}
-			if _, err := bw.Write(encodeFrame(base+uint64(i)+1, payload)); err != nil {
+			frame = appendFrame(frame[:0], base+uint64(i)+1, crc32.ChecksumIEEE(payload), payload)
+			if _, err := bw.Write(frame); err != nil {
 				return err
 			}
 		}

@@ -127,6 +127,8 @@ func NewBreaker(cfg BreakerConfig, clock simclock.Clock, rng *rand.Rand) *Breake
 // when the cooldown has elapsed. Callers that get true must report the
 // call's outcome via Success or Failure; callers that get false must not
 // touch the dependency (that is the point).
+//
+//lint:hotpath gate on every guarded call; a short critical section, no allocation
 func (b *Breaker) Allow() bool {
 	b.mu.Lock()
 	defer b.mu.Unlock()

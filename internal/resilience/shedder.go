@@ -140,6 +140,8 @@ func NewShedder(cfg ShedderConfig, clock simclock.Clock) *Shedder {
 // Admit decides one request: true spends a token, false sheds the
 // request (and is the caller's cue to answer 429/503 immediately rather
 // than queue).
+//
+//lint:hotpath first gate on every wsxd request; token math only, no allocation
 func (s *Shedder) Admit(p Priority) bool {
 	if p < Critical || p >= numPriorities {
 		p = Low

@@ -24,6 +24,7 @@ package cf
 import (
 	"fmt"
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
@@ -386,6 +387,9 @@ type neighbor struct {
 // consumer's rating of the subject from similar consumers; without one it
 // answers the item's shrunken mean (the global fallback Manikrao &
 // Prabhakar use before enough personal history exists).
+//
+//lint:hotpath the steady path reuses nbScratch and the epoch caches;
+// slices.SortFunc avoids sort.Slice's interface boxing per call.
 func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
@@ -427,11 +431,21 @@ func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	if len(nbs) == 0 {
 		return m.itemMeanCached(q.Subject)
 	}
-	sort.Slice(nbs, func(i, j int) bool {
-		if nbs[i].sim != nbs[j].sim {
-			return nbs[i].sim > nbs[j].sim
+	// Descending similarity, id tie-break — a total order, so the result
+	// is byte-identical to the sort.Slice this replaced (which boxed nbs
+	// into an any per call).
+	slices.SortFunc(nbs, func(a, b neighbor) int {
+		switch {
+		case a.sim > b.sim:
+			return -1
+		case a.sim < b.sim:
+			return 1
+		case a.id < b.id:
+			return -1
+		case a.id > b.id:
+			return 1
 		}
-		return nbs[i].id < nbs[j].id
+		return 0
 	})
 	if len(nbs) > m.k {
 		nbs = nbs[:m.k]
