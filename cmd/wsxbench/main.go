@@ -18,6 +18,11 @@
 //	wsxbench -out -                    # writes the JSON to stdout
 //	wsxbench -benchtime 2s             # longer microbenchmark runs
 //	wsxbench -diff old.json new.json   # flag >10% hot-path regressions
+//	wsxbench -jobs incremental -merge -out BENCH_PR8.json
+//	                                   # PR 8: run only the incremental
+//	                                   # trust sweep, merge into the record
+//	wsxbench -noise a.json b.json      # print the max fractional delta
+//	                                   # between two runs (the noise floor)
 package main
 
 import (
@@ -46,30 +51,73 @@ func main() {
 	out := flag.String("out", "BENCH_PR6.json", "output path, '-' for stdout")
 	benchtime := flag.String("benchtime", "", "benchtime for the mechanism microbenchmarks (harness default when empty)")
 	diff := flag.Bool("diff", false, "compare two BENCH_PR*.json records (old new) and flag >tolerance hot-path regressions")
+	noise := flag.Bool("noise", false, "print the max fractional hot-path delta between two records (old new) — the run-to-run noise floor")
 	tolerance := flag.Float64("tolerance", 0.10, "fractional regression tolerance for -diff")
+	hot := flag.String("hot", "default", "hot-path set for -diff/-noise: default or incremental")
+	jobsName := flag.String("jobs", "default", "benchmark job set: default (the PR 6 record), incremental (the PR 8 trust sweep), or incremental-gate (warm path only, small pops — the CI gate)")
+	merge := flag.Bool("merge", false, "merge results into an existing record instead of replacing its benchmarks")
 	flag.Parse()
-	if *diff {
+	if *diff || *noise {
 		if flag.NArg() != 2 {
-			fmt.Fprintln(os.Stderr, "wsxbench: -diff needs exactly two record paths (old new)")
+			fmt.Fprintln(os.Stderr, "wsxbench: -diff/-noise need exactly two record paths (old new)")
 			os.Exit(2)
 		}
-		code, err := runDiff(flag.Arg(0), flag.Arg(1), *tolerance)
+		hotPaths, err := hotSet(*hot)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wsxbench:", err)
+			os.Exit(2)
+		}
+		var code int
+		if *noise {
+			code, err = runNoise(flag.Arg(0), flag.Arg(1), hotPaths)
+		} else {
+			code, err = runDiff(flag.Arg(0), flag.Arg(1), hotPaths, *tolerance)
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "wsxbench:", err)
 			os.Exit(2)
 		}
 		os.Exit(code)
 	}
-	if err := run(*out, *benchtime); err != nil {
+	if err := run(*out, *benchtime, *jobsName, *merge); err != nil {
 		fmt.Fprintln(os.Stderr, "wsxbench:", err)
 		os.Exit(1)
 	}
 }
 
+// hotSet resolves the -hot flag to a guarded-path list.
+func hotSet(name string) ([]benchfmt.HotPath, error) {
+	switch name {
+	case "default":
+		return benchfmt.DefaultHotPaths, nil
+	case "incremental":
+		return benchfmt.IncrementalHotPaths, nil
+	}
+	return nil, fmt.Errorf("unknown hot-path set %q (want default or incremental)", name)
+}
+
+// runNoise prints the largest fractional hot-path delta between two
+// records, in either direction — back-to-back runs of identical code make
+// this the machine's noise floor, which bench_incremental_diff.sh folds
+// into its blocking tolerance.
+func runNoise(aPath, bPath string, hot []benchfmt.HotPath) (int, error) {
+	a, err := benchfmt.Load(aPath)
+	if err != nil {
+		return 0, err
+	}
+	b, err := benchfmt.Load(bPath)
+	if err != nil {
+		return 0, err
+	}
+	fmt.Printf("%.4f\n", benchfmt.MaxDelta(a, b, hot))
+	return 0, nil
+}
+
 // runDiff loads two records and prints regressions on the named hot
-// paths. Exit code 1 means "regressions found" so CI can surface the step
-// as failed while keeping it non-blocking (continue-on-error).
-func runDiff(oldPath, newPath string, tolerance float64) (int, error) {
+// paths. Exit code 1 means "regressions found"; CI keeps the default-set
+// diff non-blocking (continue-on-error) while the incremental-set diff
+// blocks.
+func runDiff(oldPath, newPath string, hot []benchfmt.HotPath, tolerance float64) (int, error) {
 	oldDoc, err := benchfmt.Load(oldPath)
 	if err != nil {
 		return 0, err
@@ -78,7 +126,7 @@ func runDiff(oldPath, newPath string, tolerance float64) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	regs := benchfmt.Diff(oldDoc, newDoc, benchfmt.DefaultHotPaths, tolerance)
+	regs := benchfmt.Diff(oldDoc, newDoc, hot, tolerance)
 	if len(regs) == 0 {
 		fmt.Printf("wsxbench diff: no hot-path regressions > %.0f%% (%s -> %s)\n",
 			tolerance*100, oldPath, newPath)
@@ -92,30 +140,68 @@ func runDiff(oldPath, newPath string, tolerance float64) (int, error) {
 	return 1, nil
 }
 
-func run(out, benchtime string) error {
-	jobs := []job{
-		// Whole-suite wall-clock (sequential vs parallel) plus the C4
-		// critical-path experiment; one iteration each — these run full
-		// seeded experiment suites per op.
-		{pkg: ".", bench: "^(BenchmarkSuiteSequential|BenchmarkSuiteParallel|BenchmarkClaimPersonalization)$", benchtime: "1x"},
-		// The cf mechanism microbenchmarks the epoch caches target.
-		{pkg: "./internal/trust/cf", bench: "^(BenchmarkScorePearson|BenchmarkScoreCosine|BenchmarkScoreSelectionSweep|BenchmarkItemMean|BenchmarkSubmit)$", benchtime: benchtime},
-		// PR 6: sharded registry submit paths vs the committed unsharded
-		// baseline, swept across GOMAXPROCS. The durable pair is the
-		// group-commit fsync-amortization claim; keep iteration counts
-		// fixed so runs are comparable.
-		{pkg: "./internal/registry", bench: "^(BenchmarkSubmitMemSharded|BenchmarkSubmitMemUnsharded|BenchmarkSubmitDurableGroupCommit|BenchmarkSubmitDurableUnsharded|BenchmarkRatingMatrixCOW|BenchmarkForServiceView)$", benchtime: "2000x", cpu: "1,2,4"},
+// jobSet returns the named job list and the record description it writes.
+func jobSet(name, benchtime string) ([]job, string, error) {
+	switch name {
+	case "default":
+		return []job{
+			// Whole-suite wall-clock (sequential vs parallel) plus the C4
+			// critical-path experiment; one iteration each — these run full
+			// seeded experiment suites per op.
+			{pkg: ".", bench: "^(BenchmarkSuiteSequential|BenchmarkSuiteParallel|BenchmarkClaimPersonalization)$", benchtime: "1x"},
+			// The cf mechanism microbenchmarks the epoch caches target.
+			{pkg: "./internal/trust/cf", bench: "^(BenchmarkScorePearson|BenchmarkScoreCosine|BenchmarkScoreSelectionSweep|BenchmarkItemMean|BenchmarkSubmit)$", benchtime: benchtime},
+			// PR 6: sharded registry submit paths vs the committed unsharded
+			// baseline, swept across GOMAXPROCS. The durable pair is the
+			// group-commit fsync-amortization claim; keep iteration counts
+			// fixed so runs are comparable.
+			{pkg: "./internal/registry", bench: "^(BenchmarkSubmitMemSharded|BenchmarkSubmitMemUnsharded|BenchmarkSubmitDurableGroupCommit|BenchmarkSubmitDurableUnsharded|BenchmarkRatingMatrixCOW|BenchmarkForServiceView)$", benchtime: "2000x", cpu: "1,2,4"},
+		}, "wstrust benchmark record for PR 6 (sharded registry + group-commit WAL + wsxload); regenerate with `make bench-json` and `make loadtest`", nil
+	case "incremental":
+		return []job{
+			// PR 8: the warm-start submit+score unit of work across the
+			// population sweep. Fixed iteration counts keep runs comparable;
+			// the cold baseline is capped at one iteration because exact mode
+			// recomputes the full fixpoint per op (~200s at pop=100k).
+			{pkg: "./internal/trust/eigentrust", bench: "^BenchmarkIncrementalSubmitScore$", benchtime: "2000x"},
+			{pkg: "./internal/trust/eigentrust", bench: "^BenchmarkColdSubmitScore$", benchtime: "1x"},
+		}, "wstrust benchmark record for PR 8 (incremental trust: delta-propagated scoring with warm-start fixpoints); regenerate with `make bench-incremental`", nil
+	case "incremental-gate":
+		return []job{
+			// The CI regression gate's cheap subset: warm-start path only, at
+			// the populations whose setup is seconds, not minutes. The diff
+			// against the committed full-sweep record skips the rows absent
+			// here (pop=100000 and the cold baselines), so the gate stays
+			// fast while the record stays complete.
+			{pkg: "./internal/trust/eigentrust", bench: "^BenchmarkIncrementalSubmitScore$/^pop=(1000|10000)$", benchtime: "2000x"},
+		}, "wstrust incremental-trust gate run (transient; not a committed record)", nil
+	}
+	return nil, "", fmt.Errorf("unknown job set %q (want default, incremental, or incremental-gate)", name)
+}
+
+func run(out, benchtime, jobsName string, merge bool) error {
+	jobs, description, err := jobSet(jobsName, benchtime)
+	if err != nil {
+		return err
 	}
 	doc := benchfmt.Document{
-		Description: "wstrust benchmark record for PR 6 (sharded registry + group-commit WAL + wsxload); regenerate with `make bench-json` and `make loadtest`",
+		Description: description,
 		GoVersion:   runtime.Version(),
 		GOOS:        runtime.GOOS,
 		GOARCH:      runtime.GOARCH,
 		NumCPU:      runtime.NumCPU(),
 	}
-	// Keep load-test entries scripts/loadtest.sh already wrote to the file.
+	// Keep entries already in the output file: load tests always (written
+	// by scripts/loadtest.sh), prior benchmarks when merging (so a
+	// targeted job set refreshes only its own rows).
 	if prev, err := benchfmt.Load(out); err == nil {
 		doc.LoadTests = prev.LoadTests
+		if merge {
+			doc.Benchmarks = prev.Benchmarks
+			if prev.Description != "" {
+				doc.Description = prev.Description
+			}
+		}
 	} else if !errors.Is(err, fs.ErrNotExist) && out != "-" {
 		fmt.Fprintf(os.Stderr, "wsxbench: ignoring unreadable %s: %v\n", out, err)
 	}
@@ -124,13 +210,15 @@ func run(out, benchtime string) error {
 		if err != nil {
 			return err
 		}
-		doc.Benchmarks = append(doc.Benchmarks, results...)
+		doc.MergeBenchmarks(results)
 	}
 	return benchfmt.Save(out, doc)
 }
 
 func runJob(j job) ([]benchfmt.Result, error) {
-	args := []string{"test", "-run", "^$", "-bench", j.bench, "-benchmem"}
+	// The cold full-recompute baselines run minutes per op at the top of
+	// the population sweep; lift go test's default 10m ceiling.
+	args := []string{"test", "-run", "^$", "-bench", j.bench, "-benchmem", "-timeout", "60m"}
 	if j.benchtime != "" {
 		args = append(args, "-benchtime", j.benchtime)
 	}

@@ -1,0 +1,234 @@
+package main
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+
+	"wstrust/internal/registry"
+)
+
+// localTrustBody renders a /local-trust batch rating every catalog service
+// from a few consumers, with ratings varied by round so repeated batches
+// keep perturbing the trust matrix.
+func localTrustBody(services []string, round int) string {
+	var sb strings.Builder
+	sb.WriteString(`{"ratings":[`)
+	first := true
+	for i, svc := range services {
+		for c := 0; c < 3; c++ {
+			if !first {
+				sb.WriteString(",")
+			}
+			first = false
+			rating := 0.2 + 0.6*float64((i+c+round)%5)/4
+			fmt.Fprintf(&sb,
+				`{"consumer":"c%03d","service":"%s","provider":"p1","context":"compute","rating":%.2f}`,
+				c, svc, rating)
+		}
+	}
+	sb.WriteString("]}")
+	return sb.String()
+}
+
+// catalogServices lists the generated catalog's service IDs.
+func catalogServices(s *server) []string {
+	out := make([]string, len(s.catalog))
+	for i, c := range s.catalog {
+		out[i] = string(c.Service)
+	}
+	return out
+}
+
+// TestServerLocalTrustAndComputeStats drives the streaming update API end
+// to end on the incremental eigentrust mechanism: a bulk merge lands in
+// one group commit, and /compute-with-stats reports the warm-started
+// fixpoint's convergence alongside the scores.
+func TestServerLocalTrustAndComputeStats(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir(), func(cfg *serverConfig) {
+		cfg.Mech = "eigentrust"
+	})
+	h := s.routes()
+	services := catalogServices(s)
+
+	w := do(t, h, "POST", "/local-trust", localTrustBody(services, 0))
+	if w.Code != http.StatusOK {
+		t.Fatalf("local-trust = %d: %s", w.Code, w.Body)
+	}
+	m := decode(t, w)
+	if got := int(m["accepted"].(float64)); got != 3*len(services) {
+		t.Fatalf("accepted = %d, want %d", got, 3*len(services))
+	}
+	if got := s.store.Len(); got != 3*len(services) {
+		t.Fatalf("store records = %d, want %d", got, 3*len(services))
+	}
+
+	w = do(t, h, "GET", "/compute-with-stats", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("compute-with-stats = %d: %s", w.Code, w.Body)
+	}
+	m = decode(t, w)
+	if m["mechanism"] != "eigentrust" {
+		t.Fatalf("mechanism = %v, want eigentrust", m["mechanism"])
+	}
+	scores := m["scores"].([]any)
+	if len(scores) != len(services) {
+		t.Fatalf("scored %d services, want %d", len(scores), len(services))
+	}
+	for _, e := range scores {
+		row := e.(map[string]any)
+		if !row["known"].(bool) {
+			t.Fatalf("rated service unknown to the mechanism: %v", row)
+		}
+	}
+	stats := m["stats"].(map[string]any)
+	if stats["iterations"].(float64) <= 0 {
+		t.Fatalf("first compute reported no iterations: %v", stats)
+	}
+	if stats["warmStart"].(bool) {
+		t.Fatalf("first compute must be cold: %v", stats)
+	}
+
+	// A second merge then recompute must take the warm-started path.
+	if w = do(t, h, "POST", "/local-trust", localTrustBody(services, 1)); w.Code != http.StatusOK {
+		t.Fatalf("second local-trust = %d: %s", w.Code, w.Body)
+	}
+	w = do(t, h, "GET", "/compute-with-stats", "")
+	stats = decode(t, w)["stats"].(map[string]any)
+	if !stats["warmStart"].(bool) {
+		t.Fatalf("second compute must warm-start: %v", stats)
+	}
+	if stats["residual"].(float64) < 0 {
+		t.Fatalf("negative residual: %v", stats)
+	}
+}
+
+// TestServerComputeStatsBeta pins the default mechanism's contract: the
+// endpoint works, and stats is null because beta has no fixpoint.
+func TestServerComputeStatsBeta(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir(), nil)
+	h := s.routes()
+	w := do(t, h, "GET", "/compute-with-stats", "")
+	if w.Code != http.StatusOK {
+		t.Fatalf("compute-with-stats = %d: %s", w.Code, w.Body)
+	}
+	m := decode(t, w)
+	if m["mechanism"] != "beta" {
+		t.Fatalf("mechanism = %v, want beta", m["mechanism"])
+	}
+	if m["stats"] != nil {
+		t.Fatalf("beta must report stats: null, got %v", m["stats"])
+	}
+}
+
+// TestServerLocalTrustValidation pins the all-or-nothing intake contract:
+// malformed batches are 400s and leave both store and mechanism untouched.
+func TestServerLocalTrustValidation(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir(), func(cfg *serverConfig) {
+		cfg.Mech = "eigentrust"
+	})
+	h := s.routes()
+
+	cases := map[string]string{
+		"empty batch":    `{"ratings":[]}`,
+		"no body":        `{}`,
+		"bad rating":     `{"ratings":[{"consumer":"c1","service":"s1","rating":0.5},{"consumer":"c2","service":"s2","rating":7}]}`,
+		"missing fields": `{"ratings":[{"rating":0.5}]}`,
+		"unknown field":  `{"ratings":[{"consumer":"c1","service":"s1","rating":0.5,"bogus":1}]}`,
+	}
+	for name, body := range cases {
+		if w := do(t, h, "POST", "/local-trust", body); w.Code != http.StatusBadRequest {
+			t.Fatalf("%s = %d, want 400: %s", name, w.Code, w.Body)
+		}
+	}
+	if got := s.store.Len(); got != 0 {
+		t.Fatalf("rejected batches leaked %d records into the store", got)
+	}
+	if _, ok := s.mech.Score(scoreQuery("s1")); ok {
+		t.Fatal("rejected batch reached the mechanism")
+	}
+}
+
+// TestServerUnknownMechanism rejects construction with a clear error.
+func TestServerUnknownMechanism(t *testing.T) {
+	store, _, err := registry.Open(t.TempDir(), registry.WALOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := store.Close(); err != nil {
+			t.Error(err)
+		}
+	}()
+	if _, err := newServer(serverConfig{Store: store, Mech: "voodoo"}); err == nil {
+		t.Fatal("unknown mechanism must fail construction")
+	}
+}
+
+// TestServerLocalTrustComputeHammer interleaves bulk /local-trust merges
+// with /compute-with-stats and /rank reads from many goroutines — the
+// race-detector proof that the batch intake path, the incremental
+// mechanism state, and the snapshot cache compose safely.
+func TestServerLocalTrustComputeHammer(t *testing.T) {
+	s, _ := newTestServer(t, t.TempDir(), func(cfg *serverConfig) {
+		cfg.Mech = "eigentrust"
+		cfg.Bulkhead = 16
+		cfg.ShedRate = 1e9 // the hammer tests data-path races, not shedding
+	})
+	h := s.routes()
+	services := catalogServices(s)
+
+	const (
+		writers = 4
+		readers = 4
+		rounds  = 12
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				rr := do(t, h, "POST", "/local-trust", localTrustBody(services, w*rounds+r))
+				if rr.Code != http.StatusOK {
+					t.Errorf("writer %d round %d: %d %s", w, r, rr.Code, rr.Body)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for r := 0; r < rounds; r++ {
+				rr := do(t, h, "GET", "/compute-with-stats", "")
+				if rr.Code != http.StatusOK {
+					t.Errorf("stats reader %d round %d: %d %s", g, r, rr.Code, rr.Body)
+					return
+				}
+				rr = do(t, h, "GET", "/rank?consumer=c001&n=3", "")
+				if rr.Code != http.StatusOK {
+					t.Errorf("rank reader %d round %d: %d %s", g, r, rr.Code, rr.Body)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	want := writers * rounds * 3 * len(services)
+	if got := s.store.Len(); got != want {
+		t.Fatalf("store records = %d, want %d", got, want)
+	}
+	// Quiesced: one more compute must answer every service with evidence.
+	m := decode(t, do(t, h, "GET", "/compute-with-stats", ""))
+	for _, e := range m["scores"].([]any) {
+		row := e.(map[string]any)
+		if !row["known"].(bool) {
+			t.Fatalf("service missing after hammer: %v", row)
+		}
+	}
+}

@@ -11,7 +11,15 @@
 //	GET  /readyz    readiness (503 once draining begins)
 //	POST /submit    ingest one feedback: {"consumer","service","provider",
 //	                "context","rating"} — durably logged, then scored
+//	POST /local-trust
+//	                bulk-merge a batch of trust deltas: {"ratings":[...]}
+//	                — validated upfront, one WAL group commit for the
+//	                whole batch, then streamed into the mechanism
 //	GET  /rank      rank the catalog for ?consumer=ID (&n=5)
+//	GET  /compute-with-stats
+//	                score the whole catalog and report the convergence
+//	                stats {iterations,residual,warmStart} of the compute
+//	                (real fixpoint stats under -mech eigentrust)
 //	POST /drain     graceful shutdown: stop intake, wait out in-flight
 //	                requests, snapshot + compact the WAL, then exit 0
 //
@@ -45,6 +53,7 @@ func run() int {
 		seed      = flag.Int64("seed", 42, "seed for the demo catalog and resilience jitter")
 		services  = flag.Int("services", 16, "demo catalog size")
 		category  = flag.String("category", "compute", "demo catalog category")
+		mechName  = flag.String("mech", "beta", "reputation mechanism: beta or eigentrust (incremental, warm-started)")
 		shedRate  = flag.Float64("shed-rate", 200, "admission rate, requests/second")
 		shedBurst = flag.Float64("shed-burst", 0, "admission burst (0 = one second of rate)")
 		bulkhead  = flag.Int("bulkhead", 8, "max concurrent rank computations")
@@ -68,6 +77,7 @@ func run() int {
 		Seed:     *seed,
 		Services: *services,
 		Category: *category,
+		Mech:     *mechName,
 		ShedRate: *shedRate, ShedBurst: *shedBurst,
 		Bulkhead: *bulkhead,
 		Timeout:  *timeout,

@@ -17,6 +17,7 @@ import (
 	"wstrust/internal/resilience"
 	"wstrust/internal/simclock"
 	"wstrust/internal/trust/beta"
+	"wstrust/internal/trust/eigentrust"
 	"wstrust/internal/workload"
 )
 
@@ -68,6 +69,10 @@ type serverConfig struct {
 	Seed     int64
 	Services int
 	Category string
+	// Mech selects the reputation mechanism: "beta" (default) or
+	// "eigentrust" (incremental, warm-started — the one that reports real
+	// convergence stats on /compute-with-stats).
+	Mech string
 
 	ShedRate, ShedBurst float64
 	Bulkhead            int
@@ -106,7 +111,19 @@ func newServer(cfg serverConfig) (*server, error) {
 		catalog[i] = sp.Desc.Candidate()
 	}
 
-	mech := beta.New()
+	var mech core.Mechanism
+	switch cfg.Mech {
+	case "", "beta":
+		mech = beta.New()
+	case "eigentrust":
+		// Incremental mode: submits accumulate sparse deltas and scoring
+		// warm-starts from the previous fixpoint, so the steady /local-trust
+		// → /compute-with-stats loop costs a handful of residual-bounded
+		// iterations instead of a cold power iteration per refresh.
+		mech = eigentrust.New(eigentrust.WithEpsilon(1e-9))
+	default:
+		return nil, fmt.Errorf("wsxd: unknown mechanism %q (want beta or eigentrust)", cfg.Mech)
+	}
 	if _, err := cfg.Store.Replay(mech); err != nil {
 		return nil, fmt.Errorf("wsxd: replay recovered feedback: %w", err)
 	}
@@ -210,7 +227,9 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("POST /submit", s.guard(resilience.High, s.handleSubmit))
+	mux.HandleFunc("POST /local-trust", s.guard(resilience.High, s.handleLocalTrust))
 	mux.HandleFunc("GET /rank", s.guard(resilience.Normal, s.handleRank))
+	mux.HandleFunc("GET /compute-with-stats", s.guard(resilience.Normal, s.handleComputeStats))
 	mux.HandleFunc("POST /drain", s.handleDrain)
 	return mux
 }
@@ -342,6 +361,82 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"accepted": true, "records": s.store.Len()})
 }
 
+// localTrustRequest is the /local-trust body: a batch of trust-delta
+// ratings merged atomically. maxLocalTrustBatch bounds the intake so one
+// request cannot monopolize the WAL group-commit queue.
+type localTrustRequest struct {
+	Ratings []submitRequest `json:"ratings"`
+}
+
+const maxLocalTrustBatch = 4096
+
+// handleLocalTrust ingests a batch of local-trust observations in one
+// durable group commit: every rating is validated before any state
+// changes, the whole batch lands in the WAL behind a single fsync
+// (registry.SubmitBatch), and only then streams into the mechanism's
+// incremental state. The breaker guards the durable write exactly as
+// /submit's does; validation errors never count as breaker failures.
+func (s *server) handleLocalTrust(w http.ResponseWriter, r *http.Request) {
+	var req localTrustRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "bad request body: "+err.Error())
+		return
+	}
+	if len(req.Ratings) == 0 {
+		httpError(w, http.StatusBadRequest, "empty batch")
+		return
+	}
+	if len(req.Ratings) > maxLocalTrustBatch {
+		httpError(w, http.StatusBadRequest,
+			fmt.Sprintf("batch of %d exceeds limit %d", len(req.Ratings), maxLocalTrustBatch))
+		return
+	}
+	now := s.clock.Now()
+	fbs := make([]core.Feedback, len(req.Ratings))
+	for i, rr := range req.Ratings {
+		ratings := map[core.Facet]float64{core.FacetOverall: rr.Rating}
+		for f, v := range rr.Facets {
+			ratings[core.Facet(f)] = v
+		}
+		fbs[i] = core.Feedback{
+			Consumer: core.ConsumerID(rr.Consumer),
+			Service:  core.ServiceID(rr.Service),
+			Provider: core.ProviderID(rr.Provider),
+			Context:  core.Context(rr.Context),
+			Ratings:  ratings,
+			At:       now,
+		}
+		if err := fbs[i].Validate(); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("rating %d: %s", i, err))
+			return
+		}
+	}
+	err := s.breaker.Do(func() error { return s.store.SubmitBatch(fbs) })
+	switch {
+	case errors.Is(err, resilience.ErrOpen):
+		httpError(w, http.StatusServiceUnavailable, "registry circuit open")
+		return
+	case err != nil:
+		httpError(w, http.StatusInternalServerError, "registry submit batch: "+err.Error())
+		return
+	}
+	for i := range fbs {
+		if err := s.mech.Submit(fbs[i]); err != nil {
+			// The store accepted what the mechanism rejected: surface it,
+			// the durable log remains the source of truth.
+			httpError(w, http.StatusInternalServerError,
+				fmt.Sprintf("mechanism submit %d: %s", i, err))
+			return
+		}
+	}
+	s.rankVer.Add(1) // the published rank snapshot is now stale
+	writeJSON(w, http.StatusOK, map[string]any{
+		"accepted": len(fbs), "records": s.store.Len(),
+	})
+}
+
 // rankEntry is one /rank response row.
 type rankEntry struct {
 	Service    string  `json:"service"`
@@ -389,6 +484,66 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 		out = out[:n:n]
 	}
 	writeJSON(w, http.StatusOK, map[string]any{"consumer": consumer, "ranked": out})
+}
+
+// computeEntry is one /compute-with-stats response row.
+type computeEntry struct {
+	Service    string  `json:"service"`
+	Score      float64 `json:"score"`
+	Confidence float64 `json:"confidence"`
+	Known      bool    `json:"known"`
+}
+
+// handleComputeStats scores the whole catalog through the mechanism and
+// attaches the convergence statistics of the compute that answered —
+// {iterations, residual, warmStart} — when the mechanism reports them
+// (eigentrust, pagerank); mechanisms without a fixpoint (beta) return
+// stats: null. Scoring triggers the mechanism's own refresh, so on the
+// incremental eigentrust path this is the streaming read side of the
+// /local-trust write side: a warm-started, residual-bounded fixpoint
+// instead of a cold power iteration. Runs inside the rank bulkhead under
+// the request's deadline budget.
+func (s *server) handleComputeStats(w http.ResponseWriter, r *http.Request) {
+	consumer := r.URL.Query().Get("consumer") // optional: empty asks the global view
+
+	budget := resilience.NewBudget(s.clock, s.timeout)
+	ctx, cancel := context.WithDeadline(r.Context(), budget.Deadline())
+	defer cancel()
+	if err := s.bulkhead.Acquire(ctx); err != nil {
+		httpError(w, http.StatusServiceUnavailable, "ranking compartment full")
+		return
+	}
+	defer s.bulkhead.Release()
+	if budget.Exceeded() {
+		httpError(w, http.StatusGatewayTimeout, "deadline exhausted waiting for a slot")
+		return
+	}
+
+	cr, hasStats := s.mech.(core.ConvergenceReporter)
+	var stats any
+	scores := make([]computeEntry, len(s.catalog))
+	for i, c := range s.catalog {
+		tv, ok := s.mech.Score(core.Query{
+			Perspective: core.ConsumerID(consumer),
+			Subject:     c.Service,
+			Context:     core.Context(s.category),
+			Facet:       core.FacetOverall,
+		})
+		scores[i] = computeEntry{
+			Service: string(c.Service), Score: tv.Score,
+			Confidence: tv.Confidence, Known: ok,
+		}
+		// The first Score triggers the refresh that folds every pending
+		// delta in; the rest reuse the fresh vector (their refreshes are
+		// no-ops and would overwrite the stats with zeros). Capture the
+		// compute that actually did the work.
+		if i == 0 && hasStats {
+			stats = cr.LastConvergence()
+		}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"mechanism": s.mech.Name(), "scores": scores, "stats": stats,
+	})
 }
 
 func (s *server) handleDrain(w http.ResponseWriter, r *http.Request) {

@@ -114,6 +114,27 @@ func (d *Document) MergeLoadTest(lt LoadTest) {
 	})
 }
 
+// MergeBenchmarks folds fresh results into the record, replacing any
+// entry with the same (package, name, procs) key and appending the rest —
+// the benchmark analogue of MergeLoadTest, so a targeted sweep (e.g.
+// `make bench-incremental`) can refresh its own entries without
+// regenerating the whole record.
+func (d *Document) MergeBenchmarks(results []Result) {
+	for _, r := range results {
+		replaced := false
+		for i, old := range d.Benchmarks {
+			if old.Package == r.Package && old.Name == r.Name && old.Procs == r.Procs {
+				d.Benchmarks[i] = r
+				replaced = true
+				break
+			}
+		}
+		if !replaced {
+			d.Benchmarks = append(d.Benchmarks, r)
+		}
+	}
+}
+
 // HotPath names one benchmark whose regression should be flagged. Name is
 // matched against Result.Name (bare, without the Benchmark prefix or
 // -procs suffix); every procs variant present in both records is compared.
@@ -131,6 +152,50 @@ var DefaultHotPaths = []HotPath{
 	{Name: "ScorePearson", Metric: "ns/op"},
 	{Name: "SuiteSequential", Metric: "ns/op"},
 	{Name: "SuiteParallel", Metric: "ns/op"},
+}
+
+// IncrementalHotPaths are the PR 8 streaming-update paths: the warm-start
+// submit+score unit of work across the population sweep. These gate
+// blocking in CI (scripts/bench_incremental_diff.sh), with the tolerance
+// widened by a measured ≥2-run noise floor.
+var IncrementalHotPaths = []HotPath{
+	{Name: "IncrementalSubmitScore", Metric: "ns/op"},
+}
+
+// MaxDelta returns the largest fractional difference (in either
+// direction) between the two records across the named hot paths — the
+// machine noise floor when old and new are back-to-back runs of the same
+// code. Entries present in only one record are skipped.
+func MaxDelta(old, new Document, hot []HotPath) float64 {
+	type key struct {
+		pkg, name string
+		procs     int
+	}
+	oldBench := map[key]Result{}
+	for _, r := range old.Benchmarks {
+		oldBench[key{r.Package, r.Name, r.Procs}] = r
+	}
+	floor := 0.0
+	for _, r := range new.Benchmarks {
+		h, ok := matchHot(r.Name, hot)
+		if !ok {
+			continue
+		}
+		prev, ok := oldBench[key{r.Package, r.Name, r.Procs}]
+		if !ok {
+			continue
+		}
+		ov, nv := prev.Metrics[h.Metric], r.Metrics[h.Metric]
+		if ov <= 0 || nv <= 0 {
+			continue
+		}
+		if d := nv/ov - 1; d > floor {
+			floor = d
+		} else if d := ov/nv - 1; d > floor {
+			floor = d
+		}
+	}
+	return floor
 }
 
 // Regression is one flagged >tolerance slowdown.

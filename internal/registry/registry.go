@@ -161,6 +161,68 @@ func (s *Store) Submit(fb core.Feedback) error {
 	return nil
 }
 
+// SubmitBatch appends a batch of feedback records atomically with respect
+// to intake: every record is validated (and, on durable stores, encoded)
+// before any state changes, so a malformed entry rejects the whole batch
+// with the store untouched. On a WAL-backed store the batch joins a single
+// group commit — one leader drain, at most one fsync, for all N frames —
+// which is the durable half of the bulk trust-delta merge the streaming
+// update API exposes (wsxd POST /local-trust). Records are applied to
+// their shards in batch order under the shared state lock, exactly like N
+// sequential Submits; each record still counts as one message.
+func (s *Store) SubmitBatch(fbs []core.Feedback) error {
+	if len(fbs) == 0 {
+		return nil
+	}
+	for i := range fbs {
+		if err := fbs[i].Validate(); err != nil {
+			return fmt.Errorf("registry: batch record %d: %w", i, err)
+		}
+	}
+	s.state.RLock()
+	if s.closed {
+		s.state.RUnlock()
+		return fmt.Errorf("registry: store is closed")
+	}
+	var seq uint64
+	if s.wal != nil {
+		payloads := make([][]byte, len(fbs))
+		for i := range fbs {
+			p, err := marshalRecord(fbs[i])
+			if err != nil {
+				s.state.RUnlock()
+				return fmt.Errorf("registry: encode batch record %d for wal: %w", i, err)
+			}
+			payloads[i] = p
+		}
+		first, err := s.wal.commitBatch(&s.seq, payloads)
+		if err != nil {
+			s.state.RUnlock()
+			return err
+		}
+		seq = first
+	} else {
+		seq = s.seq.Add(uint64(len(fbs))) - uint64(len(fbs)) + 1
+	}
+	for i := range fbs {
+		sh := &s.shards[shardFor(fbs[i].Service)]
+		sh.mu.Lock()
+		sh.apply(seq+uint64(i), fbs[i])
+		sh.mu.Unlock()
+	}
+	s.count.Add(int64(len(fbs)))
+	s.messages.Add(int64(len(fbs)))
+	s.version.Add(1)
+	compact := s.wal != nil && s.wal.shouldCompact()
+	s.state.RUnlock()
+	if compact {
+		if err := s.compact(); err != nil {
+			return fmt.Errorf("registry: auto-compaction: %w", err)
+		}
+	}
+	return nil
+}
+
 // apply appends one sequence-stamped record to the shard segment and its
 // local indexes.
 //

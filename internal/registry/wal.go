@@ -170,6 +170,63 @@ func (w *walWriter) commit(seqSrc *atomic.Uint64, payload []byte) (uint64, error
 	return seq, nil
 }
 
+// commitBatch enqueues a batch of frames under one queue-lock acquisition
+// and returns the sequence number of the first, once every frame in the
+// batch has been written (frames are contiguous: first..first+len-1). The
+// batch shares one group commit — and therefore at most one fsync — with
+// whatever else is queued, which is what makes bulk trust-delta merges
+// (Store.SubmitBatch) cheap: N records cost one leader drain instead of N
+// rounds of the commit protocol. Failure semantics match commit: any
+// write/fsync error marks the WAL broken and the whole batch is rejected.
+//
+//lint:hotpath commitBatch carries every bulk /local-trust merge; only the
+// seq assignments and frame appends may run under the queue mutex.
+func (w *walWriter) commitBatch(seqSrc *atomic.Uint64, payloads [][]byte) (uint64, error) {
+	if len(payloads) == 0 {
+		return 0, errors.New("registry: empty wal batch")
+	}
+	// Checksums cover only payload bytes: compute them all before taking
+	// the queue lock, exactly as commit does for its single frame.
+	crcs := make([]uint32, len(payloads))
+	for i, p := range payloads {
+		crcs[i] = crc32.ChecksumIEEE(p)
+	}
+	w.mu.Lock()
+	if w.broken != nil {
+		err := w.broken
+		w.mu.Unlock()
+		return 0, err
+	}
+	var first, last uint64
+	for i, p := range payloads {
+		seq := seqSrc.Add(1)
+		if i == 0 {
+			first = seq
+		}
+		last = seq
+		w.pending = appendFrame(w.pending, seq, crcs[i], p)
+	}
+	w.pendingFrames += len(payloads)
+	w.pendingTop = last
+	if w.flushing {
+		for w.acked < last && w.broken == nil {
+			w.flushed.Wait()
+		}
+	} else {
+		w.flushing = true
+		w.lead()
+		w.flushing = false
+		w.flushed.Broadcast()
+	}
+	ok := w.acked >= last
+	err := w.broken
+	w.mu.Unlock()
+	if !ok {
+		return 0, err
+	}
+	return first, nil
+}
+
 // lead drains the commit queue: repeatedly swap out the pending buffer,
 // write (and per policy fsync) it with the queue unlocked, then
 // acknowledge the batch. Frames enqueued while a batch is in flight are

@@ -89,6 +89,31 @@ type directKey struct {
 	subjectKey
 }
 
+// welford is Welford's online mean/variance accumulator over the raw
+// ratings a subject pool has absorbed — the streaming replacement for
+// re-scanning a rating log to judge how contested a reputation is. Stored
+// by value; updates never allocate.
+type welford struct {
+	n    int
+	mean float64
+	m2   float64
+}
+
+func (w *welford) add(x float64) {
+	w.n++
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// variance is the population variance of the absorbed ratings.
+func (w welford) variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
 // Mechanism is the Beta reputation engine. Safe for concurrent use.
 type Mechanism struct {
 	decay        core.DecayFunc
@@ -99,6 +124,7 @@ type Mechanism struct {
 	global    map[subjectKey]*evidence
 	direct    map[directKey]*evidence
 	providers map[subjectKey]*evidence
+	spreads   map[subjectKey]welford
 }
 
 var (
@@ -115,6 +141,7 @@ func New(opts ...Option) *Mechanism {
 		global:    map[subjectKey]*evidence{},
 		direct:    map[directKey]*evidence{},
 		providers: map[subjectKey]*evidence{},
+		spreads:   map[subjectKey]welford{},
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -135,32 +162,36 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 
-	apply := func(facet core.Facet, v float64) {
-		pos, neg := v, 1-v
-		k := subjectKey{fb.Service, fb.Context, facet}
-		m.pool(m.global, k).observe(pos, neg, fb.At, m.decay)
-		if m.personalized {
-			dk := directKey{fb.Consumer, k}
-			ev, ok := m.direct[dk]
-			if !ok {
-				ev = &evidence{}
-				m.direct[dk] = ev
-			}
-			ev.observe(pos, neg, fb.At, m.decay)
-		}
-		if fb.Provider != "" {
-			pk := subjectKey{fb.Provider, fb.Context, facet}
-			m.pool(m.providers, pk).observe(pos, neg, fb.At, m.decay)
-		}
-	}
-
 	for facet, v := range fb.Ratings {
-		apply(facet, v)
+		m.applyFacetLocked(fb, facet, v)
 	}
 	if _, hasOverall := fb.Ratings[core.FacetOverall]; !hasOverall {
-		apply(core.FacetOverall, fb.Overall())
+		m.applyFacetLocked(fb, core.FacetOverall, fb.Overall())
 	}
 	return nil
+}
+
+// applyFacetLocked folds one facet rating into the evidence pools and the
+// Welford spread. A method rather than Submit's old per-call closure: the
+// closure captured the feedback and heap-allocated on every Submit, which
+// the hotalloc analyzer now keeps out of the steady path. Pool misses
+// (roster growth) allocate inside the un-annotated pool helpers.
+//
+//lint:hotpath
+func (m *Mechanism) applyFacetLocked(fb core.Feedback, facet core.Facet, v float64) {
+	pos, neg := v, 1-v
+	k := subjectKey{fb.Service, fb.Context, facet}
+	m.pool(m.global, k).observe(pos, neg, fb.At, m.decay)
+	sp := m.spreads[k]
+	sp.add(v)
+	m.spreads[k] = sp
+	if m.personalized {
+		m.poolDirect(directKey{fb.Consumer, k}).observe(pos, neg, fb.At, m.decay)
+	}
+	if fb.Provider != "" {
+		pk := subjectKey{fb.Provider, fb.Context, facet}
+		m.pool(m.providers, pk).observe(pos, neg, fb.At, m.decay)
+	}
 }
 
 func (m *Mechanism) pool(pools map[subjectKey]*evidence, k subjectKey) *evidence {
@@ -170,6 +201,30 @@ func (m *Mechanism) pool(pools map[subjectKey]*evidence, k subjectKey) *evidence
 		pools[k] = ev
 	}
 	return ev
+}
+
+func (m *Mechanism) poolDirect(k directKey) *evidence {
+	ev, ok := m.direct[k]
+	if !ok {
+		ev = &evidence{}
+		m.direct[k] = ev
+	}
+	return ev
+}
+
+// Spread reports the streaming mean and population variance of the raw
+// ratings absorbed for (subject, context, facet), with the sample count —
+// an O(1) answer to "how contested is this reputation" that previously
+// required keeping and re-scanning the rating log. ok is false before any
+// rating arrives.
+func (m *Mechanism) Spread(q core.Query) (mean, variance float64, n int, ok bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	w, ok := m.spreads[subjectKey{q.Subject, q.Context, q.Facet}]
+	if !ok || w.n == 0 {
+		return 0, 0, 0, false
+	}
+	return w.mean, w.variance(), w.n, true
 }
 
 // Score implements core.Mechanism. In personalized mode with a perspective,
@@ -227,4 +282,5 @@ func (m *Mechanism) Reset() {
 	m.global = map[subjectKey]*evidence{}
 	m.direct = map[directKey]*evidence{}
 	m.providers = map[subjectKey]*evidence{}
+	m.spreads = map[subjectKey]welford{}
 }

@@ -1,0 +1,58 @@
+package beta
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wstrust/internal/core"
+	"wstrust/internal/simclock"
+)
+
+// TestSpreadWelford pins the streaming mean/variance against the batch
+// formulas over the same ratings.
+func TestSpreadWelford(t *testing.T) {
+	m := New()
+	vals := []float64{0.9, 0.1, 0.5, 0.8, 0.2, 0.7, 0.3}
+	for i, v := range vals {
+		err := m.Submit(core.Feedback{
+			Consumer: core.NewConsumerID(i),
+			Service:  core.NewServiceID(1),
+			Context:  "compute",
+			Ratings:  map[core.Facet]float64{core.FacetOverall: v},
+			At:       simclock.Epoch.Add(time.Duration(i) * time.Minute),
+		})
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	mean, variance, n, ok := m.Spread(core.Query{
+		Subject: core.EntityID(core.NewServiceID(1)),
+		Context: "compute",
+		Facet:   core.FacetOverall,
+	})
+	if !ok || n != len(vals) {
+		t.Fatalf("Spread: ok=%v n=%d, want ok=true n=%d", ok, n, len(vals))
+	}
+	var sum float64
+	for _, v := range vals {
+		sum += v
+	}
+	wantMean := sum / float64(len(vals))
+	var ss float64
+	for _, v := range vals {
+		ss += (v - wantMean) * (v - wantMean)
+	}
+	wantVar := ss / float64(len(vals))
+	if math.Abs(mean-wantMean) > 1e-12 || math.Abs(variance-wantVar) > 1e-12 {
+		t.Fatalf("Spread = (%g, %g), want (%g, %g)", mean, variance, wantMean, wantVar)
+	}
+}
+
+// TestSpreadUnknown reports ok=false before any rating.
+func TestSpreadUnknown(t *testing.T) {
+	m := New()
+	if _, _, _, ok := m.Spread(core.Query{Subject: "nobody", Facet: core.FacetOverall}); ok {
+		t.Fatal("Spread on an unknown subject reported ok=true")
+	}
+}

@@ -1,0 +1,44 @@
+package cf_test
+
+import (
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/trust/cf"
+	"wstrust/internal/trust/trusttest"
+)
+
+// TestStreamingDifferential proves the streaming mean aggregates survive
+// fine-grained eviction bit-exactly against a cold streaming rebuild: the
+// running sums depend only on submission order, which warm and cold
+// replays share, so the strict bit-for-bit harness applies.
+func TestStreamingDifferential(t *testing.T) {
+	builds := map[string]func() core.Mechanism{
+		"pearson": func() core.Mechanism {
+			return cf.New(cf.WithStreaming(true))
+		},
+		"cosine-iuf": func() core.Mechanism {
+			return cf.New(cf.WithStreaming(true), cf.WithSimilarity(cf.Cosine), cf.WithInverseUserFrequency(true))
+		},
+	}
+	for name, b := range builds {
+		t.Run(name, func(t *testing.T) {
+			trusttest.Differential(t, b, trusttest.Market(41, 12, 8, 8, 0.5))
+		})
+	}
+}
+
+// TestStreamingVsExact bounds the drift between streamed (submission-order)
+// and exact (sorted-order) mean summation: identical up to float
+// associativity, far inside the ε gate.
+func TestStreamingVsExact(t *testing.T) {
+	streaming := func() core.Mechanism { return cf.New(cf.WithStreaming(true)) }
+	exact := func() core.Mechanism { return cf.New() }
+	trusttest.DifferentialEps(t, streaming, exact, 1e-9, trusttest.Market(43, 12, 8, 8, 0.5))
+}
+
+// TestStreamingHammer races the streaming aggregates under the shared
+// 8-goroutine Submit/Score/Reset workload.
+func TestStreamingHammer(t *testing.T) {
+	trusttest.Hammer(t, cf.New(cf.WithStreaming(true), cf.WithInverseUserFrequency(true)))
+}

@@ -37,6 +37,25 @@ type entry struct {
 	at    time.Time
 }
 
+// tally is a subject's streaming feedback aggregate. The counters are
+// integers, so maintaining them at Submit time is bit-exact against a full
+// history scan — which is why the all-history (window == 0) score path
+// uses them unconditionally; only windowed scoring still walks the log.
+// Stored by value; updates never allocate.
+type tally struct {
+	pos, neg, total int
+}
+
+func (t *tally) add(v int) {
+	t.total++
+	switch {
+	case v > 0:
+		t.pos++
+	case v < 0:
+		t.neg++
+	}
+}
+
 // Mechanism is the eBay feedback engine. Safe for concurrent use.
 type Mechanism struct {
 	window time.Duration
@@ -44,6 +63,8 @@ type Mechanism struct {
 	mu      sync.Mutex
 	history map[core.EntityID][]entry // per subject (service)
 	byProv  map[core.EntityID][]entry // per provider
+	counts  map[core.EntityID]tally   // streaming aggregate per subject
+	provCnt map[core.EntityID]tally   // streaming aggregate per provider
 }
 
 var (
@@ -57,6 +78,8 @@ func New(opts ...Option) *Mechanism {
 	m := &Mechanism{
 		history: map[core.EntityID][]entry{},
 		byProv:  map[core.EntityID][]entry{},
+		counts:  map[core.EntityID]tally{},
+		provCnt: map[core.EntityID]tally{},
 	}
 	for _, opt := range opts {
 		opt(m)
@@ -88,22 +111,37 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.history[fb.Service] = append(m.history[fb.Service], e)
+	m.noteSubmitLocked(fb.Service, fb.Provider, e.value)
 	if fb.Provider != "" {
 		m.byProv[fb.Provider] = append(m.byProv[fb.Provider], e)
 	}
 	return nil
 }
 
+// noteSubmitLocked maintains the streaming tallies for one rating — the
+// per-rating steady path; tally values live in the maps by value, so an
+// update on a known subject never allocates.
+//
+//lint:hotpath
+func (m *Mechanism) noteSubmitLocked(service, provider core.EntityID, v int) {
+	t := m.counts[service]
+	t.add(v)
+	m.counts[service] = t
+	if provider != "" {
+		p := m.provCnt[provider]
+		p.add(v)
+		m.provCnt[provider] = p
+	}
+}
+
 // FeedbackScore returns the classic cumulative eBay number
-// (#positive − #negative) over all history for the subject.
+// (#positive − #negative) over all history for the subject — O(1) from
+// the streaming tally.
 func (m *Mechanism) FeedbackScore(subject core.EntityID) int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	score := 0
-	for _, e := range m.history[subject] {
-		score += e.value
-	}
-	return score
+	t := m.counts[subject]
+	return t.pos - t.neg
 }
 
 // Score implements core.Mechanism: the positive fraction within the window
@@ -113,6 +151,9 @@ func (m *Mechanism) FeedbackScore(subject core.EntityID) int {
 func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.window == 0 {
+		return scoreTally(m.counts[q.Subject])
+	}
 	return m.scoreOf(m.history[q.Subject])
 }
 
@@ -121,7 +162,25 @@ func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 func (m *Mechanism) ScoreProvider(q core.Query) (core.TrustValue, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.window == 0 {
+		return scoreTally(m.provCnt[q.Subject])
+	}
 	return m.scoreOf(m.byProv[q.Subject])
+}
+
+// scoreTally answers from the streaming counters — same integers a full
+// scan would count, so the resulting floats are bit-identical.
+func scoreTally(t tally) (core.TrustValue, bool) {
+	if t.total == 0 {
+		return core.TrustValue{Score: 0.5, Confidence: 0}, false
+	}
+	if t.pos+t.neg == 0 {
+		// Only neutrals: known subject, uninformative record.
+		return core.TrustValue{Score: 0.5, Confidence: 0}, true
+	}
+	score := float64(t.pos) / float64(t.pos+t.neg)
+	conf := float64(t.total) / float64(t.total+5)
+	return core.TrustValue{Score: score, Confidence: conf}, true
 }
 
 func (m *Mechanism) scoreOf(entries []entry) (core.TrustValue, bool) {
@@ -160,4 +219,6 @@ func (m *Mechanism) Reset() {
 	defer m.mu.Unlock()
 	m.history = map[core.EntityID][]entry{}
 	m.byProv = map[core.EntityID][]entry{}
+	m.counts = map[core.EntityID]tally{}
+	m.provCnt = map[core.EntityID]tally{}
 }

@@ -1,0 +1,57 @@
+package ebay_test
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"wstrust/internal/core"
+	"wstrust/internal/trust/ebay"
+	"wstrust/internal/trust/trusttest"
+)
+
+// TestTallyMatchesScan proves the streaming counters answer exactly what
+// the history scan answers: a window far wider than the script makes the
+// scan path cover all history, so both instances see identical evidence
+// and every score must match bit-for-bit.
+func TestTallyMatchesScan(t *testing.T) {
+	s := trusttest.Market(59, 10, 7, 10, 0.6)
+	tallied := ebay.New()                                      // window 0: streaming tallies
+	scanned := ebay.New(ebay.WithWindow(24 * 365 * time.Hour)) // windowed: full history scan
+	for i, fb := range s.Feedbacks {
+		if err := tallied.Submit(fb); err != nil {
+			t.Fatalf("tallied submit %d: %v", i, err)
+		}
+		if err := scanned.Submit(fb); err != nil {
+			t.Fatalf("scanned submit %d: %v", i, err)
+		}
+	}
+	for qi, q := range s.Queries {
+		tv, tok := tallied.Score(q)
+		sv, sok := scanned.Score(q)
+		if tok != sok ||
+			math.Float64bits(tv.Score) != math.Float64bits(sv.Score) ||
+			math.Float64bits(tv.Confidence) != math.Float64bits(sv.Confidence) {
+			t.Fatalf("query %d (%+v): tally=%+v ok=%v scan=%+v ok=%v", qi, q, tv, tok, sv, sok)
+		}
+	}
+}
+
+// TestFeedbackScoreStreaming pins the O(1) cumulative number against a
+// hand-maintained ledger.
+func TestFeedbackScoreStreaming(t *testing.T) {
+	m := ebay.New()
+	want := map[core.EntityID]int{}
+	s := trusttest.Market(61, 8, 5, 8, 0.6)
+	for i, fb := range s.Feedbacks {
+		if err := m.Submit(fb); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		want[core.EntityID(fb.Service)] += ebay.Ternary(fb.Overall())
+	}
+	for subject, w := range want {
+		if got := m.FeedbackScore(subject); got != w {
+			t.Fatalf("FeedbackScore(%s) = %d, want %d", subject, got, w)
+		}
+	}
+}

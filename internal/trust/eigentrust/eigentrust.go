@@ -63,12 +63,43 @@ func WithNetwork(net *p2p.Network) Option {
 	return func(m *Mechanism) { m.net = net }
 }
 
+// WithEpsilon enables incremental mode: the mechanism keeps its previous
+// fixpoint vector and, on each submit, accumulates the sparse local-trust
+// delta the new rating induces. The next Score or Tick restarts power
+// iteration from the warm vector, propagating only the delta until its L1
+// norm falls to eps — steady-state cost O(affected entries) instead of a
+// full recompute. Results track the exact mode within the documented
+// ε-closeness bound (DESIGN.md §8); the exact mode (eps = 0, the default)
+// stays bit-compatible with earlier releases and remains what wsxsim runs.
+func WithEpsilon(eps float64) Option {
+	return func(m *Mechanism) {
+		if eps > 0 {
+			m.eps = eps
+		}
+	}
+}
+
+// WithRebaseEvery bounds incremental-mode drift: every max(n, roster size)
+// warm computes the mechanism runs one full dense refresh pass (all rows,
+// from the current vector) that clears the ≤ eps residual each bounded
+// warm compute may leave behind. The roster-size floor keeps the O(roster)
+// pass amortized to O(1) per update. Default 1024; ignored in exact mode.
+func WithRebaseEvery(n int) Option {
+	return func(m *Mechanism) {
+		if n > 0 {
+			m.rebaseEvery = n
+		}
+	}
+}
+
 // Mechanism is the EigenTrust engine. Safe for concurrent use.
 type Mechanism struct {
-	alpha      float64
-	iters      int
-	preTrusted map[core.EntityID]bool
-	net        *p2p.Network
+	alpha       float64
+	iters       int
+	eps         float64 // >0 enables incremental (warm-start) mode
+	rebaseEvery int
+	preTrusted  map[core.EntityID]bool
+	net         *p2p.Network
 
 	mu     sync.Mutex
 	local  map[core.EntityID]map[core.EntityID]float64 // rater → subject → Σ(sat−unsat), floored at 0
@@ -80,6 +111,9 @@ type Mechanism struct {
 	// so caching never alters reported communication budgets.
 	epoch   core.Epoch         // guarded by mu
 	vecMemo core.Memo[etState] // guarded by mu
+	// Incremental-mode state (see incremental.go); nil in exact mode.
+	inc       *incState             // guarded by mu
+	lastStats core.ConvergenceStats // guarded by mu
 }
 
 // etState is one computed global trust vector with its normalizer.
@@ -89,23 +123,30 @@ type etState struct {
 }
 
 var (
-	_ core.Mechanism    = (*Mechanism)(nil)
-	_ core.Ticker       = (*Mechanism)(nil)
-	_ core.Resetter     = (*Mechanism)(nil)
-	_ core.CostReporter = (*Mechanism)(nil)
+	_ core.Mechanism           = (*Mechanism)(nil)
+	_ core.Ticker              = (*Mechanism)(nil)
+	_ core.Resetter            = (*Mechanism)(nil)
+	_ core.CostReporter        = (*Mechanism)(nil)
+	_ core.ConvergenceReporter = (*Mechanism)(nil)
 )
 
 // New builds an EigenTrust mechanism.
+//
+//lint:guarded New constructs the mechanism; it is not shared until returned
 func New(opts ...Option) *Mechanism {
 	m := &Mechanism{
-		alpha:  0.15,
-		iters:  25,
-		local:  map[core.EntityID]map[core.EntityID]float64{},
-		counts: map[core.EntityID]int{},
-		joined: map[core.EntityID]bool{},
+		alpha:       0.15,
+		iters:       25,
+		rebaseEvery: 1024,
+		local:       map[core.EntityID]map[core.EntityID]float64{},
+		counts:      map[core.EntityID]int{},
+		joined:      map[core.EntityID]bool{},
 	}
 	for _, opt := range opts {
 		opt(m)
+	}
+	if m.eps > 0 {
+		m.inc = newIncState()
 	}
 	return m
 }
@@ -135,9 +176,13 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 		row = map[core.EntityID]float64{}
 		m.local[fb.Consumer] = row
 	}
-	row[fb.Service] = math.Max(0, row[fb.Service]+delta)
+	old := row[fb.Service]
+	row[fb.Service] = math.Max(0, old+delta)
 	m.counts[fb.Service]++
 	m.epoch.Bump()
+	if m.inc != nil {
+		m.noteSubmitLocked(fb.Consumer, fb.Service, old, row[fb.Service])
+	}
 	return nil
 }
 
@@ -163,9 +208,14 @@ func (m *Mechanism) peersLocked() []core.EntityID {
 func (m *Mechanism) Tick(time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.inc != nil {
+		m.refreshIncLocked()
+		return
+	}
 	m.vecMemo.Update(&m.epoch, m.computeLocked())
 }
 
+//lint:guarded computeLocked runs with m.mu held by Score's locked section
 func (m *Mechanism) computeLocked() etState {
 	peers := m.peersLocked()
 	n := len(peers)
@@ -220,10 +270,13 @@ func (m *Mechanism) computeLocked() etState {
 			pvec[i] /= float64(pre)
 		}
 	}
-	// Power iteration: t ← (1−α)·Cᵀt + α·p.
+	// Power iteration: t ← (1−α)·Cᵀt + α·p. The final iteration's L1
+	// movement doubles as the exact mode's reported residual; computing it
+	// never alters the scores.
 	t := make([]float64, n)
 	copy(t, pvec)
 	next := make([]float64, n)
+	res := 0.0
 	for it := 0; it < m.iters; it++ {
 		for j := range next {
 			next[j] = m.alpha * pvec[j]
@@ -238,8 +291,14 @@ func (m *Mechanism) computeLocked() etState {
 				}
 			}
 		}
+		if it == m.iters-1 {
+			for j := range next {
+				res += math.Abs(next[j] - t[j])
+			}
+		}
 		t, next = next, t
 	}
+	m.lastStats = core.ConvergenceStats{Iterations: m.iters, Residual: res, WarmStart: false}
 	if m.net != nil {
 		m.chargeMessagesLocked(peers, edges)
 	}
@@ -279,6 +338,9 @@ func (m *Mechanism) chargeMessagesLocked(peers []core.EntityID, edges int) {
 func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.inc != nil {
+		return m.scoreIncLocked(q)
+	}
 	st := m.vecMemo.Get(&m.epoch, m.computeLocked)
 	if m.counts[q.Subject] == 0 {
 		return core.TrustValue{Score: 0.5, Confidence: 0}, false
@@ -307,4 +369,8 @@ func (m *Mechanism) Reset() {
 	m.counts = map[core.EntityID]int{}
 	m.vecMemo.Invalidate()
 	m.epoch.Bump()
+	if m.inc != nil {
+		m.inc = newIncState()
+	}
+	m.lastStats = core.ConvergenceStats{}
 }

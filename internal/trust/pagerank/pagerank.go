@@ -26,9 +26,17 @@ import (
 // sums to one across nodes. Rank is deterministic: iteration follows the
 // sorted node order.
 func Rank(nodes []string, edges map[string]map[string]float64, damping float64, iters int) map[string]float64 {
+	r, _ := rankResidual(nodes, edges, damping, iters)
+	return r
+}
+
+// rankResidual is Rank plus the final iteration's L1 movement — the
+// residual the exact mode reports through core.ConvergenceStats. The extra
+// bookkeeping never alters the rank values.
+func rankResidual(nodes []string, edges map[string]map[string]float64, damping float64, iters int) (map[string]float64, float64) {
 	n := len(nodes)
 	if n == 0 {
-		return map[string]float64{}
+		return map[string]float64{}, 0
 	}
 	sorted := make([]string, n)
 	copy(sorted, nodes)
@@ -56,6 +64,7 @@ func Rank(nodes []string, edges map[string]map[string]float64, damping float64, 
 		rank[v] = 1.0 / float64(n)
 	}
 	base := (1 - damping) / float64(n)
+	res := 0.0
 	for it := 0; it < iters; it++ {
 		next := make(map[string]float64, n)
 		var dangling float64
@@ -83,9 +92,14 @@ func Rank(nodes []string, edges map[string]map[string]float64, damping float64, 
 				next[v] += share * row[v]
 			}
 		}
+		if it == iters-1 {
+			for _, v := range sorted {
+				res += math.Abs(next[v] - rank[v])
+			}
+		}
 		rank = next
 	}
-	return rank
+	return rank, res
 }
 
 // Option configures the Mechanism.
@@ -109,6 +123,20 @@ func WithIterations(n int) Option {
 	}
 }
 
+// WithEpsilon enables incremental (warm-start) mode: the mechanism keeps
+// its previous rank vector and each refresh re-iterates from it only until
+// the L1 residual falls to eps, instead of running the full fixed
+// iteration count from a uniform seed. Results track the exact mode within
+// the documented ε-closeness bound (DESIGN.md §8); exact mode (eps = 0,
+// the default) stays bit-compatible and remains what wsxsim runs.
+func WithEpsilon(eps float64) Option {
+	return func(m *Mechanism) {
+		if eps > 0 {
+			m.eps = eps
+		}
+	}
+}
+
 // Mechanism adapts PageRank to service reputation: each rating above 0.5
 // adds (or strengthens) a link consumer→service; each service links back to
 // its provider so providers accumulate authority from their portfolio.
@@ -118,6 +146,7 @@ func WithIterations(n int) Option {
 type Mechanism struct {
 	damping float64
 	iters   int
+	eps     float64 // >0 enables incremental (warm-start) mode
 
 	mu       sync.Mutex
 	edges    map[string]map[string]float64
@@ -129,6 +158,9 @@ type Mechanism struct {
 	// lazily, Tick recomputes eagerly.
 	epoch    core.Epoch           // guarded by mu
 	rankMemo core.Memo[rankState] // guarded by mu
+	// Incremental-mode state (see warm.go); nil in exact mode.
+	warm      *warmState            // guarded by mu
+	lastStats core.ConvergenceStats // guarded by mu
 }
 
 // rankState is one computed PageRank vector with its normalizer.
@@ -138,17 +170,23 @@ type rankState struct {
 }
 
 var (
-	_ core.Mechanism = (*Mechanism)(nil)
-	_ core.Ticker    = (*Mechanism)(nil)
-	_ core.Resetter  = (*Mechanism)(nil)
+	_ core.Mechanism           = (*Mechanism)(nil)
+	_ core.Ticker              = (*Mechanism)(nil)
+	_ core.Resetter            = (*Mechanism)(nil)
+	_ core.ConvergenceReporter = (*Mechanism)(nil)
 )
 
 // New builds a PageRank reputation mechanism.
+//
+//lint:guarded New constructs the mechanism; it is not shared until returned
 func New(opts ...Option) *Mechanism {
 	m := &Mechanism{damping: 0.85, iters: 30}
 	m.resetLocked()
 	for _, opt := range opts {
 		opt(m)
+	}
+	if m.eps > 0 {
+		m.warm = newWarmState()
 	}
 	return m
 }
@@ -187,6 +225,9 @@ func (m *Mechanism) Submit(fb core.Feedback) error {
 		m.addEdge(service, string(fb.Provider), 1)
 	}
 	m.epoch.Bump()
+	if m.warm != nil {
+		m.noteSubmitWarmLocked(consumer, service, string(fb.Provider), v)
+	}
 	return nil
 }
 
@@ -204,15 +245,22 @@ func (m *Mechanism) addEdge(u, v string, w float64) {
 func (m *Mechanism) Tick(time.Time) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.warm != nil {
+		m.refreshWarmLocked()
+		return
+	}
 	m.rankMemo.Update(&m.epoch, m.computeLocked())
 }
 
+//lint:guarded computeLocked runs with m.mu held by Score's locked section
 func (m *Mechanism) computeLocked() rankState {
 	nodes := make([]string, 0, len(m.nodes))
 	for v := range m.nodes {
 		nodes = append(nodes, v)
 	}
-	st := rankState{ranks: Rank(nodes, m.edges, m.damping, m.iters)}
+	ranks, res := rankResidual(nodes, m.edges, m.damping, m.iters)
+	st := rankState{ranks: ranks}
+	m.lastStats = core.ConvergenceStats{Iterations: m.iters, Residual: res, WarmStart: false}
 	for v, r := range st.ranks {
 		if m.isTarget[v] && r > st.maxRank {
 			st.maxRank = r
@@ -226,6 +274,9 @@ func (m *Mechanism) computeLocked() rankState {
 func (m *Mechanism) Score(q core.Query) (core.TrustValue, bool) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if m.warm != nil {
+		return m.scoreWarmLocked(q)
+	}
 	st := m.rankMemo.Get(&m.epoch, m.computeLocked)
 	r, ok := st.ranks[string(q.Subject)]
 	if !ok || m.counts[q.Subject] == 0 {
@@ -244,4 +295,8 @@ func (m *Mechanism) Reset() {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.resetLocked()
+	if m.warm != nil {
+		m.warm = newWarmState()
+	}
+	m.lastStats = core.ConvergenceStats{}
 }

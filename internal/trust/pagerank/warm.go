@@ -1,0 +1,185 @@
+// Warm-start PageRank: unlike EigenTrust's teleport-to-pre-trusted form,
+// PageRank redistributes dangling mass uniformly every round, so a single
+// new edge perturbs every node and sparse delta propagation degenerates to
+// dense work anyway (DESIGN.md §8). The incremental mode therefore keeps
+// the previous rank vector and re-iterates the full update map from it
+// until the L1 movement falls below eps. The map r ← base + d·dangling/n +
+// d·Cᵀr is an affine contraction with factor d in L1, so it converges to
+// its unique fixpoint from any seed and the residual is monotone
+// non-increasing; seeding from the previous fixpoint cuts the rounds per
+// refresh from the exact mode's fixed 30 to the handful a small
+// perturbation needs.
+package pagerank
+
+import (
+	"math"
+
+	"wstrust/internal/core"
+)
+
+// warmState is the incremental engine's dense mirror of the graph: an
+// append-only node index, the current rank vector, incrementally
+// maintained out-weights, and a reusable iteration buffer. Guarded by
+// Mechanism.mu.
+type warmState struct {
+	idx      map[string]int
+	nodes    []string
+	rank     []float64
+	next     []float64
+	outW     []float64
+	isTarget []bool
+
+	lastResiduals []float64
+
+	maxRank float64
+	valid   bool // rank holds a previous fixpoint
+	clean   bool // no submits since the last refresh
+}
+
+func newWarmState() *warmState {
+	return &warmState{idx: map[string]int{}}
+}
+
+// ensureWarmIdxLocked interns a node, growing the dense vectors. New nodes
+// enter with rank 0; the contraction pulls them to their fixpoint value on
+// the next refresh, so no rebase bookkeeping is needed.
+//
+//lint:guarded ensureWarmIdxLocked runs with m.mu held by its callers
+func (m *Mechanism) ensureWarmIdxLocked(node string) int {
+	w := m.warm
+	if i, ok := w.idx[node]; ok {
+		return i
+	}
+	i := len(w.nodes)
+	w.idx[node] = i
+	w.nodes = append(w.nodes, node)
+	w.rank = append(w.rank, 0)
+	w.next = append(w.next, 0)
+	w.outW = append(w.outW, 0)
+	w.isTarget = append(w.isTarget, false)
+	return i
+}
+
+// noteSubmitWarmLocked mirrors one submit into the dense state: intern the
+// nodes, mark the service as a normalization target, and fold the new edge
+// weights into the out-weight totals. Called under mu from Submit; this is
+// the per-rating steady path and allocates only when the roster grows.
+//
+//lint:hotpath
+//lint:guarded noteSubmitWarmLocked runs with m.mu held by Submit
+func (m *Mechanism) noteSubmitWarmLocked(consumer, service, provider string, v float64) {
+	w := m.warm
+	ci := m.ensureWarmIdxLocked(consumer)
+	si := m.ensureWarmIdxLocked(service)
+	w.isTarget[si] = true
+	if v > 0.5 {
+		w.outW[ci] += v
+	}
+	if provider != "" {
+		m.ensureWarmIdxLocked(provider)
+		w.outW[si] += 1
+	}
+	w.clean = false
+}
+
+// refreshWarmLocked re-iterates the rank map from the current vector until
+// the L1 residual is ≤ eps, then rescans the target normalizer. Iteration
+// follows ascending node-index order (insertion order, itself determined
+// by the feedback sequence) and each row writes distinct targets, so the
+// result is bit-deterministic for a given submission history.
+//
+//lint:guarded refreshWarmLocked runs with m.mu held by Score's locked section
+func (m *Mechanism) refreshWarmLocked() {
+	w := m.warm
+	n := len(w.nodes)
+	if n == 0 {
+		m.lastStats = core.ConvergenceStats{}
+		return
+	}
+	if w.clean {
+		m.lastStats = core.ConvergenceStats{Iterations: 0, Residual: 0, WarmStart: true}
+		return
+	}
+	warmSeed := w.valid
+	rank, next := w.rank, w.next
+	if !warmSeed {
+		u := 1 / float64(n)
+		for i := range rank {
+			rank[i] = u
+		}
+	}
+	base := (1 - m.damping) / float64(n)
+	maxRounds := 8 * m.iters
+	rounds, res := 0, 0.0
+	w.lastResiduals = w.lastResiduals[:0]
+	for rounds < maxRounds {
+		var dangling float64
+		for i := range rank {
+			if w.outW[i] == 0 {
+				dangling += rank[i]
+			}
+		}
+		inject := base + m.damping*dangling/float64(n)
+		for i := range next {
+			next[i] = inject
+		}
+		for i, u := range w.nodes {
+			if w.outW[i] == 0 {
+				continue
+			}
+			row := m.edges[u]
+			if len(row) == 0 {
+				continue
+			}
+			share := m.damping * rank[i] / w.outW[i]
+			for v, wt := range row { // distinct targets; order-independent writes
+				next[w.idx[v]] += share * wt
+			}
+		}
+		res = 0
+		for i := range next {
+			res += math.Abs(next[i] - rank[i])
+		}
+		rank, next = next, rank
+		rounds++
+		w.lastResiduals = append(w.lastResiduals, res)
+		if res <= m.eps {
+			break
+		}
+	}
+	w.rank, w.next = rank, next
+	w.maxRank = 0
+	for i, r := range rank {
+		if w.isTarget[i] && r > w.maxRank {
+			w.maxRank = r
+		}
+	}
+	w.valid = true
+	w.clean = true
+	m.lastStats = core.ConvergenceStats{Iterations: rounds, Residual: res, WarmStart: warmSeed}
+}
+
+// scoreWarmLocked answers a query from the warm vector, refreshing first.
+//
+//lint:guarded scoreWarmLocked runs with m.mu held by Score
+func (m *Mechanism) scoreWarmLocked(q core.Query) (core.TrustValue, bool) {
+	m.refreshWarmLocked()
+	w := m.warm
+	i, ok := w.idx[string(q.Subject)]
+	if !ok || m.counts[q.Subject] == 0 {
+		return core.TrustValue{Score: 0.5, Confidence: 0}, false
+	}
+	score := 0.0
+	if w.maxRank > 0 {
+		score = math.Min(1, w.rank[i]/w.maxRank)
+	}
+	n := float64(m.counts[q.Subject])
+	return core.TrustValue{Score: score, Confidence: n / (n + 5)}, true
+}
+
+// LastConvergence implements core.ConvergenceReporter.
+func (m *Mechanism) LastConvergence() core.ConvergenceStats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.lastStats
+}

@@ -1,0 +1,72 @@
+package pagerank_test
+
+import (
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/trust/pagerank"
+	"wstrust/internal/trust/trusttest"
+)
+
+func warmBuild() core.Mechanism {
+	return pagerank.New(pagerank.WithIterations(12), pagerank.WithEpsilon(1e-10))
+}
+
+// TestWarmVsExact pins the ε-closeness contract: the warm-start
+// residual-bounded vector must track the exact fixed-iteration mode within
+// the exact mode's own truncation error.
+func TestWarmVsExact(t *testing.T) {
+	exact := func() core.Mechanism { return pagerank.New(pagerank.WithIterations(12)) }
+	s := trusttest.Market(31, 12, 9, 10, 0.6)
+	s.TickEvery = 13
+	trusttest.DifferentialEps(t, warmBuild, exact, 1e-3, s)
+}
+
+// TestWarmVsColdWarm proves warm-start convergence: a long-lived warm
+// instance must agree with a fresh warm instance replaying the same
+// prefix, within the residual both converge to.
+func TestWarmVsColdWarm(t *testing.T) {
+	s := trusttest.Market(37, 12, 9, 12, 0.6)
+	s.TickEvery = 9
+	trusttest.DifferentialEps(t, warmBuild, warmBuild, 1e-7, s)
+}
+
+// TestWarmConvergenceStats checks the ConvergenceReporter surface across
+// the cold-seed, warm-refresh, and quiescent regimes.
+func TestWarmConvergenceStats(t *testing.T) {
+	m := pagerank.New(pagerank.WithEpsilon(1e-8))
+	s := trusttest.Market(7, 8, 6, 6, 0.7)
+	for i, fb := range s.Feedbacks {
+		if err := m.Submit(fb); err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+	}
+	q := s.Queries[0]
+	m.Score(q)
+	st := m.LastConvergence()
+	if st.WarmStart || st.Iterations == 0 {
+		t.Fatalf("first compute should be a cold multi-round seed: %+v", st)
+	}
+	if err := m.Submit(s.Feedbacks[0]); err != nil {
+		t.Fatalf("resubmit: %v", err)
+	}
+	m.Score(q)
+	st = m.LastConvergence()
+	if !st.WarmStart {
+		t.Fatalf("refresh after submit should warm-start: %+v", st)
+	}
+	if st.Residual > 1e-8 {
+		t.Fatalf("refresh stopped above the residual bound: %+v", st)
+	}
+	m.Score(q)
+	st = m.LastConvergence()
+	if !st.WarmStart || st.Iterations != 0 || st.Residual != 0 {
+		t.Fatalf("quiescent score should report {0, 0, warm}: %+v", st)
+	}
+}
+
+// TestWarmHammer races the warm-start paths under the shared 8-goroutine
+// Submit/Score/Tick/Reset workload.
+func TestWarmHammer(t *testing.T) {
+	trusttest.Hammer(t, pagerank.New(pagerank.WithEpsilon(1e-8)))
+}

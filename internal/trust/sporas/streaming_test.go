@@ -1,0 +1,37 @@
+package sporas_test
+
+import (
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/trust/sporas"
+	"wstrust/internal/trust/trusttest"
+)
+
+// TestStreamingDifferential proves the incrementally maintained agreement
+// pairs match a cold streaming rebuild bit-exactly: the running |diff|
+// sums depend only on submission order, which warm and cold replays share.
+// Histos must be on — the agreement pairs only surface through the walk.
+func TestStreamingDifferential(t *testing.T) {
+	build := func() core.Mechanism {
+		return sporas.New(sporas.WithHistos(true), sporas.WithStreaming(true))
+	}
+	trusttest.Differential(t, build, trusttest.Market(47, 12, 8, 8, 0.5))
+}
+
+// TestStreamingVsExact bounds the drift between streamed and recomputed
+// agreement sums (submission order vs sorted-subject order): identical up
+// to float associativity.
+func TestStreamingVsExact(t *testing.T) {
+	streaming := func() core.Mechanism {
+		return sporas.New(sporas.WithHistos(true), sporas.WithStreaming(true))
+	}
+	exact := func() core.Mechanism { return sporas.New(sporas.WithHistos(true)) }
+	trusttest.DifferentialEps(t, streaming, exact, 1e-9, trusttest.Market(53, 12, 8, 8, 0.5))
+}
+
+// TestStreamingHammer races the pair maintenance under the shared
+// 8-goroutine Submit/Score/Reset workload.
+func TestStreamingHammer(t *testing.T) {
+	trusttest.Hammer(t, sporas.New(sporas.WithHistos(true), sporas.WithStreaming(true)))
+}

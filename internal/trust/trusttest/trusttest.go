@@ -89,6 +89,56 @@ func checkpoint(t *testing.T, warm core.Mechanism, build func() core.Mechanism, 
 	}
 }
 
+// DifferentialEps is Differential for mechanisms whose incremental mode
+// answers within a bounded residual of the exact fixpoint rather than
+// bit-for-bit (warm-start EigenTrust / PageRank, DESIGN.md §8): the warm
+// instance comes from warmBuild, every checkpoint rebuilds a cold instance
+// from coldBuild, and scores must agree within tol. Found/not-found
+// decisions must still match exactly. Pass the exact-mode constructor as
+// coldBuild to pin the ε-closeness contract against the golden-digest
+// configuration, or the incremental constructor itself to prove
+// warm-vs-cold-incremental convergence.
+func DifferentialEps(t *testing.T, warmBuild, coldBuild func() core.Mechanism, tol float64, s Script) {
+	t.Helper()
+	if s.CheckEvery <= 0 {
+		s.CheckEvery = 25
+	}
+	warm := warmBuild()
+	for i, fb := range s.Feedbacks {
+		if err := warm.Submit(fb); err != nil {
+			t.Fatalf("warm submit %d: %v", i, err)
+		}
+		tick(warm, s, i)
+		if len(s.Queries) > 0 {
+			warm.Score(s.Queries[i%len(s.Queries)])
+		}
+		if (i+1)%s.CheckEvery == 0 || i == len(s.Feedbacks)-1 {
+			checkpointEps(t, warm, coldBuild, tol, s, i)
+		}
+	}
+}
+
+func checkpointEps(t *testing.T, warm core.Mechanism, coldBuild func() core.Mechanism, tol float64, s Script, upto int) {
+	t.Helper()
+	cold := coldBuild()
+	for j := 0; j <= upto; j++ {
+		if err := cold.Submit(s.Feedbacks[j]); err != nil {
+			t.Fatalf("cold submit %d: %v", j, err)
+		}
+		tick(cold, s, j)
+	}
+	for qi, q := range s.Queries {
+		wv, wok := warm.Score(q)
+		cv, cok := cold.Score(q)
+		if wok != cok ||
+			math.Abs(wv.Score-cv.Score) > tol ||
+			math.Abs(wv.Confidence-cv.Confidence) > tol {
+			t.Fatalf("after %d submits, query %d (%+v) drifted past tol=%g:\n  warm(incremental) = %+v ok=%v\n  cold(rebuild)     = %+v ok=%v",
+				upto+1, qi, q, tol, wv, wok, cv, cok)
+		}
+	}
+}
+
 // Hammer drives a mechanism from 8 goroutines interleaving Submit,
 // personalized and global Score, plus Reset and Tick where implemented —
 // the -race workout every epoch-cached mechanism gets, mirroring

@@ -1,0 +1,28 @@
+#!/bin/sh
+# bench_incremental_diff.sh — blocking regression gate for the PR 8
+# incremental trust hot paths. Shared runners are noisy, so the gate
+# measures its own noise floor first: two back-to-back runs of the cheap
+# gate subset (warm path, small pops) on the current tree, whose largest
+# hot-path delta is machine noise by construction. The committed
+# full-sweep BENCH_PR8.json is then
+# diffed against the fresh run with tolerance max(0.10, 2 x floor) —
+# strict on quiet machines, honest on loud ones. Run via `make bench-diff`
+# (the promoted, blocking half) or directly.
+set -eu
+
+record="BENCH_PR8.json"
+[ -f "$record" ] || { echo "bench-incremental-diff: no committed $record; run make bench-incremental first"; exit 1; }
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "bench-incremental-diff: run 1/2 (noise floor)"
+go run ./cmd/wsxbench -jobs incremental-gate -out "$workdir/run1.json"
+echo "bench-incremental-diff: run 2/2 (noise floor)"
+go run ./cmd/wsxbench -jobs incremental-gate -out "$workdir/run2.json"
+
+floor=$(go run ./cmd/wsxbench -noise -hot incremental "$workdir/run1.json" "$workdir/run2.json")
+tol=$(awk -v f="$floor" 'BEGIN { t = 2 * f; if (t < 0.10) t = 0.10; printf "%.4f", t }')
+echo "bench-incremental-diff: noise floor $floor -> tolerance $tol"
+
+go run ./cmd/wsxbench -diff -hot incremental -tolerance "$tol" "$record" "$workdir/run1.json"
