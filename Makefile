@@ -5,11 +5,11 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race cover fuzz-smoke serve-smoke bench bench-suite bench-json bench-incremental bench-diff loadtest loadtest-smoke ci
+.PHONY: all build vet lint lint-json test race cover fuzz-smoke serve-smoke bench bench-suite bench-json bench-incremental bench-scenario bench-diff scenario-golden loadtest loadtest-smoke ci
 
-# Aggregate statement-coverage floor for the packages the fault layer and
-# the mechanism test harness are responsible for.
-COVER_PKGS = ./internal/trust/... ./internal/fault ./internal/p2p
+# Aggregate statement-coverage floor for the packages the fault layer,
+# the mechanism test harness, and the scenario engine are responsible for.
+COVER_PKGS = ./internal/trust/... ./internal/fault ./internal/p2p ./internal/scenario
 COVER_MIN  = 75.0
 
 all: ci
@@ -59,6 +59,7 @@ fuzz-smoke:
 	$(GO) test ./internal/soa -run FuzzDecodeEnvelope -fuzz FuzzDecodeEnvelope -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/soa -run FuzzUnmarshalWSDL -fuzz FuzzUnmarshalWSDL -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trust/eigentrust -run FuzzWarmStartResidual -fuzz FuzzWarmStartResidual -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/scenario -run FuzzScenarioParse -fuzz FuzzScenarioParse -fuzztime $(FUZZTIME)
 
 # End-to-end daemon smoke: boot wsxd on an ephemeral port with a fresh
 # data dir, submit one feedback, rank, drain, and assert a clean exit 0 —
@@ -89,6 +90,20 @@ bench-json:
 # in EXPERIMENTS.md stay auditable.
 bench-incremental:
 	$(GO) run ./cmd/wsxbench -jobs incremental -merge -out BENCH_PR8.json
+
+# PR 9: the struct-of-arrays scenario engine at benchmark scale — the
+# million-consumer scenario at full parallelism and single-worker, plus
+# the golden-sized cocktail — merged into the committed BENCH_PR9.json so
+# the rounds/s throughput claim in EXPERIMENTS.md stays auditable.
+bench-scenario:
+	$(GO) run ./cmd/wsxbench -jobs scenario -merge -out BENCH_PR9.json
+
+# The golden scenario-regression library: every committed scenario under
+# scenarios/ replayed sequentially and at -parallel 4 against its
+# committed sha256 digest. After an intended engine change, regenerate
+# with `go test ./internal/scenario -run TestScenarioGoldenDigests -update`.
+scenario-golden:
+	$(GO) test ./internal/scenario -run 'TestScenarioLibraryShape|TestScenarioGoldenDigests' -v
 
 # Regression diff. The legacy record comparison (PR 3 -> PR 6 hot paths)
 # stays advisory — the committed records come from a quieter reference

@@ -166,6 +166,15 @@ func jobSet(name, benchtime string) ([]job, string, error) {
 			{pkg: "./internal/trust/eigentrust", bench: "^BenchmarkIncrementalSubmitScore$", benchtime: "2000x"},
 			{pkg: "./internal/trust/eigentrust", bench: "^BenchmarkColdSubmitScore$", benchtime: "1x"},
 		}, "wstrust benchmark record for PR 8 (incremental trust: delta-propagated scoring with warm-start fixpoints); regenerate with `make bench-incremental`", nil
+	case "scenario":
+		return []job{
+			// PR 9: the struct-of-arrays scenario engine at benchmark scale.
+			// One iteration each — the million-consumer scenario simulates
+			// 12 full rounds per op, and the serial twin pins the parallel
+			// speedup. The golden-sized cocktail tracks the shape CI runs.
+			{pkg: "./internal/scenario", bench: "^(BenchmarkScenarioEngineMillion|BenchmarkScenarioEngineMillionSerial)$", benchtime: "1x"},
+			{pkg: "./internal/scenario", bench: "^BenchmarkScenarioEngineGolden$", benchtime: "3x"},
+		}, "wstrust benchmark record for PR 9 (million-agent scenario engine over struct-of-arrays slabs); regenerate with `make bench-scenario`", nil
 	case "incremental-gate":
 		return []job{
 			// The CI regression gate's cheap subset: warm-start path only, at
@@ -176,7 +185,7 @@ func jobSet(name, benchtime string) ([]job, string, error) {
 			{pkg: "./internal/trust/eigentrust", bench: "^BenchmarkIncrementalSubmitScore$/^pop=(1000|10000)$", benchtime: "2000x"},
 		}, "wstrust incremental-trust gate run (transient; not a committed record)", nil
 	}
-	return nil, "", fmt.Errorf("unknown job set %q (want default, incremental, or incremental-gate)", name)
+	return nil, "", fmt.Errorf("unknown job set %q (want default, incremental, incremental-gate, or scenario)", name)
 }
 
 func run(out, benchtime, jobsName string, merge bool) error {

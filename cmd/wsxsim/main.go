@@ -14,6 +14,11 @@
 //	wsxsim -resilience breaker  # guard registry discovery: a preset (breaker,
 //	                            # naive) or key=value CSV, e.g.
 //	                            # -resilience threshold=3,cooldown=90m
+//	wsxsim -scenario scenarios/flash-crowd.json
+//	                            # run one workload-DSL scenario through the
+//	                            # struct-of-arrays engine instead of the
+//	                            # experiment suite; -seed and -parallel apply
+//	                            # (reports are byte-identical at any -parallel)
 //	wsxsim -list                # list experiments
 //	wsxsim -json                # machine-readable output
 //	wsxsim -cpuprofile cpu.pprof -memprofile mem.pprof
@@ -53,6 +58,7 @@ func run() (code int) {
 		parallel   = flag.Int("parallel", 1, "worker count for independent experiments (0 = all CPUs); results stay byte-identical to sequential")
 		faults     = flag.String("faults", "none", "fault profile: none, a preset (lossy, lossy30, churny, outage, chaos), or key=value CSV (drop, dup, delay, timeout, churn, rejoin, outage=FROM-TO, attempts)")
 		resil      = flag.String("resilience", "none", "discovery resilience: none, a preset (breaker, naive), or key=value CSV (breaker, threshold, cooldown, jitter, probes, attempts)")
+		scenarioPath = flag.String("scenario", "", "run one scenario file (see scenarios/) through the SoA engine instead of the experiment suite")
 		list       = flag.Bool("list", false, "list experiments and exit")
 		asJSON     = flag.Bool("json", false, "emit machine-readable JSON instead of text reports")
 		cpuprofile = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
@@ -106,6 +112,26 @@ func run() (code int) {
 			fmt.Printf("%-3s %s\n", r.ID, r.Desc)
 		}
 		return 0
+	}
+
+	if *scenarioPath != "" {
+		// Scenario files carry their own mechanism, faults and resilience;
+		// mixing the suite's flags in would silently contradict the file.
+		conflict := ""
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "experiment", "faults", "resilience":
+				conflict = f.Name
+			}
+		})
+		if conflict != "" {
+			fmt.Fprintf(os.Stderr, "-%s does not apply to -scenario runs: the scenario file defines the workload\n", conflict)
+			return 2
+		}
+		if *parallel == 0 {
+			*parallel = runtime.NumCPU()
+		}
+		return runScenario(*scenarioPath, *seed, *parallel, *asJSON)
 	}
 
 	profile, err := fault.ParseProfile(*faults)

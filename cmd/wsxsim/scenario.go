@@ -1,0 +1,47 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"wstrust/internal/scenario"
+	"wstrust/internal/simclock"
+)
+
+// runScenario executes one workload-DSL scenario file through the
+// struct-of-arrays engine. The canonical report (stdout) is a pure
+// function of (scenario, seed) — wall-clock throughput goes to stderr so
+// report bytes stay digestible by the golden suite.
+func runScenario(path string, seed int64, workers int, asJSON bool) int {
+	sc, err := scenario.ParseFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	eng, err := scenario.New(sc, seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	clock := simclock.Wall()
+	start := clock.Now()
+	rpt := eng.Run(workers)
+	elapsed := clock.Now().Sub(start)
+
+	if asJSON {
+		data, err := rpt.JSON()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 2
+		}
+		fmt.Println(string(data))
+	} else {
+		fmt.Print(rpt.Text)
+		fmt.Printf("digest: %s\n", rpt.Digest())
+	}
+	if sec := elapsed.Seconds(); sec > 0 {
+		fmt.Fprintf(os.Stderr, "simulated %d rounds in %.2fs (%.2f rounds/s, %d workers)\n",
+			sc.Rounds, sec, float64(sc.Rounds)/sec, workers)
+	}
+	return 0
+}

@@ -1,0 +1,52 @@
+package core
+
+import "fmt"
+
+// DenseIDs maps string entity identifiers to dense int indexes and back.
+// The million-agent scenario engine keeps every per-agent array keyed by
+// these dense ints — flat struct-of-arrays slabs instead of per-agent
+// maps — and only materializes string IDs at the report boundary. Indexes
+// are assigned in Add order starting at 0, so a population generated in a
+// fixed order gets the same dense numbering in every process.
+//
+// DenseIDs is single-writer: build it up front, then share it read-only
+// across parallel epoch workers.
+type DenseIDs struct {
+	byID  map[string]int
+	names []string
+}
+
+// NewDenseIDs returns an empty interner with capacity for n entities.
+func NewDenseIDs(n int) *DenseIDs {
+	return &DenseIDs{byID: make(map[string]int, n), names: make([]string, 0, n)}
+}
+
+// Add interns id and returns its dense index; re-adding an id returns the
+// index it already holds.
+func (d *DenseIDs) Add(id string) int {
+	if idx, ok := d.byID[id]; ok {
+		return idx
+	}
+	idx := len(d.names)
+	d.byID[id] = idx
+	d.names = append(d.names, id)
+	return idx
+}
+
+// Index returns the dense index for id.
+func (d *DenseIDs) Index(id string) (int, bool) {
+	idx, ok := d.byID[id]
+	return idx, ok
+}
+
+// ID returns the string identifier at a dense index; it panics on an
+// index that was never assigned, which is always a caller bug.
+func (d *DenseIDs) ID(idx int) string {
+	if idx < 0 || idx >= len(d.names) {
+		panic(fmt.Sprintf("core: dense index %d out of range [0,%d)", idx, len(d.names)))
+	}
+	return d.names[idx]
+}
+
+// Len returns the number of interned identifiers.
+func (d *DenseIDs) Len() int { return len(d.names) }

@@ -1,0 +1,34 @@
+package core
+
+import "testing"
+
+func TestDenseIDs(t *testing.T) {
+	d := NewDenseIDs(4)
+	if got := d.Add("s001"); got != 0 {
+		t.Fatalf("first Add = %d, want 0", got)
+	}
+	if got := d.Add("s002"); got != 1 {
+		t.Fatalf("second Add = %d, want 1", got)
+	}
+	if got := d.Add("s001"); got != 0 {
+		t.Fatalf("re-Add = %d, want 0", got)
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", d.Len())
+	}
+	if idx, ok := d.Index("s002"); !ok || idx != 1 {
+		t.Fatalf("Index(s002) = %d,%v", idx, ok)
+	}
+	if _, ok := d.Index("missing"); ok {
+		t.Fatal("Index(missing) reported present")
+	}
+	if d.ID(1) != "s002" {
+		t.Fatalf("ID(1) = %q", d.ID(1))
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("ID(99) did not panic")
+		}
+	}()
+	_ = d.ID(99)
+}

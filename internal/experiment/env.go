@@ -90,6 +90,10 @@ type EnvConfig struct {
 	// CustomServices overrides generation with a prebuilt population
 	// (specialist markets, mediated scenarios).
 	CustomServices []workload.ServiceSpec
+	// CustomConsumers overrides consumer generation with a prebuilt
+	// population (slab-materialized populations, scripted preference
+	// mixes). nil generates Consumers/Heterogeneity as usual.
+	CustomConsumers []workload.ConsumerSpec
 	// Faults selects the fault regime. nil inherits the process default
 	// (set by wsxsim -faults); a non-nil profile is used verbatim, so
 	// experiments that need a specific regime — including the explicitly
@@ -135,7 +139,10 @@ func NewEnv(cfg EnvConfig) (*Env, error) {
 			return nil, fmt.Errorf("experiment: register %s: %w", s.Desc.Service, err)
 		}
 	}
-	consumers := workload.GenerateConsumers(simclock.Stream(cfg.Seed, "consumers"), cfg.Consumers, cfg.Heterogeneity)
+	consumers := cfg.CustomConsumers
+	if consumers == nil {
+		consumers = workload.GenerateConsumers(simclock.Stream(cfg.Seed, "consumers"), cfg.Consumers, cfg.Heterogeneity)
+	}
 	ids := make([]core.ConsumerID, len(consumers))
 	for i, c := range consumers {
 		ids[i] = c.ID

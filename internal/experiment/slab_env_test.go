@@ -1,0 +1,51 @@
+package experiment
+
+import (
+	"reflect"
+	"testing"
+
+	"wstrust/internal/simclock"
+	"wstrust/internal/trust/beta"
+	"wstrust/internal/workload"
+)
+
+// TestEnvFromSlabsMatchesGenerated is the experiment-layer half of the
+// SoA differential: an Env built from slab-materialized populations
+// (CustomServices/CustomConsumers) must be indistinguishable from the
+// generated one — same specs, and bit-identical RunResults for a full
+// selection/feedback loop — at the three reference seeds.
+func TestEnvFromSlabsMatchesGenerated(t *testing.T) {
+	opts := workload.ServiceOptions{N: 40, ExaggerateFrac: 0.25, Exaggeration: 1.5}
+	const consumers = 60
+
+	for _, seed := range []int64{42, 7, 123} {
+		runOnce := func(cfg EnvConfig) RunResult {
+			env, err := NewEnv(cfg)
+			if err != nil {
+				t.Fatalf("seed %d: NewEnv: %v", seed, err)
+			}
+			res, err := env.Run(beta.New(), RunOptions{Rounds: 8})
+			if err != nil {
+				t.Fatalf("seed %d: Run: %v", seed, err)
+			}
+			return res
+		}
+
+		generated := runOnce(EnvConfig{Seed: seed, Services: opts, Consumers: consumers, Heterogeneity: 0.5})
+
+		// Materialize the same populations through the slabs, consuming
+		// the same named streams the generators use.
+		svcSlab := workload.GenerateServiceSlab(simclock.Stream(seed, "services"), opts)
+		conSlab := workload.GenerateConsumerSlab(simclock.Stream(seed, "consumers"), consumers, 0.5)
+		fromSlabs := runOnce(EnvConfig{
+			Seed:            seed,
+			CustomServices:  svcSlab.Specs(),
+			CustomConsumers: conSlab.Specs(),
+		})
+
+		if !reflect.DeepEqual(generated, fromSlabs) {
+			t.Fatalf("seed %d: slab-built env diverges from generated env:\n generated: %+v\n from slabs: %+v",
+				seed, generated, fromSlabs)
+		}
+	}
+}

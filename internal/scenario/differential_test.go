@@ -1,0 +1,479 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/simclock"
+	"wstrust/internal/workload"
+)
+
+// The SoA-vs-map differential replay (satellite 2): refRun re-implements
+// the scenario engine the way the classic suite is built — legacy
+// map-based generators, qos.Vector maps per service, preference maps per
+// consumer, map-keyed registry state — sharing only the RNG streams and
+// the arithmetic discipline. Byte-identical reports from both pin down
+// that the slab refactor changed the representation and nothing else.
+
+type refState struct {
+	sc   *Scenario
+	seed int64
+	ids  []core.ServiceID
+
+	adv, truth map[core.ServiceID]qos.Vector // normalized
+	avail      map[core.ServiceID]float64
+	tier       map[core.ServiceID]workload.Tier
+	baseTrueU  map[core.ServiceID]float64
+
+	prefs    map[int]qos.Preferences // normalized, per consumer
+	ratePref map[int]qos.Preferences // non-availability renormalized
+	bestTrue map[int]float64
+	alive    map[int]bool
+	reports  map[int]int
+
+	sumQ, cntQ map[core.ServiceID]int64
+}
+
+func newRefState(sc *Scenario, seed int64) *refState {
+	if err := sc.Normalize(); err != nil {
+		panic(err)
+	}
+	if sc.Seed != 0 {
+		seed = sc.Seed
+	}
+	sv := sc.Population.Services
+	specs := workload.GenerateServices(simclock.Stream(seed, "scenario.services"), workload.ServiceOptions{
+		N: sv.N, GoodFrac: sv.GoodFrac, BadFrac: sv.BadFrac,
+		ExaggerateFrac: sv.ExaggerateFrac, Exaggeration: sv.Exaggeration, Jitter: sv.Jitter,
+	})
+	cons := workload.GenerateConsumers(simclock.Stream(seed, "scenario.consumers"),
+		sc.Population.Consumers.N, sc.Population.Consumers.Heterogeneity)
+
+	r := &refState{
+		sc: sc, seed: seed,
+		adv:   map[core.ServiceID]qos.Vector{},
+		truth: map[core.ServiceID]qos.Vector{},
+		avail: map[core.ServiceID]float64{}, tier: map[core.ServiceID]workload.Tier{},
+		baseTrueU: map[core.ServiceID]float64{},
+		prefs:     map[int]qos.Preferences{}, ratePref: map[int]qos.Preferences{},
+		bestTrue: map[int]float64{}, alive: map[int]bool{}, reports: map[int]int{},
+		sumQ: map[core.ServiceID]int64{}, cntQ: map[core.ServiceID]int64{},
+	}
+	scale := workload.GradeScale()
+	for _, spec := range specs {
+		id := spec.Desc.Service
+		r.ids = append(r.ids, id)
+		r.adv[id] = scale.NormalizeVector(projectPrefs(spec.Desc.Advertised))
+		r.truth[id] = scale.NormalizeVector(projectPrefs(spec.Behavior.True))
+		r.avail[id] = spec.Behavior.True[qos.Availability]
+		r.tier[id] = spec.Tier
+		var baseSum float64
+		for _, m := range workload.PrefMetrics {
+			baseSum += r.truth[id][m]
+		}
+		r.baseTrueU[id] = baseSum / 4 * r.avail[id]
+	}
+	for c, spec := range cons {
+		var sum, rsum float64
+		for _, m := range workload.PrefMetrics {
+			w := spec.Prefs[m]
+			sum += w
+			if m != qos.Availability {
+				rsum += w
+			}
+		}
+		p, rp := qos.Preferences{}, qos.Preferences{}
+		for _, m := range workload.PrefMetrics {
+			w := spec.Prefs[m]
+			if sum > 0 {
+				p[m] = w / sum
+			} else {
+				p[m] = 0.25
+			}
+			if m == qos.Availability {
+				continue
+			}
+			if rsum > 0 {
+				rp[m] = w / rsum
+			} else {
+				rp[m] = 1.0 / 3
+			}
+		}
+		r.prefs[c], r.ratePref[c] = p, rp
+		r.alive[c] = true
+		best := 0.0
+		for _, id := range r.ids {
+			if u := r.trueU(c, id); u > best {
+				best = u
+			}
+		}
+		r.bestTrue[c] = best
+	}
+	return r
+}
+
+// projectPrefs drops metric columns outside the preference profile
+// (throughput), mirroring the slab's 4-column preference axis.
+func projectPrefs(v qos.Vector) qos.Vector {
+	out := qos.Vector{}
+	for _, m := range workload.PrefMetrics {
+		out[m] = v[m]
+	}
+	return out
+}
+
+func (r *refState) score(c int, id core.ServiceID, rep map[core.ServiceID]float64, rho float64) float64 {
+	var adv float64
+	for _, m := range workload.PrefMetrics {
+		adv += r.prefs[c][m] * r.adv[id][m]
+	}
+	return (1-rho)*adv + rho*rep[id]
+}
+
+func (r *refState) trueU(c int, id core.ServiceID) float64 {
+	var u float64
+	for _, m := range workload.PrefMetrics {
+		u += r.prefs[c][m] * r.truth[id][m]
+	}
+	return u * r.avail[id]
+}
+
+func (r *refState) computeRep() map[core.ServiceID]float64 {
+	rep := make(map[core.ServiceID]float64, len(r.ids))
+	for _, id := range r.ids {
+		switch r.sc.Mechanism.Kind {
+		case "advertised":
+			rep[id] = 0.5
+		case "mean":
+			if r.cntQ[id] == 0 {
+				rep[id] = 0.5
+			} else {
+				rep[id] = float64(r.sumQ[id]) / float64(r.cntQ[id])
+			}
+		default:
+			rep[id] = float64(r.sumQ[id]+qScale) / float64(r.cntQ[id]+2*qScale)
+		}
+	}
+	return rep
+}
+
+func (r *refState) attackOf(c int) (behav string, period int, allyFrom int) {
+	nS, nC := len(r.ids), len(r.prefs)
+	start := 0
+	for _, a := range r.sc.Attacks {
+		end := start + int(math.Ceil(a.Fraction*float64(nC)))
+		if end > nC {
+			end = nC
+		}
+		if c < end {
+			kind := a.Kind
+			if kind == "whitewash" {
+				kind = a.Inner
+				period = a.Period
+			}
+			allyFrom = nS
+			if kind == "ballot-stuff" || kind == "collusion" {
+				nAllies := int(math.Ceil(a.AlliedServices * float64(nS)))
+				if nAllies > nS {
+					nAllies = nS
+				}
+				allyFrom = nS - nAllies
+			}
+			return kind, period, allyFrom
+		}
+		start = end
+	}
+	return "", 0, nS
+}
+
+// run replays the scenario sequentially over the map representation.
+func (r *refState) run() *Report {
+	sc := r.sc
+	nS, nC := len(r.ids), len(r.prefs)
+	regions := sc.Population.Consumers.Regions
+	jitter := sc.Population.Services.Jitter
+	rho := sc.Selection.ReputationWeight
+	if sc.Mechanism.Kind == "advertised" {
+		rho = 0
+	}
+	var drop float64
+	var outages []Window
+	if sc.Faults != nil {
+		drop, outages = sc.Faults.Drop, sc.Faults.Outages
+	}
+	staleServe := sc.Resilience == nil || sc.Resilience.Profile == "breaker"
+	var decayNum int64
+	if sc.Mechanism.Kind == "decay" {
+		decayNum = int64(math.Pow(2, -1/float64(sc.Mechanism.HalfLife))*65536 + 0.5)
+	}
+	newcomerWQ := int64(sc.Mechanism.NewcomerWeight*qScale + 0.5)
+	newcomerK := sc.Mechanism.NewcomerReports
+
+	frozenOut := make([]map[core.ServiceID]float64, len(outages))
+	frozenPart := make([]map[core.ServiceID]float64, len(sc.Traffic.Partitions))
+
+	var rows []RoundStats
+	var totReq, totOK, totLost, totRegretQ int64
+	var totGood int64
+	for round := 0; round < sc.Rounds; round++ {
+		rep := r.computeRep()
+		for i, w := range outages {
+			if round == w.From {
+				frozenOut[i] = rep
+			}
+		}
+		for i, p := range sc.Traffic.Partitions {
+			if round == p.From {
+				frozenPart[i] = rep
+			}
+		}
+		outIdx := -1
+		for i, w := range outages {
+			if round >= w.From && round < w.To {
+				outIdx = i
+				break
+			}
+		}
+		var row RoundStats
+		row.Round = round
+		for c := 0; c < nC; c++ {
+			if ch := sc.Traffic.Churn; ch != nil {
+				rng := streamFor(r.seed, round, c, purposeChurn)
+				u := rng.float64()
+				if r.alive[c] {
+					if u < ch.Leave {
+						r.alive[c] = false
+					}
+				} else if u < ch.Rejoin {
+					r.alive[c] = true
+				}
+			}
+			if !r.alive[c] {
+				continue
+			}
+			region := c % regions
+			rate := sc.Traffic.RateAt(round, region, regions)
+			if rate <= 0 {
+				continue
+			}
+			if rate < 1 {
+				rng := streamFor(r.seed, round, c, purposeActivity)
+				if rng.float64() >= rate {
+					continue
+				}
+			}
+
+			// Resolve this region's reputation view.
+			view, viewRho, blocked := rep, rho, false
+			var frozen map[core.ServiceID]float64
+			if outIdx >= 0 {
+				blocked, frozen = true, frozenOut[outIdx]
+			} else {
+				for i, p := range sc.Traffic.Partitions {
+					if p.Region == region && round >= p.From && round < p.To {
+						blocked, frozen = true, frozenPart[i]
+						break
+					}
+				}
+			}
+			if blocked {
+				if staleServe && frozen != nil {
+					view = frozen
+				} else {
+					viewRho = 0
+				}
+			}
+
+			rng := streamFor(r.seed, round, c, purposeAction)
+			row.Requests++
+			var chosen core.ServiceID
+			chosenIdx := 0
+			if rng.float64() < sc.Selection.Explore {
+				chosenIdx = rng.intn(nS)
+				chosen = r.ids[chosenIdx]
+			} else {
+				best := math.Inf(-1)
+				if nS <= sc.Selection.Candidates {
+					for i, id := range r.ids {
+						if s := r.score(c, id, view, viewRho); s > best {
+							best, chosen, chosenIdx = s, id, i
+						}
+					}
+				} else {
+					for j := 0; j < sc.Selection.Candidates; j++ {
+						i := rng.intn(nS)
+						if s := r.score(c, r.ids[i], view, viewRho); s > best {
+							best, chosen, chosenIdx = s, r.ids[i], i
+						}
+					}
+				}
+			}
+			regret := r.bestTrue[c] - r.trueU(c, chosen)
+			if regret < 0 {
+				regret = 0
+			}
+			row.regretQ += int64(regret*qScale + 0.5)
+			row.tierCount[r.tier[chosen]]++
+
+			rating := 0.0
+			if rng.float64() < r.avail[chosen] {
+				row.OK++
+				for _, m := range workload.PrefMetrics {
+					if m == qos.Availability {
+						continue
+					}
+					v := r.truth[chosen][m] + jitter*(2*rng.float64()-1)
+					if v < 0 {
+						v = 0
+					} else if v > 1 {
+						v = 1
+					}
+					rating += r.ratePref[c][m] * v
+				}
+			}
+
+			behav, period, allyFrom := r.attackOf(c)
+			switch behav {
+			case "badmouth":
+				rating = 0.02
+			case "ballot-stuff":
+				if chosenIdx >= allyFrom {
+					rating = 0.98
+				}
+			case "collusion":
+				if chosenIdx >= allyFrom {
+					rating = 0.98
+				} else {
+					rating = 0.02
+				}
+			case "complementary":
+				rating = 1 - rating
+			case "random":
+				rating = rng.float64()
+			}
+
+			if blocked {
+				row.Lost++
+				continue
+			}
+			if drop > 0 && rng.float64() < drop {
+				row.Lost++
+				continue
+			}
+			wQ := int64(qScale)
+			if newcomerK > 0 {
+				n := r.reports[c]
+				if period > 0 {
+					n %= period
+				}
+				if n < newcomerK {
+					wQ = newcomerWQ
+				}
+			}
+			rQ := int64(rating*qScale + 0.5)
+			r.sumQ[chosen] += (wQ * rQ) >> qShift
+			r.cntQ[chosen] += wQ
+			r.reports[c]++
+		}
+
+		if row.Requests > 0 {
+			sel := float64(row.Requests)
+			row.MeanRegret = float64(row.regretQ) / sel / qScale
+			row.HitRate = float64(row.tierCount[workload.Good]) / sel
+			row.GoodShare = row.HitRate
+			row.MediumShare = float64(row.tierCount[workload.Medium]) / sel
+			row.BadShare = float64(row.tierCount[workload.Bad]) / sel
+		}
+		if decayNum > 0 {
+			for _, id := range r.ids {
+				r.sumQ[id] = decayQ(r.sumQ[id], decayNum)
+				r.cntQ[id] = decayQ(r.cntQ[id], decayNum)
+			}
+		}
+		row.RepMAE = r.repMAE()
+		rows = append(rows, row)
+		totReq += row.Requests
+		totOK += row.OK
+		totLost += row.Lost
+		totRegretQ += row.regretQ
+		totGood += row.tierCount[workload.Good]
+	}
+
+	rpt := &Report{Scenario: sc, Seed: r.seed, Rounds: rows, Requests: totReq, OK: totOK, Lost: totLost}
+	if totReq > 0 {
+		rpt.MeanRegret = float64(totRegretQ) / float64(totReq) / qScale
+		rpt.HitRate = float64(totGood) / float64(totReq)
+	}
+	if len(rows) > 0 {
+		rpt.FinalRepMAE = rows[len(rows)-1].RepMAE
+	}
+	rpt.TopServices = r.topServices(3)
+	rpt.render()
+	return rpt
+}
+
+func (r *refState) repMAE() float64 {
+	rep := r.computeRep()
+	var sum float64
+	n := 0
+	for _, id := range r.ids {
+		if r.cntQ[id] == 0 {
+			continue
+		}
+		sum += math.Abs(rep[id] - r.baseTrueU[id])
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return sum / float64(n)
+}
+
+func (r *refState) topServices(k int) []TopService {
+	rep := r.computeRep()
+	var out []TopService
+	used := map[core.ServiceID]bool{}
+	for len(out) < k && len(out) < len(r.ids) {
+		best, bestID := math.Inf(-1), core.ServiceID("")
+		for _, id := range r.ids {
+			if !used[id] && rep[id] > best {
+				best, bestID = rep[id], id
+			}
+		}
+		used[bestID] = true
+		out = append(out, TopService{ID: string(bestID), Reputation: best, Tier: r.tier[bestID].String()})
+	}
+	return out
+}
+
+// TestDifferentialSoAvsMap replays the kitchen-sink scenario through both
+// engines at the three reference seeds and demands byte-identical
+// reports, sequentially and at -parallel 4.
+func TestDifferentialSoAvsMap(t *testing.T) {
+	for _, seed := range []int64{42, 7, 123} {
+		want := newRefState(fullScenario(), seed).run()
+		for _, workers := range []int{1, 4} {
+			got := runScenario(t, fullScenario(), seed, workers)
+			if got.Text != want.Text {
+				t.Fatalf("seed %d workers %d: SoA report diverges from map reference:\n--- map\n%s\n--- soa\n%s",
+					seed, workers, want.Text, got.Text)
+			}
+		}
+	}
+}
+
+// TestDifferentialPlain covers the mechanisms the kitchen-sink scenario
+// does not: advertised, mean and plain beta, honest population.
+func TestDifferentialPlain(t *testing.T) {
+	for _, kind := range []string{"advertised", "mean", "beta"} {
+		sc := plainScenario(Mechanism{Kind: kind})
+		want := newRefState(sc, 42).run()
+		got := runScenario(t, plainScenario(Mechanism{Kind: kind}), 42, 4)
+		if got.Text != want.Text {
+			t.Fatalf("mechanism %s: SoA report diverges from map reference:\n--- map\n%s\n--- soa\n%s",
+				kind, want.Text, got.Text)
+		}
+	}
+}

@@ -1,0 +1,199 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+)
+
+// fullScenario exercises every engine feature at a size tests can afford:
+// diurnal+flash traffic, churn, partitions, a three-way attack cocktail,
+// drop+outage faults, decay mechanism with a newcomer discount.
+func fullScenario() *Scenario {
+	return &Scenario{
+		Version:     1,
+		Name:        "test-full",
+		Description: "kitchen-sink scenario for engine tests",
+		Rounds:      16,
+		Population: Population{
+			Services:  Services{N: 60, ExaggerateFrac: 0.2},
+			Consumers: Consumers{N: 3000, Heterogeneity: 0.5, Regions: 4},
+		},
+		Mechanism: Mechanism{Kind: "decay", HalfLife: 8, NewcomerWeight: 0.3, NewcomerReports: 3},
+		Attacks: []Attack{
+			{Kind: "collusion", Fraction: 0.15, AlliedServices: 0.1},
+			{Kind: "badmouth", Fraction: 0.1},
+			{Kind: "whitewash", Fraction: 0.1, Inner: "complementary", Period: 4},
+		},
+		Faults:     &Faults{Drop: 0.1, Outages: []Window{{From: 6, To: 8}}},
+		Resilience: &Resilience{Profile: "breaker"},
+		Traffic: Traffic{
+			Shape: "diurnal", Rate: 0.5, Amplitude: 0.5, Period: 8,
+			Flash:      &Flash{Round: 10, Width: 2, Multiplier: 3},
+			Churn:      &Churn{Leave: 0.05, Rejoin: 0.3},
+			Partitions: []Partition{{Region: 2, From: 3, To: 5}},
+		},
+	}
+}
+
+func runScenario(t *testing.T, sc *Scenario, seed int64, workers int) *Report {
+	t.Helper()
+	eng, err := New(sc, seed)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return eng.Run(workers)
+}
+
+// TestEngineDeterministicAcrossWorkers is the core SoA determinism claim:
+// identical report bytes at every worker count, including a worker count
+// far above the chunk count.
+func TestEngineDeterministicAcrossWorkers(t *testing.T) {
+	for _, seed := range []int64{42, 7, 123} {
+		ref := runScenario(t, fullScenario(), seed, 1)
+		if ref.Requests == 0 {
+			t.Fatalf("seed %d: no requests simulated", seed)
+		}
+		for _, workers := range []int{2, 4, 13} {
+			got := runScenario(t, fullScenario(), seed, workers)
+			if got.Text != ref.Text {
+				t.Fatalf("seed %d: report differs at %d workers:\n--- workers=1\n%s\n--- workers=%d\n%s",
+					seed, workers, ref.Text, workers, got.Text)
+			}
+		}
+	}
+}
+
+// TestEngineSeedSensitivity guards against the RNG collapsing to one
+// stream: different seeds must give different reports.
+func TestEngineSeedSensitivity(t *testing.T) {
+	a := runScenario(t, fullScenario(), 42, 2)
+	b := runScenario(t, fullScenario(), 43, 2)
+	if a.Text == b.Text {
+		t.Fatal("seeds 42 and 43 produced identical reports")
+	}
+}
+
+func plainScenario(mech Mechanism) *Scenario {
+	return &Scenario{
+		Version: 1,
+		Name:    "test-plain",
+		Rounds:  20,
+		Population: Population{
+			Services:  Services{N: 50, ExaggerateFrac: 0.3, Exaggeration: 1.5},
+			Consumers: Consumers{N: 2000},
+		},
+		Mechanism: mech,
+	}
+}
+
+// TestReputationBeatsAdvertised is the survey's core claim at engine
+// scale: with exaggerating services, reputation-guided selection must
+// find better services than trusting advertisements.
+func TestReputationBeatsAdvertised(t *testing.T) {
+	adv := runScenario(t, plainScenario(Mechanism{Kind: "advertised"}), 42, 4)
+	beta := runScenario(t, plainScenario(Mechanism{Kind: "beta"}), 42, 4)
+	if beta.HitRate <= adv.HitRate {
+		t.Fatalf("beta hitRate %.3f not above advertised %.3f", beta.HitRate, adv.HitRate)
+	}
+	if beta.MeanRegret >= adv.MeanRegret {
+		t.Fatalf("beta meanRegret %.4f not below advertised %.4f", beta.MeanRegret, adv.MeanRegret)
+	}
+}
+
+// TestLearningCurve: under an honest population the hit rate of the last
+// quarter of rounds should beat the first round (reputation converges).
+func TestLearningCurve(t *testing.T) {
+	rpt := runScenario(t, plainScenario(Mechanism{Kind: "beta"}), 42, 4)
+	first := rpt.Rounds[0]
+	last := rpt.Rounds[len(rpt.Rounds)-1]
+	if last.HitRate <= first.HitRate {
+		t.Fatalf("hit rate did not improve: round 0 %.3f vs final %.3f", first.HitRate, last.HitRate)
+	}
+}
+
+// TestNewcomerDiscountBluntsWhitewash: with a newcomer discount the
+// registry's final reputation error under whitewashing must not exceed
+// the undiscounted registry's.
+func TestNewcomerDiscountBluntsWhitewash(t *testing.T) {
+	base := plainScenario(Mechanism{Kind: "beta"})
+	base.Attacks = []Attack{{Kind: "whitewash", Fraction: 0.3, Inner: "complementary", Period: 3}}
+	undefended := runScenario(t, base, 42, 4)
+
+	guarded := plainScenario(Mechanism{Kind: "beta", NewcomerWeight: 0.1, NewcomerReports: 5})
+	guarded.Attacks = []Attack{{Kind: "whitewash", Fraction: 0.3, Inner: "complementary", Period: 3}}
+	defended := runScenario(t, guarded, 42, 4)
+
+	if defended.FinalRepMAE > undefended.FinalRepMAE {
+		t.Fatalf("newcomer discount made reputation error worse: %.4f > %.4f",
+			defended.FinalRepMAE, undefended.FinalRepMAE)
+	}
+}
+
+// TestOutageLosesFeedback: submits inside the outage window must be
+// counted lost, and rounds outside it must not lose more than drop noise.
+func TestOutageLosesFeedback(t *testing.T) {
+	sc := plainScenario(Mechanism{Kind: "beta"})
+	sc.Faults = &Faults{Outages: []Window{{From: 5, To: 8}}}
+	rpt := runScenario(t, sc, 42, 2)
+	for _, row := range rpt.Rounds {
+		inWindow := row.Round >= 5 && row.Round < 8
+		if inWindow && row.Lost != row.Requests {
+			t.Fatalf("round %d inside outage lost %d of %d", row.Round, row.Lost, row.Requests)
+		}
+		if !inWindow && row.Lost != 0 {
+			t.Fatalf("round %d outside outage lost %d", row.Round, row.Lost)
+		}
+	}
+}
+
+// TestPartitionScopesLossToRegion: with 4 regions and one partitioned,
+// partition-round losses are ≈ a quarter of requests — strictly between
+// zero and everything.
+func TestPartitionScopesLossToRegion(t *testing.T) {
+	sc := plainScenario(Mechanism{Kind: "beta"})
+	sc.Population.Consumers.Regions = 4
+	sc.Traffic.Partitions = []Partition{{Region: 1, From: 4, To: 6}}
+	rpt := runScenario(t, sc, 42, 2)
+	for _, row := range rpt.Rounds {
+		inWindow := row.Round >= 4 && row.Round < 6
+		if inWindow {
+			if row.Lost == 0 || row.Lost == row.Requests {
+				t.Fatalf("round %d partition lost %d of %d — want a regional share", row.Round, row.Lost, row.Requests)
+			}
+			if share := float64(row.Lost) / float64(row.Requests); share > 0.35 {
+				t.Fatalf("round %d partition lost share %.2f — more than one region's worth", row.Round, share)
+			}
+		} else if row.Lost != 0 {
+			t.Fatalf("round %d outside partition lost %d", row.Round, row.Lost)
+		}
+	}
+}
+
+// TestReportShape sanity-checks the canonical text layout the golden
+// digests hash.
+func TestReportShape(t *testing.T) {
+	rpt := runScenario(t, fullScenario(), 42, 2)
+	for _, want := range []string{
+		"== scenario test-full (schema v1, seed 42) ==",
+		"mechanism: decay(halfLife=8) newcomer(w=0.3,k=3)",
+		"attacks: collusion 15% (allies 10%), badmouth 10%, whitewash 10% (inner complementary, period 4)",
+		"faults: drop 0.1, outage [6,8)  resilience: breaker",
+		"traffic: diurnal rate 0.5 amp 0.5 period 8; flash x3 @ [10,12); churn leave 0.05 rejoin 0.3; partition region 2 [3,5)",
+		"summary: requests=",
+		"top 1: s",
+	} {
+		if !strings.Contains(rpt.Text, want) {
+			t.Fatalf("report missing %q:\n%s", want, rpt.Text)
+		}
+	}
+	if len(rpt.Digest()) != 64 {
+		t.Fatalf("digest %q not a sha256 hex", rpt.Digest())
+	}
+	data, err := rpt.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	if !strings.Contains(string(data), `"name": "test-full"`) || !strings.Contains(string(data), `"digest"`) {
+		t.Fatalf("JSON summary missing fields: %s", data)
+	}
+}

@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+// FuzzScenarioParse is the parser's robustness contract: Parse never
+// panics on any byte string, and every validation rejection is a
+// FieldError naming the offending field. Wired into `make fuzz-smoke`.
+func FuzzScenarioParse(f *testing.F) {
+	f.Add([]byte(minimalDoc()))
+	f.Add([]byte(`{"version":1,"name":"x","population":{"services":{"n":10,"exaggerateFrac":0.3},"consumers":{"n":50,"regions":4}},` +
+		`"mechanism":{"kind":"decay","halfLife":6},"attacks":[{"kind":"collusion","fraction":0.2,"alliedServices":0.1}],` +
+		`"faults":{"drop":0.1,"outages":[{"from":2,"to":4}]},"resilience":{"profile":"naive"},` +
+		`"traffic":{"shape":"diurnal","rate":0.5,"amplitude":0.5,"period":12,"flash":{"round":3,"width":2,"multiplier":5},` +
+		`"churn":{"leave":0.1,"rejoin":0.5},"partitions":[{"region":1,"from":5,"to":7}]}}`))
+	f.Add([]byte(`{"version":1,"name":"w","population":{"services":{"n":2},"consumers":{"n":1}},` +
+		`"attacks":[{"kind":"whitewash","fraction":1,"inner":"ballot-stuff","period":2}]}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"version":1e9}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+	f.Add([]byte(`{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"rounds":-3}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		sc, err := Parse(data) // must not panic, whatever the input
+		if err == nil {
+			// Accepted documents are normalized and safe to re-validate.
+			if sc.Rounds < 1 || sc.Population.Services.N < 2 || sc.Population.Consumers.N < 1 {
+				t.Fatalf("Parse accepted an un-normalized document: %+v", sc)
+			}
+			if err := sc.Normalize(); err != nil {
+				t.Fatalf("re-Normalize of accepted document failed: %v", err)
+			}
+			return
+		}
+		if err.Error() == "" {
+			t.Fatal("empty error message")
+		}
+		var fe *FieldError
+		if errors.As(err, &fe) {
+			if fe.Field == "" || fe.Msg == "" {
+				t.Fatalf("FieldError missing field or message: %#v", fe)
+			}
+			if !strings.Contains(err.Error(), fe.Field) {
+				t.Fatalf("message %q does not name field %q", err.Error(), fe.Field)
+			}
+		}
+	})
+}

@@ -1,0 +1,169 @@
+package scenario
+
+import (
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"sort"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "regenerate the golden scenario digests")
+
+const (
+	scenariosDir = "../../scenarios"
+	digestFile   = "testdata/scenario_digests.json"
+
+	// goldenMaxConsumers keeps the golden suite fast: bigger scenarios
+	// (the 10^6-consumer ones) are benchmark-only.
+	goldenMaxConsumers = 200000
+
+	// goldenSeed is the suite's fixed runner seed; scenario files that
+	// pin their own seed override it, which every committed one does.
+	goldenSeed = 42
+)
+
+// loadLibrary parses every committed scenario and splits it into golden
+// and benchmark-only sets.
+func loadLibrary(t *testing.T) (golden, large []*Scenario) {
+	t.Helper()
+	paths, err := filepath.Glob(filepath.Join(scenariosDir, "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatalf("no scenarios under %s", scenariosDir)
+	}
+	sort.Strings(paths)
+	seen := map[string]string{}
+	for _, path := range paths {
+		sc, err := ParseFile(path)
+		if err != nil {
+			t.Fatalf("library scenario rejected: %v", err)
+		}
+		if prev, dup := seen[sc.Name]; dup {
+			t.Fatalf("duplicate scenario name %q in %s and %s", sc.Name, prev, path)
+		}
+		seen[sc.Name] = path
+		if sc.Population.Consumers.N > goldenMaxConsumers {
+			large = append(large, sc)
+		} else {
+			golden = append(golden, sc)
+		}
+	}
+	return golden, large
+}
+
+// TestScenarioLibraryShape pins the library floor the issue demands: at
+// least 10 named golden scenarios plus the benchmark-scale one, every
+// one self-seeded so digests do not depend on runner flags.
+func TestScenarioLibraryShape(t *testing.T) {
+	golden, large := loadLibrary(t)
+	if len(golden) < 10 {
+		t.Fatalf("only %d golden scenarios committed, want ≥ 10", len(golden))
+	}
+	if len(large) < 1 {
+		t.Fatal("no benchmark-scale (>200k consumer) scenario committed")
+	}
+	for _, sc := range append(golden, large...) {
+		if sc.Seed == 0 {
+			t.Errorf("scenario %s does not pin a seed", sc.Name)
+		}
+		if sc.Description == "" {
+			t.Errorf("scenario %s has no description", sc.Name)
+		}
+	}
+}
+
+// TestScenarioGoldenDigests is the regression library: every golden
+// scenario's canonical report must hash to its committed digest, run
+// sequentially and at -parallel 4. Regenerate with
+// `go test ./internal/scenario -run TestScenarioGoldenDigests -update`.
+func TestScenarioGoldenDigests(t *testing.T) {
+	if raceEnabled || testing.Short() {
+		t.Skip("full golden suite is sized for the plain test run; see TestScenarioGoldenSmall")
+	}
+	golden, _ := loadLibrary(t)
+
+	got := map[string]string{}
+	for _, sc := range golden {
+		seq := runScenario(t, sc, goldenSeed, 1)
+		// Run consumes the engine, so the parallel replay rebuilds it;
+		// byte-equality here is the per-scenario determinism gate.
+		par := runScenario(t, cloneScenario(t, sc), goldenSeed, 4)
+		if seq.Text != par.Text {
+			t.Fatalf("scenario %s: sequential and -parallel 4 reports differ:\n--- seq\n%s\n--- par\n%s",
+				sc.Name, seq.Text, par.Text)
+		}
+		got[sc.Name] = seq.Digest()
+	}
+
+	if *updateGolden {
+		data, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(digestFile, append(data, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("wrote %d digests to %s", len(got), digestFile)
+		return
+	}
+
+	data, err := os.ReadFile(digestFile)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	want := map[string]string{}
+	if err := json.Unmarshal(data, &want); err != nil {
+		t.Fatal(err)
+	}
+	for name, digest := range got {
+		if want[name] == "" {
+			t.Errorf("scenario %s has no committed digest (run with -update)", name)
+		} else if digest != want[name] {
+			t.Errorf("scenario %s digest drifted:\n  committed %s\n  got       %s\n(an intended engine change needs -update and a changelog note)",
+				name, want[name], digest)
+		}
+	}
+	for name := range want {
+		if _, ok := got[name]; !ok {
+			t.Errorf("committed digest for %s but no such scenario in %s", name, scenariosDir)
+		}
+	}
+}
+
+// TestScenarioGoldenSmall keeps a digest check alive under -race and
+// -short: the two lightest scenarios, sequential vs parallel.
+func TestScenarioGoldenSmall(t *testing.T) {
+	golden, _ := loadLibrary(t)
+	sort.Slice(golden, func(i, j int) bool {
+		return golden[i].Population.Consumers.N*golden[i].Rounds < golden[j].Population.Consumers.N*golden[j].Rounds
+	})
+	if len(golden) > 2 {
+		golden = golden[:2]
+	}
+	for _, sc := range golden {
+		seq := runScenario(t, sc, goldenSeed, 1)
+		par := runScenario(t, cloneScenario(t, sc), goldenSeed, 4)
+		if seq.Text != par.Text {
+			t.Fatalf("scenario %s: sequential and -parallel 4 reports differ", sc.Name)
+		}
+	}
+}
+
+// cloneScenario reparses the scenario from its rendered JSON so repeated
+// runs never share normalized state.
+func cloneScenario(t *testing.T, sc *Scenario) *Scenario {
+	t.Helper()
+	data, err := json.Marshal(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clone, err := Parse(data)
+	if err != nil {
+		t.Fatalf("clone of %s failed to reparse: %v", sc.Name, err)
+	}
+	return clone
+}

@@ -1,0 +1,52 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// Parse decodes, defaults and validates one scenario document. Decoding
+// is strict: unknown fields, malformed JSON and trailing data are errors,
+// and validation failures name the offending field (FieldError). Parse
+// never panics on any input — enforced by FuzzScenarioParse.
+func Parse(data []byte) (*Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var sc Scenario
+	if err := dec.Decode(&sc); err != nil {
+		return nil, fmt.Errorf("scenario: decode: %w", niceDecodeErr(err))
+	}
+	if dec.More() {
+		return nil, fmt.Errorf("scenario: trailing data after the document")
+	}
+	if err := sc.Normalize(); err != nil {
+		return nil, err
+	}
+	return &sc, nil
+}
+
+// niceDecodeErr rewrites encoding/json's unknown-field error into the
+// field-naming style the rest of validation uses.
+func niceDecodeErr(err error) error {
+	msg := err.Error()
+	if rest, ok := strings.CutPrefix(msg, `json: unknown field `); ok {
+		return fmt.Errorf("unknown field %s (schema version %d fields only)", rest, CurrentVersion)
+	}
+	return err
+}
+
+// ParseFile reads and parses a scenario file.
+func ParseFile(path string) (*Scenario, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("scenario: %w", err)
+	}
+	sc, err := Parse(data)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return sc, nil
+}

@@ -1,0 +1,151 @@
+package scenario
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func minimalDoc() string {
+	return `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}}}`
+}
+
+func TestParseDefaults(t *testing.T) {
+	sc, err := Parse([]byte(minimalDoc()))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if sc.Rounds != 24 {
+		t.Fatalf("rounds default = %d", sc.Rounds)
+	}
+	if sc.Population.Services.GoodFrac != 0.3 || sc.Population.Services.BadFrac != 0.3 {
+		t.Fatalf("tier fractions default = %g/%g", sc.Population.Services.GoodFrac, sc.Population.Services.BadFrac)
+	}
+	if sc.Population.Services.Jitter != 0.08 || sc.Population.Services.Exaggeration != 0.5 {
+		t.Fatalf("service defaults = jitter %g exaggeration %g", sc.Population.Services.Jitter, sc.Population.Services.Exaggeration)
+	}
+	if sc.Population.Consumers.Regions != 1 {
+		t.Fatalf("regions default = %d", sc.Population.Consumers.Regions)
+	}
+	if sc.Mechanism.Kind != "beta" || sc.Mechanism.NewcomerWeight != 1 {
+		t.Fatalf("mechanism defaults = %+v", sc.Mechanism)
+	}
+	if sc.Selection.Explore != 0.05 || sc.Selection.Candidates != 16 || sc.Selection.ReputationWeight != 0.7 {
+		t.Fatalf("selection defaults = %+v", sc.Selection)
+	}
+	if sc.Traffic.Shape != "uniform" || sc.Traffic.Rate != 1 {
+		t.Fatalf("traffic defaults = %+v", sc.Traffic)
+	}
+}
+
+func TestParseWhitewashDefaults(t *testing.T) {
+	doc := `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},
+		"attacks":[{"kind":"whitewash","fraction":0.2}]}`
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	a := sc.Attacks[0]
+	if a.Inner != "complementary" || a.Period != 5 {
+		t.Fatalf("whitewash defaults = inner %q period %d", a.Inner, a.Period)
+	}
+}
+
+func TestParseFaultPreset(t *testing.T) {
+	doc := `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},
+		"faults":{"profile":"outage"}}`
+	sc, err := Parse([]byte(doc))
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if len(sc.Faults.Outages) == 0 {
+		t.Fatalf("preset %q expanded to no outages: %+v", "outage", sc.Faults)
+	}
+}
+
+// TestParseErrorsNameField is the satellite's contract: every rejection
+// must carry the offending field's path.
+func TestParseErrorsNameField(t *testing.T) {
+	cases := []struct {
+		name  string
+		doc   string
+		field string
+	}{
+		{"badVersion", `{"version":9,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}}}`, "version"},
+		{"noName", `{"version":1,"population":{"services":{"n":10},"consumers":{"n":20}}}`, "name"},
+		{"tinyServices", `{"version":1,"name":"t","population":{"services":{"n":1},"consumers":{"n":20}}}`, "population.services.n"},
+		{"hugeConsumers", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20000000}}}`, "population.consumers.n"},
+		{"tierSum", `{"version":1,"name":"t","population":{"services":{"n":10,"goodFrac":0.8,"badFrac":0.5},"consumers":{"n":20}}}`, "population.services.badFrac"},
+		{"badMechanism", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"mechanism":{"kind":"magic"}}`, "mechanism.kind"},
+		{"halfLifeOnBeta", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"mechanism":{"kind":"beta","halfLife":5}}`, "mechanism.halfLife"},
+		{"noopNewcomer", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"mechanism":{"newcomerReports":5}}`, "mechanism.newcomerReports"},
+		{"badAttack", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"attacks":[{"kind":"ddos","fraction":0.1}]}`, "attacks[0].kind"},
+		{"attackSum", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"attacks":[{"kind":"badmouth","fraction":0.7},{"kind":"random","fraction":0.6}]}`, "attacks"},
+		{"alliesOnBadmouth", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"attacks":[{"kind":"badmouth","fraction":0.1,"alliedServices":0.2}]}`, "attacks[0].alliedServices"},
+		{"innerWhitewash", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"attacks":[{"kind":"whitewash","fraction":0.1,"inner":"whitewash"}]}`, "attacks[0].inner"},
+		{"presetConflict", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"faults":{"profile":"lossy","drop":0.5}}`, "faults.profile"},
+		{"unknownPreset", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"faults":{"profile":"volcano"}}`, "faults.profile"},
+		{"badOutage", `{"version":1,"name":"t","rounds":10,"population":{"services":{"n":10},"consumers":{"n":20}},"faults":{"outages":[{"from":12,"to":14}]}}`, "faults.outages[0]"},
+		{"badResilience", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"resilience":{"profile":"hope"}}`, "resilience.profile"},
+		{"clippedDiurnal", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"traffic":{"shape":"diurnal","rate":0.9,"amplitude":0.5}}`, "traffic.rate"},
+		{"amplitudeOnUniform", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"traffic":{"amplitude":0.5}}`, "traffic.amplitude"},
+		{"flashOutside", `{"version":1,"name":"t","rounds":10,"population":{"services":{"n":10},"consumers":{"n":20}},"traffic":{"flash":{"round":8,"width":5,"multiplier":4}}}`, "traffic.flash.width"},
+		{"partitionRegion", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20,"regions":2}},"traffic":{"partitions":[{"region":5,"from":1,"to":3}]}}`, "traffic.partitions[0].region"},
+		{"churnRange", `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"traffic":{"churn":{"leave":1.5,"rejoin":0.5}}}`, "traffic.churn.leave"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Parse([]byte(tc.doc))
+			if err == nil {
+				t.Fatal("Parse accepted an invalid document")
+			}
+			var fe *FieldError
+			if !errors.As(err, &fe) {
+				t.Fatalf("error is not a FieldError: %v", err)
+			}
+			if fe.Field != tc.field {
+				t.Fatalf("error names field %q, want %q (%v)", fe.Field, tc.field, err)
+			}
+		})
+	}
+}
+
+func TestParseStrictDecoding(t *testing.T) {
+	for name, doc := range map[string]string{
+		"unknownField": `{"version":1,"name":"t","population":{"services":{"n":10},"consumers":{"n":20}},"bogus":1}`,
+		"trailing":     minimalDoc() + `{"more":true}`,
+		"notJSON":      `scenario: yes please`,
+		"wrongType":    `{"version":"one","name":"t"}`,
+	} {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Parse([]byte(doc)); err == nil {
+				t.Fatal("Parse accepted a malformed document")
+			} else if !strings.Contains(err.Error(), "scenario") {
+				t.Fatalf("error lacks package context: %v", err)
+			}
+		})
+	}
+}
+
+func TestParseFileMissing(t *testing.T) {
+	if _, err := ParseFile("testdata/definitely-not-there.json"); err == nil {
+		t.Fatal("ParseFile accepted a missing file")
+	}
+}
+
+// TestNormalizeIdempotent: Parse output fed back through Normalize must
+// not change or error — New() relies on this.
+func TestNormalizeIdempotent(t *testing.T) {
+	sc, err := Parse([]byte(minimalDoc()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := *sc
+	if err := sc.Normalize(); err != nil {
+		t.Fatalf("second Normalize errored: %v", err)
+	}
+	if !reflect.DeepEqual(*sc, before) {
+		t.Fatalf("second Normalize changed the document: %+v vs %+v", *sc, before)
+	}
+}

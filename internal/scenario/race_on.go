@@ -1,0 +1,7 @@
+//go:build race
+
+package scenario
+
+// raceEnabled reports whether the race detector is compiled in; tests use
+// it to size scenario runs so `go test -race` stays tractable.
+const raceEnabled = true

@@ -1,0 +1,177 @@
+package scenario
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// RoundStats is one simulated round's outcome. Exported fields feed the
+// JSON summary; the canonical text report renders a fixed subset.
+type RoundStats struct {
+	Round       int     `json:"round"`
+	Requests    int64   `json:"requests"`
+	OK          int64   `json:"ok"`
+	Lost        int64   `json:"lost"`
+	MeanRegret  float64 `json:"meanRegret"`
+	HitRate     float64 `json:"hitRate"`
+	GoodShare   float64 `json:"goodShare"`
+	MediumShare float64 `json:"mediumShare"`
+	BadShare    float64 `json:"badShare"`
+	RepMAE      float64 `json:"repMAE"`
+
+	regretQ   int64
+	tierCount [4]int64
+}
+
+// TopService is one row of the final reputation leaderboard.
+type TopService struct {
+	ID         string  `json:"id"`
+	Reputation float64 `json:"reputation"`
+	Tier       string  `json:"tier"`
+}
+
+// Report is one finished scenario run. Text is the canonical rendering:
+// everything in it is a pure function of (scenario, seed), with no
+// timestamps, durations or worker counts, so its digest is the
+// regression surface the golden suite locks down.
+type Report struct {
+	Scenario *Scenario    `json:"-"`
+	Seed     int64        `json:"seed"`
+	Rounds   []RoundStats `json:"rounds"`
+
+	Requests    int64        `json:"requests"`
+	OK          int64        `json:"ok"`
+	Lost        int64        `json:"lost"`
+	MeanRegret  float64      `json:"meanRegret"`
+	HitRate     float64      `json:"hitRate"`
+	FinalRepMAE float64      `json:"finalRepMAE"`
+	TopServices []TopService `json:"topServices"`
+
+	Text string `json:"-"`
+}
+
+// Digest is the sha256 of the canonical report text, hex-encoded — the
+// value the golden scenario suite commits.
+func (r *Report) Digest() string {
+	sum := sha256.Sum256([]byte(r.Text))
+	return hex.EncodeToString(sum[:])
+}
+
+// JSON renders the machine-readable summary (wsxsim -json).
+func (r *Report) JSON() ([]byte, error) {
+	return json.MarshalIndent(struct {
+		Name   string `json:"name"`
+		Digest string `json:"digest"`
+		*Report
+	}{Name: r.Scenario.Name, Digest: r.Digest(), Report: r}, "", "  ")
+}
+
+// render builds the canonical text. Formatting discipline: config floats
+// print with %g (exact shortest form), measured shares and errors with
+// fixed precision — both deterministic across platforms for the pure
+// float operations the engine performs.
+func (r *Report) render() {
+	sc := r.Scenario
+	var b strings.Builder
+	fmt.Fprintf(&b, "== scenario %s (schema v%d, seed %d) ==\n", sc.Name, sc.Version, r.Seed)
+	if sc.Description != "" {
+		fmt.Fprintf(&b, "%s\n", sc.Description)
+	}
+	fmt.Fprintf(&b, "population: %d services (good %g / bad %g, exaggerate %g), %d consumers (heterogeneity %g, %d region(s))\n",
+		sc.Population.Services.N, sc.Population.Services.GoodFrac, sc.Population.Services.BadFrac,
+		sc.Population.Services.ExaggerateFrac, sc.Population.Consumers.N,
+		sc.Population.Consumers.Heterogeneity, sc.Population.Consumers.Regions)
+	mech := sc.Mechanism.Kind
+	if mech == "decay" {
+		mech = fmt.Sprintf("decay(halfLife=%d)", sc.Mechanism.HalfLife)
+	}
+	if sc.Mechanism.NewcomerReports > 0 {
+		mech += fmt.Sprintf(" newcomer(w=%g,k=%d)", sc.Mechanism.NewcomerWeight, sc.Mechanism.NewcomerReports)
+	}
+	fmt.Fprintf(&b, "mechanism: %s  selection: explore %g, candidates %d, rho %g\n",
+		mech, sc.Selection.Explore, sc.Selection.Candidates, sc.Selection.ReputationWeight)
+	fmt.Fprintf(&b, "attacks: %s\n", describeAttacks(sc.Attacks))
+	fmt.Fprintf(&b, "faults: %s  resilience: %s\n", describeFaults(sc.Faults), describeResilience(sc.Resilience))
+	fmt.Fprintf(&b, "traffic: %s\n", describeTraffic(sc.Traffic))
+	fmt.Fprintf(&b, "rounds: %d\n", sc.Rounds)
+
+	fmt.Fprintf(&b, "%5s %9s %9s %8s %7s %6s %6s %6s %6s %7s\n",
+		"round", "requests", "ok", "lost", "regret", "hit%", "good%", "med%", "bad%", "repMAE")
+	for _, row := range r.Rounds {
+		fmt.Fprintf(&b, "%5d %9d %9d %8d %7.4f %6.1f %6.1f %6.1f %6.1f %7.4f\n",
+			row.Round, row.Requests, row.OK, row.Lost, row.MeanRegret,
+			100*row.HitRate, 100*row.GoodShare, 100*row.MediumShare, 100*row.BadShare, row.RepMAE)
+	}
+
+	fmt.Fprintf(&b, "summary: requests=%d ok=%d lost=%d meanRegret=%.4f hitRate=%.1f%% finalRepMAE=%.4f\n",
+		r.Requests, r.OK, r.Lost, r.MeanRegret, 100*r.HitRate, r.FinalRepMAE)
+	for i, t := range r.TopServices {
+		fmt.Fprintf(&b, "top %d: %s rep=%.4f tier=%s\n", i+1, t.ID, t.Reputation, t.Tier)
+	}
+	r.Text = b.String()
+}
+
+func describeAttacks(attacks []Attack) string {
+	if len(attacks) == 0 {
+		return "none"
+	}
+	parts := make([]string, 0, len(attacks))
+	for _, a := range attacks {
+		s := fmt.Sprintf("%s %g%%", a.Kind, 100*a.Fraction)
+		if a.Kind == "ballot-stuff" || a.Kind == "collusion" {
+			s += fmt.Sprintf(" (allies %g%%)", 100*a.AlliedServices)
+		}
+		if a.Kind == "whitewash" {
+			s += fmt.Sprintf(" (inner %s, period %d)", a.Inner, a.Period)
+		}
+		parts = append(parts, s)
+	}
+	return strings.Join(parts, ", ")
+}
+
+func describeFaults(f *Faults) string {
+	if f == nil || (f.Drop == 0 && len(f.Outages) == 0) {
+		return "none"
+	}
+	var parts []string
+	if f.Profile != "" {
+		parts = append(parts, "profile "+f.Profile)
+	}
+	if f.Drop > 0 {
+		parts = append(parts, fmt.Sprintf("drop %g", f.Drop))
+	}
+	for _, w := range f.Outages {
+		parts = append(parts, fmt.Sprintf("outage [%d,%d)", w.From, w.To))
+	}
+	return strings.Join(parts, ", ")
+}
+
+func describeResilience(r *Resilience) string {
+	if r == nil {
+		return "breaker"
+	}
+	return r.Profile
+}
+
+func describeTraffic(t Traffic) string {
+	var parts []string
+	switch t.Shape {
+	case "diurnal":
+		parts = append(parts, fmt.Sprintf("diurnal rate %g amp %g period %d", t.Rate, t.Amplitude, t.Period))
+	default:
+		parts = append(parts, fmt.Sprintf("uniform rate %g", t.Rate))
+	}
+	if fl := t.Flash; fl != nil {
+		parts = append(parts, fmt.Sprintf("flash x%g @ [%d,%d)", fl.Multiplier, fl.Round, fl.Round+fl.Width))
+	}
+	if ch := t.Churn; ch != nil {
+		parts = append(parts, fmt.Sprintf("churn leave %g rejoin %g", ch.Leave, ch.Rejoin))
+	}
+	for _, p := range t.Partitions {
+		parts = append(parts, fmt.Sprintf("partition region %d [%d,%d)", p.Region, p.From, p.To))
+	}
+	return strings.Join(parts, "; ")
+}

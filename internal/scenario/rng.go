@@ -1,0 +1,76 @@
+package scenario
+
+// Counter-based randomness for the slab engine. Every consumer draws from
+// private streams keyed by (seed, round, consumer, purpose), so the draw
+// sequence a consumer sees is a pure function of those four values —
+// independent of chunk scheduling, worker count and every other
+// consumer. That is what makes the parallel epoch loop byte-identical at
+// any -parallel level: parallelism changes who computes a consumer's
+// round, never what it computes. (math/rand streams are stateful and
+// shared, which is exactly what a parallel hot loop cannot have; the
+// repo-wide determinism lint bans them here anyway.)
+//
+// The generator is splitmix64 (Steele, Lea & Flood 2014): a Weyl sequence
+// through an avalanching finalizer. Statistical quality is far beyond
+// what selection noise needs, and it is 3 integer multiplies per draw
+// with zero allocation.
+
+// mix64 is the splitmix64/Murmur3 avalanching finalizer.
+func mix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xff51afd7ed558ccd
+	x ^= x >> 33
+	x *= 0xc4ceb9fe1a85ec53
+	x ^= x >> 33
+	return x
+}
+
+// smRand is one splitmix64 stream. The zero value is a valid (but fixed)
+// stream; build real ones with streamFor.
+type smRand struct{ s uint64 }
+
+// streamFor derives the stream for one (round, consumer, purpose)
+// triple under a root seed. Distinct purposes give a consumer
+// uncorrelated draw sequences for churn, activity and actions, so
+// raising one knob never perturbs the draws behind another — the
+// common-random-numbers discipline the monotonicity properties rely on.
+func streamFor(seed int64, round, consumer int, purpose uint64) smRand {
+	x := uint64(seed)
+	x = mix64(x ^ (uint64(round)+1)*0x9e3779b97f4a7c15)
+	x = mix64(x ^ (uint64(consumer)+1)*0xbf58476d1ce4e5b9)
+	return smRand{s: mix64(x ^ purpose*0x94d049bb133111eb)}
+}
+
+// Stream purposes.
+const (
+	purposeChurn uint64 = iota + 1
+	purposeActivity
+	purposeAction
+)
+
+// next returns the stream's next 64 uniform bits.
+//
+//lint:hotpath drawn several times per consumer per round; pure integer math
+func (r *smRand) next() uint64 {
+	r.s += 0x9e3779b97f4a7c15
+	z := r.s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// float64 returns a uniform draw in [0,1) with 53 random bits.
+//
+//lint:hotpath see next
+func (r *smRand) float64() float64 {
+	return float64(r.next()>>11) / (1 << 53)
+}
+
+// intn returns a uniform draw in [0,n). The modulo bias at simulation
+// population sizes (n ≤ 10^7 against 2^64) is < 10^-12 — irrelevant for
+// candidate sampling, and branch-free.
+//
+//lint:hotpath see next
+func (r *smRand) intn(n int) int {
+	return int(r.next() % uint64(n))
+}

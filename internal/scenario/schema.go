@@ -1,0 +1,575 @@
+// Package scenario makes workloads data: a versioned, strictly validated
+// JSON format composing population mixes, attack cocktails, fault
+// profiles, resilience configs and traffic shapes — the scenario space
+// the survey's mechanism comparison only means something under — plus the
+// struct-of-arrays simulation engine that runs those scenarios at up to
+// 10^6 consumers in deterministic parallel epochs (see engine.go and
+// DESIGN.md §9).
+//
+// A scenario file names one complete marketplace workload. The schema is
+// versioned (CurrentVersion); unknown fields, out-of-range knobs and
+// conflicting shapes are rejected at parse time with errors that name the
+// offending field, so the committed library under scenarios/ doubles as a
+// format reference. wsxsim consumes files with `wsxsim -scenario <file>`.
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"wstrust/internal/fault"
+)
+
+// CurrentVersion is the schema version this build reads and writes.
+const CurrentVersion = 1
+
+// Scenario is the root document of one workload definition.
+type Scenario struct {
+	// Version is the schema version; must equal CurrentVersion.
+	Version int `json:"version"`
+	// Name identifies the scenario in reports and golden digests.
+	Name string `json:"name"`
+	// Description says what the scenario stresses.
+	Description string `json:"description,omitempty"`
+	// Seed pins the simulation seed; 0 defers to the runner (-seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Rounds is the number of simulated selection rounds (default 24).
+	Rounds int `json:"rounds,omitempty"`
+
+	Population Population  `json:"population"`
+	Mechanism  Mechanism   `json:"mechanism,omitempty"`
+	Selection  Selection   `json:"selection,omitempty"`
+	Attacks    []Attack    `json:"attacks,omitempty"`
+	Faults     *Faults     `json:"faults,omitempty"`
+	Resilience *Resilience `json:"resilience,omitempty"`
+	Traffic    Traffic     `json:"traffic,omitempty"`
+}
+
+// Population composes the service and consumer mixes.
+type Population struct {
+	Services  Services  `json:"services"`
+	Consumers Consumers `json:"consumers"`
+}
+
+// Services configures the tiered service population
+// (workload.GenerateServiceSlab).
+type Services struct {
+	// N is the number of services (required, ≥ 2).
+	N int `json:"n"`
+	// GoodFrac and BadFrac partition the tiers (defaults 0.3/0.3).
+	GoodFrac float64 `json:"goodFrac,omitempty"`
+	BadFrac  float64 `json:"badFrac,omitempty"`
+	// ExaggerateFrac of services advertise better than truth; the
+	// exaggerators are also the ally pool collusion-style attacks pump.
+	ExaggerateFrac float64 `json:"exaggerateFrac,omitempty"`
+	// Exaggeration strength (default 0.5).
+	Exaggeration float64 `json:"exaggeration,omitempty"`
+	// Jitter is per-invocation observation noise (default 0.08).
+	Jitter float64 `json:"jitter,omitempty"`
+}
+
+// Consumers configures the consumer population
+// (workload.GenerateConsumerSlab).
+type Consumers struct {
+	// N is the number of consumers (required, ≥ 1).
+	N int `json:"n"`
+	// Heterogeneity in [0,1] blends shared vs individual preferences.
+	Heterogeneity float64 `json:"heterogeneity,omitempty"`
+	// Regions partitions consumers round-robin into geographic regions
+	// (default 1); diurnal phase and partitions key off the region.
+	Regions int `json:"regions,omitempty"`
+}
+
+// Mechanism selects how the registry aggregates feedback into reputation.
+type Mechanism struct {
+	// Kind: "advertised" (no reputation — the exploitable baseline),
+	// "mean" (running mean), "beta" (Laplace-smoothed mean, default), or
+	// "decay" (beta with per-round exponential forgetting).
+	Kind string `json:"kind,omitempty"`
+	// HalfLife is the forgetting half-life in rounds for kind "decay"
+	// (default 12).
+	HalfLife int `json:"halfLife,omitempty"`
+	// NewcomerWeight in (0,1] discounts ratings from raters with fewer
+	// than NewcomerReports accepted reports (default 1 = no discount).
+	// This is the knob whitewashing attacks probe.
+	NewcomerWeight float64 `json:"newcomerWeight,omitempty"`
+	// NewcomerReports is the accepted-report count below which the
+	// newcomer discount applies.
+	NewcomerReports int `json:"newcomerReports,omitempty"`
+}
+
+// Selection tunes the consumer-side selection policy.
+type Selection struct {
+	// Explore is the ε-greedy exploration probability (default 0.05).
+	Explore float64 `json:"explore,omitempty"`
+	// Candidates is the per-selection candidate sample size when the
+	// population exceeds it (default 16).
+	Candidates int `json:"candidates,omitempty"`
+	// ReputationWeight ρ blends reputation against advertised utility:
+	// score = (1-ρ)·advertised + ρ·reputation (default 0.7).
+	ReputationWeight float64 `json:"reputationWeight,omitempty"`
+}
+
+// Attack is one component of the attack cocktail. Fractions are assigned
+// to consumer-index prefixes in list order (the attack.Assign
+// discipline), so cocktails are deterministic by construction.
+type Attack struct {
+	// Kind: badmouth, ballot-stuff, collusion, complementary, random, or
+	// whitewash (see internal/attack for the behaviours).
+	Kind string `json:"kind"`
+	// Fraction of the consumer population running this attack.
+	Fraction float64 `json:"fraction"`
+	// AlliedServices is the fraction of services the ballot-stuff or
+	// collusion clique pumps, drawn from the exaggerator end of the
+	// population (default 0.05).
+	AlliedServices float64 `json:"alliedServices,omitempty"`
+	// Inner is the lying behaviour a whitewasher wraps (default
+	// "complementary").
+	Inner string `json:"inner,omitempty"`
+	// Period is the whitewasher's reports-per-identity before it resets
+	// (default 5).
+	Period int `json:"period,omitempty"`
+}
+
+// Faults selects the fault regime: either a named preset from
+// internal/fault (lossy, lossy30, churny, outage, chaos) or explicit
+// knobs, not both. The scenario engine honours the feedback-path subset —
+// drop rate and registry outage windows.
+type Faults struct {
+	// Profile names a fault preset.
+	Profile string `json:"profile,omitempty"`
+	// Drop is the per-submit probability that feedback is lost.
+	Drop float64 `json:"drop,omitempty"`
+	// Outages are registry outage windows in rounds [from,to).
+	Outages []Window `json:"outages,omitempty"`
+}
+
+// Window is a half-open round interval [From,To).
+type Window struct {
+	From int `json:"from"`
+	To   int `json:"to"`
+}
+
+// Resilience selects how consumers degrade when the registry is
+// unreachable (outages, partitions): "breaker" serves selections from the
+// reputation snapshot cached at the window start (stale but informed);
+// "naive" falls back to advertised-only ranking — discovery failed and
+// nothing was cached.
+type Resilience struct {
+	Profile string `json:"profile"`
+}
+
+// Traffic composes the request shape: a base shape (uniform or a diurnal
+// cycle) plus optional flash-crowd, marketplace-churn and
+// regional-partition overlays.
+type Traffic struct {
+	// Shape: "uniform" (default) or "diurnal".
+	Shape string `json:"shape,omitempty"`
+	// Rate is the base per-consumer per-round activity probability
+	// (default 1).
+	Rate float64 `json:"rate,omitempty"`
+	// Amplitude of the diurnal cycle in [0,1] (default 0.5; diurnal
+	// only). Validation requires rate·(1+amplitude) ≤ 1 so the cycle
+	// never clips and total volume is conserved across a period.
+	Amplitude float64 `json:"amplitude,omitempty"`
+	// Period of the diurnal cycle in rounds (default 24; diurnal only).
+	Period int `json:"period,omitempty"`
+	// Flash is an optional flash-crowd overlay.
+	Flash *Flash `json:"flash,omitempty"`
+	// Churn is optional marketplace churn of the consumer population.
+	Churn *Churn `json:"churn,omitempty"`
+	// Partitions are regional registry partitions.
+	Partitions []Partition `json:"partitions,omitempty"`
+}
+
+// Flash is a flash crowd: activity multiplied by Multiplier (capped at
+// probability 1) during rounds [Round, Round+Width).
+type Flash struct {
+	Round      int     `json:"round"`
+	Width      int     `json:"width"`
+	Multiplier float64 `json:"multiplier"`
+}
+
+// Churn is marketplace churn: each round every present consumer leaves
+// with probability Leave and every departed consumer returns with
+// probability Rejoin.
+type Churn struct {
+	Leave  float64 `json:"leave"`
+	Rejoin float64 `json:"rejoin"`
+}
+
+// Partition cuts one region off the registry for rounds [From,To):
+// feedback from the region is lost and its consumers see no reputation
+// updates (what they see instead depends on the resilience profile).
+type Partition struct {
+	Region int `json:"region"`
+	From   int `json:"from"`
+	To     int `json:"to"`
+}
+
+// FieldError is a validation failure naming the offending field.
+type FieldError struct {
+	Field string
+	Msg   string
+}
+
+// Error implements error.
+func (e *FieldError) Error() string { return "scenario: " + e.Field + ": " + e.Msg }
+
+func errf(field, format string, args ...any) error {
+	return &FieldError{Field: field, Msg: fmt.Sprintf(format, args...)}
+}
+
+// AttackKinds lists the accepted attack kinds.
+var AttackKinds = []string{"badmouth", "ballot-stuff", "collusion", "complementary", "random", "whitewash"}
+
+// MechanismKinds lists the accepted mechanism kinds.
+var MechanismKinds = []string{"advertised", "mean", "beta", "decay"}
+
+func isOneOf(s string, set []string) bool {
+	for _, v := range set {
+		if s == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Normalize applies defaults and validates; it is called by Parse and
+// must be called before handing a hand-built Scenario to the engine.
+func (s *Scenario) Normalize() error {
+	if s.Version != CurrentVersion {
+		return errf("version", "unsupported schema version %d (this build supports %d)", s.Version, CurrentVersion)
+	}
+	if strings.TrimSpace(s.Name) == "" {
+		return errf("name", "required")
+	}
+	if s.Rounds == 0 {
+		s.Rounds = 24
+	}
+	if s.Rounds < 1 || s.Rounds > 100000 {
+		return errf("rounds", "%d out of range [1,100000]", s.Rounds)
+	}
+	if s.Seed < 0 {
+		return errf("seed", "%d must be ≥ 0", s.Seed)
+	}
+	if err := s.Population.normalize(); err != nil {
+		return err
+	}
+	if err := s.Mechanism.normalize(); err != nil {
+		return err
+	}
+	if err := s.Selection.normalize(); err != nil {
+		return err
+	}
+	var attackTotal float64
+	for i := range s.Attacks {
+		if err := s.Attacks[i].normalize(i); err != nil {
+			return err
+		}
+		attackTotal += s.Attacks[i].Fraction
+	}
+	if attackTotal > 1 {
+		return errf("attacks", "fractions sum to %.3f, exceeding 1", attackTotal)
+	}
+	if s.Faults != nil {
+		if err := s.Faults.normalize(s.Rounds); err != nil {
+			return err
+		}
+	}
+	if s.Resilience != nil {
+		switch s.Resilience.Profile {
+		case "breaker", "naive":
+		default:
+			return errf("resilience.profile", "unknown profile %q (want breaker or naive)", s.Resilience.Profile)
+		}
+	}
+	return s.Traffic.normalize(s.Rounds, s.Population.Consumers.Regions)
+}
+
+func (p *Population) normalize() error {
+	sv := &p.Services
+	if sv.N < 2 {
+		return errf("population.services.n", "%d must be ≥ 2", sv.N)
+	}
+	if sv.N > 100000 {
+		return errf("population.services.n", "%d exceeds the 100000 ceiling", sv.N)
+	}
+	if sv.GoodFrac == 0 && sv.BadFrac == 0 {
+		sv.GoodFrac, sv.BadFrac = 0.3, 0.3
+	}
+	for field, v := range map[string]float64{
+		"population.services.goodFrac":       sv.GoodFrac,
+		"population.services.badFrac":        sv.BadFrac,
+		"population.services.exaggerateFrac": sv.ExaggerateFrac,
+	} {
+		if v < 0 || v > 1 {
+			return errf(field, "%g out of range [0,1]", v)
+		}
+	}
+	if sv.GoodFrac+sv.BadFrac > 1 {
+		return errf("population.services.badFrac", "goodFrac+badFrac = %g exceeds 1", sv.GoodFrac+sv.BadFrac)
+	}
+	if sv.Exaggeration == 0 {
+		sv.Exaggeration = 0.5
+	}
+	if sv.Exaggeration < 0 || sv.Exaggeration > 4 {
+		return errf("population.services.exaggeration", "%g out of range (0,4]", sv.Exaggeration)
+	}
+	if sv.Jitter == 0 {
+		sv.Jitter = 0.08
+	}
+	if sv.Jitter < 0 || sv.Jitter > 0.5 {
+		return errf("population.services.jitter", "%g out of range [0,0.5]", sv.Jitter)
+	}
+	co := &p.Consumers
+	if co.N < 1 {
+		return errf("population.consumers.n", "%d must be ≥ 1", co.N)
+	}
+	if co.N > 10_000_000 {
+		return errf("population.consumers.n", "%d exceeds the 10000000 ceiling", co.N)
+	}
+	if co.Heterogeneity < 0 || co.Heterogeneity > 1 {
+		return errf("population.consumers.heterogeneity", "%g out of range [0,1]", co.Heterogeneity)
+	}
+	if co.Regions == 0 {
+		co.Regions = 1
+	}
+	if co.Regions < 1 || co.Regions > 64 {
+		return errf("population.consumers.regions", "%d out of range [1,64]", co.Regions)
+	}
+	return nil
+}
+
+func (m *Mechanism) normalize() error {
+	if m.Kind == "" {
+		m.Kind = "beta"
+	}
+	if !isOneOf(m.Kind, MechanismKinds) {
+		return errf("mechanism.kind", "unknown kind %q (want one of %s)", m.Kind, strings.Join(MechanismKinds, ", "))
+	}
+	if m.HalfLife != 0 && m.Kind != "decay" {
+		return errf("mechanism.halfLife", "only valid with kind \"decay\"")
+	}
+	if m.Kind == "decay" {
+		if m.HalfLife == 0 {
+			m.HalfLife = 12
+		}
+		if m.HalfLife < 1 || m.HalfLife > 10000 {
+			return errf("mechanism.halfLife", "%d out of range [1,10000]", m.HalfLife)
+		}
+	}
+	if m.NewcomerWeight == 0 {
+		m.NewcomerWeight = 1
+	}
+	if m.NewcomerWeight <= 0 || m.NewcomerWeight > 1 {
+		return errf("mechanism.newcomerWeight", "%g out of range (0,1]", m.NewcomerWeight)
+	}
+	if m.NewcomerReports < 0 || m.NewcomerReports > 1000 {
+		return errf("mechanism.newcomerReports", "%d out of range [0,1000]", m.NewcomerReports)
+	}
+	if m.NewcomerReports > 0 && m.NewcomerWeight == 1 {
+		return errf("mechanism.newcomerReports", "set but newcomerWeight is 1 (the discount would be a no-op)")
+	}
+	return nil
+}
+
+func (s *Selection) normalize() error {
+	if s.Explore == 0 {
+		s.Explore = 0.05
+	}
+	if s.Explore < 0 || s.Explore > 1 {
+		return errf("selection.explore", "%g out of range [0,1]", s.Explore)
+	}
+	if s.Candidates == 0 {
+		s.Candidates = 16
+	}
+	if s.Candidates < 2 || s.Candidates > 1024 {
+		return errf("selection.candidates", "%d out of range [2,1024]", s.Candidates)
+	}
+	if s.ReputationWeight == 0 {
+		s.ReputationWeight = 0.7
+	}
+	if s.ReputationWeight < 0 || s.ReputationWeight > 1 {
+		return errf("selection.reputationWeight", "%g out of range [0,1]", s.ReputationWeight)
+	}
+	return nil
+}
+
+func (a *Attack) normalize(i int) error {
+	field := func(name string) string { return fmt.Sprintf("attacks[%d].%s", i, name) }
+	if !isOneOf(a.Kind, AttackKinds) {
+		return errf(field("kind"), "unknown kind %q (want one of %s)", a.Kind, strings.Join(AttackKinds, ", "))
+	}
+	if a.Fraction <= 0 || a.Fraction > 1 {
+		return errf(field("fraction"), "%g out of range (0,1]", a.Fraction)
+	}
+	needsAllies := a.Kind == "ballot-stuff" || a.Kind == "collusion"
+	if a.AlliedServices != 0 && !needsAllies {
+		return errf(field("alliedServices"), "only valid for ballot-stuff and collusion")
+	}
+	if needsAllies {
+		if a.AlliedServices == 0 {
+			a.AlliedServices = 0.05
+		}
+		if a.AlliedServices < 0 || a.AlliedServices > 1 {
+			return errf(field("alliedServices"), "%g out of range (0,1]", a.AlliedServices)
+		}
+	}
+	if a.Kind == "whitewash" {
+		if a.Inner == "" {
+			a.Inner = "complementary"
+		}
+		if a.Inner == "whitewash" || !isOneOf(a.Inner, AttackKinds) {
+			return errf(field("inner"), "invalid inner kind %q", a.Inner)
+		}
+		if a.Period == 0 {
+			a.Period = 5
+		}
+		if a.Period < 1 || a.Period > 10000 {
+			return errf(field("period"), "%d out of range [1,10000]", a.Period)
+		}
+	} else {
+		if a.Inner != "" {
+			return errf(field("inner"), "only valid for whitewash")
+		}
+		if a.Period != 0 {
+			return errf(field("period"), "only valid for whitewash")
+		}
+	}
+	return nil
+}
+
+func (f *Faults) normalize(rounds int) error {
+	if f.Profile != "" {
+		if f.Drop != 0 || len(f.Outages) > 0 {
+			return errf("faults.profile", "conflicts with explicit drop/outages fields")
+		}
+		p, err := fault.ParseProfile(f.Profile)
+		if err != nil || p.Name == "custom" || !p.Enabled() {
+			return errf("faults.profile", "unknown fault preset %q", f.Profile)
+		}
+		f.Drop = p.DropRate
+		for _, w := range p.Outages {
+			f.Outages = append(f.Outages, Window{From: w.From, To: w.To})
+		}
+	}
+	if f.Drop < 0 || f.Drop >= 1 {
+		return errf("faults.drop", "%g out of range [0,1)", f.Drop)
+	}
+	for i, w := range f.Outages {
+		if w.From < 0 || w.To <= w.From || w.From >= rounds {
+			return errf(fmt.Sprintf("faults.outages[%d]", i), "window [%d,%d) invalid for a %d-round run", w.From, w.To, rounds)
+		}
+	}
+	return nil
+}
+
+func (t *Traffic) normalize(rounds, regions int) error {
+	if t.Shape == "" {
+		t.Shape = "uniform"
+	}
+	if t.Rate == 0 {
+		t.Rate = 1
+	}
+	if t.Rate < 0 || t.Rate > 1 {
+		return errf("traffic.rate", "%g out of range (0,1]", t.Rate)
+	}
+	switch t.Shape {
+	case "uniform":
+		if t.Amplitude != 0 {
+			return errf("traffic.amplitude", "only valid with shape \"diurnal\"")
+		}
+		if t.Period != 0 {
+			return errf("traffic.period", "only valid with shape \"diurnal\"")
+		}
+	case "diurnal":
+		if t.Amplitude == 0 {
+			t.Amplitude = 0.5
+		}
+		if t.Amplitude < 0 || t.Amplitude > 1 {
+			return errf("traffic.amplitude", "%g out of range (0,1]", t.Amplitude)
+		}
+		if t.Period == 0 {
+			t.Period = 24
+		}
+		if t.Period < 2 || t.Period > 100000 {
+			return errf("traffic.period", "%d out of range [2,100000]", t.Period)
+		}
+		if peak := t.Rate * (1 + t.Amplitude); peak > 1+1e-12 {
+			return errf("traffic.rate", "rate×(1+amplitude) = %g exceeds 1 — the diurnal peak would clip and volume would not be conserved", peak)
+		}
+	default:
+		return errf("traffic.shape", "unknown shape %q (want uniform or diurnal)", t.Shape)
+	}
+	if fl := t.Flash; fl != nil {
+		if fl.Round < 0 || fl.Round >= rounds {
+			return errf("traffic.flash.round", "%d outside the %d-round run", fl.Round, rounds)
+		}
+		if fl.Width < 1 || fl.Round+fl.Width > rounds {
+			return errf("traffic.flash.width", "window [%d,%d) outside the %d-round run", fl.Round, fl.Round+fl.Width, rounds)
+		}
+		if fl.Multiplier < 1 || fl.Multiplier > 1000 {
+			return errf("traffic.flash.multiplier", "%g out of range [1,1000]", fl.Multiplier)
+		}
+	}
+	if ch := t.Churn; ch != nil {
+		if ch.Leave <= 0 || ch.Leave >= 1 {
+			return errf("traffic.churn.leave", "%g out of range (0,1)", ch.Leave)
+		}
+		if ch.Rejoin <= 0 || ch.Rejoin > 1 {
+			return errf("traffic.churn.rejoin", "%g out of range (0,1]", ch.Rejoin)
+		}
+	}
+	for i, p := range t.Partitions {
+		field := func(name string) string { return fmt.Sprintf("traffic.partitions[%d].%s", i, name) }
+		if p.Region < 0 || p.Region >= regions {
+			return errf(field("region"), "%d outside the %d configured regions", p.Region, regions)
+		}
+		if p.From < 0 || p.To <= p.From || p.From >= rounds {
+			return errf(field("from"), "window [%d,%d) invalid for a %d-round run", p.From, p.To, rounds)
+		}
+	}
+	return nil
+}
+
+// RateAt returns the activity probability for one round and region before
+// flash scaling: the base rate, diurnally modulated when shape is
+// diurnal. Regions are phase-shifted across the period so global volume
+// spreads — the sum over a full period is rate·period for every region
+// (volume conservation; see the property tests).
+func (t Traffic) RateAt(round, region, regions int) float64 {
+	r := t.Rate
+	if t.Shape == "diurnal" {
+		phase := float64(region) / float64(regions)
+		r *= 1 + t.Amplitude*math.Sin(2*math.Pi*(float64(round)/float64(t.Period)+phase))
+	}
+	if fl := t.Flash; fl != nil && round >= fl.Round && round < fl.Round+fl.Width {
+		r *= fl.Multiplier
+	}
+	if r < 0 {
+		return 0
+	}
+	if r > 1 {
+		return 1
+	}
+	return r
+}
+
+// ExpectedVolume sums RateAt over every round and consumer — the expected
+// request count before churn and ε noise, used by the conservation
+// property tests.
+func (t Traffic) ExpectedVolume(rounds, consumers, regions int) float64 {
+	var total float64
+	for round := 0; round < rounds; round++ {
+		for region := 0; region < regions; region++ {
+			n := consumers / regions
+			if region < consumers%regions {
+				n++
+			}
+			total += float64(n) * t.RateAt(round, region, regions)
+		}
+	}
+	return total
+}

@@ -1,0 +1,152 @@
+package scenario
+
+import (
+	"math"
+	"testing"
+)
+
+// The traffic-shape property tests (satellite 4): shapes are
+// deterministic per configuration, conserve volume within stated bounds,
+// and respond monotonically to their intensity knobs.
+
+func diurnal(rate, amplitude float64, period int) Traffic {
+	return Traffic{Shape: "diurnal", Rate: rate, Amplitude: amplitude, Period: period}
+}
+
+func TestRateAtDeterministic(t *testing.T) {
+	tr := diurnal(0.4, 0.8, 12)
+	tr.Flash = &Flash{Round: 5, Width: 3, Multiplier: 2}
+	for round := 0; round < 30; round++ {
+		for region := 0; region < 4; region++ {
+			a := tr.RateAt(round, region, 4)
+			b := tr.RateAt(round, region, 4)
+			if a != b {
+				t.Fatalf("RateAt(%d,%d) unstable: %v vs %v", round, region, a, b)
+			}
+			if a < 0 || a > 1 {
+				t.Fatalf("RateAt(%d,%d) = %v outside [0,1]", round, region, a)
+			}
+		}
+	}
+}
+
+// TestDiurnalConservesVolume: over whole periods the sine modulation
+// integrates away, so expected volume equals the flat rate×rounds×
+// consumers — for any region count, since regions are pure phase shifts.
+func TestDiurnalConservesVolume(t *testing.T) {
+	const consumers = 1000
+	for _, regions := range []int{1, 2, 3, 4, 7} {
+		for _, period := range []int{8, 12, 24} {
+			tr := diurnal(0.5, 0.5, period)
+			rounds := 3 * period
+			got := tr.ExpectedVolume(rounds, consumers, regions)
+			want := 0.5 * float64(rounds) * consumers
+			if rel := math.Abs(got-want) / want; rel > 1e-9 {
+				t.Fatalf("regions=%d period=%d: volume %.6f vs flat %.6f (rel %.2e)",
+					regions, period, got, want, rel)
+			}
+		}
+	}
+}
+
+// TestUniformVolumeExact: uniform shape is exactly rate×rounds×consumers.
+func TestUniformVolumeExact(t *testing.T) {
+	tr := Traffic{Shape: "uniform", Rate: 0.3}
+	if got, want := tr.ExpectedVolume(10, 500, 2), 0.3*10*500; math.Abs(got-want) > 1e-9 {
+		t.Fatalf("volume %.6f, want %.6f", got, want)
+	}
+}
+
+// TestFlashVolumeBounded: a flash crowd adds at most
+// (multiplier-1)×rate×width×consumers extra volume — and at least some,
+// when the base rate leaves headroom.
+func TestFlashVolumeBounded(t *testing.T) {
+	base := diurnal(0.25, 0.5, 8)
+	flashed := base
+	flashed.Flash = &Flash{Round: 8, Width: 2, Multiplier: 3}
+	const rounds, consumers = 24, 1000
+	vBase := base.ExpectedVolume(rounds, consumers, 1)
+	vFlash := flashed.ExpectedVolume(rounds, consumers, 1)
+	if vFlash <= vBase {
+		t.Fatalf("flash did not add volume: %.1f vs %.1f", vFlash, vBase)
+	}
+	maxExtra := (3 - 1) * 0.25 * (1 + 0.5) * 2 * consumers
+	if vFlash-vBase > maxExtra+1e-6 {
+		t.Fatalf("flash added %.1f, above the %.1f bound", vFlash-vBase, maxExtra)
+	}
+}
+
+// TestVolumeMonotoneInIntensity: raising any intensity knob — base rate,
+// flash multiplier, flash width — never decreases expected volume.
+func TestVolumeMonotoneInIntensity(t *testing.T) {
+	const rounds, consumers, regions = 24, 500, 2
+	prev := -1.0
+	for _, rate := range []float64{0.1, 0.2, 0.3, 0.4, 0.5} {
+		v := diurnal(rate, 0.5, 8).ExpectedVolume(rounds, consumers, regions)
+		if v < prev {
+			t.Fatalf("volume fell from %.2f to %.2f as rate rose to %g", prev, v, rate)
+		}
+		prev = v
+	}
+	prev = -1
+	for _, mult := range []float64{1, 2, 4, 8, 100} {
+		tr := diurnal(0.25, 0.5, 8)
+		tr.Flash = &Flash{Round: 4, Width: 4, Multiplier: mult}
+		v := tr.ExpectedVolume(rounds, consumers, regions)
+		if v < prev {
+			t.Fatalf("volume fell from %.2f to %.2f as multiplier rose to %g", prev, v, mult)
+		}
+		prev = v
+	}
+	prev = -1
+	for _, width := range []int{1, 2, 4, 8} {
+		tr := Traffic{Shape: "uniform", Rate: 0.5}
+		tr.Flash = &Flash{Round: 0, Width: width, Multiplier: 1.5}
+		v := tr.ExpectedVolume(rounds, consumers, regions)
+		if v < prev {
+			t.Fatalf("volume fell from %.2f to %.2f as width rose to %d", prev, v, width)
+		}
+		prev = v
+	}
+}
+
+// TestEngineVolumeMonotone lifts monotonicity to the simulated engine:
+// because activity draws use common random numbers (one private stream
+// per consumer-round), raising the rate can only switch consumers on,
+// so realized request counts are monotone per round, not just in
+// expectation.
+func TestEngineVolumeMonotone(t *testing.T) {
+	run := func(rate float64) *Report {
+		sc := plainScenario(Mechanism{Kind: "beta"})
+		sc.Traffic = Traffic{Shape: "uniform", Rate: rate}
+		return runScenario(t, sc, 42, 4)
+	}
+	lo, hi := run(0.3), run(0.6)
+	for i := range lo.Rounds {
+		if hi.Rounds[i].Requests < lo.Rounds[i].Requests {
+			t.Fatalf("round %d: requests fell from %d to %d as rate rose",
+				i, lo.Rounds[i].Requests, hi.Rounds[i].Requests)
+		}
+	}
+}
+
+// TestRegionPhaseSpread: with several regions, per-round global rate
+// variance shrinks versus a single region — the phase shift spreads load.
+func TestRegionPhaseSpread(t *testing.T) {
+	tr := diurnal(0.5, 0.8, 16)
+	spread := func(regions int) float64 {
+		var lo, hi = math.Inf(1), math.Inf(-1)
+		for round := 0; round < 16; round++ {
+			var sum float64
+			for r := 0; r < regions; r++ {
+				sum += tr.RateAt(round, r, regions)
+			}
+			sum /= float64(regions)
+			lo, hi = math.Min(lo, sum), math.Max(hi, sum)
+		}
+		return hi - lo
+	}
+	if s1, s4 := spread(1), spread(4); s4 >= s1 {
+		t.Fatalf("4-region load spread %.4f not below single-region %.4f", s4, s1)
+	}
+}

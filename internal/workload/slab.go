@@ -1,0 +1,201 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"wstrust/internal/core"
+	"wstrust/internal/qos"
+	"wstrust/internal/soa"
+)
+
+// This file is the struct-of-arrays (SoA) representation of the generated
+// populations. The map-based ServiceSpec/ConsumerSpec path above stays as
+// the reference representation the classic experiment suite runs on; the
+// slabs below hold the same populations as flat arrays keyed by dense int
+// indexes, which is what lets the scenario engine simulate 10^6-consumer
+// populations in cache-friendly memory with no per-agent maps on the hot
+// path. Generation consumes the RNG draw-for-draw identically to the
+// legacy generators, so slab and spec populations built from one seed are
+// the same population — enforced by the differential tests in
+// slab_test.go and by the scenario engine's SoA-vs-map replay.
+
+// SlabMetrics is the fixed metric axis of every service slab: the grading
+// scale's metrics in sorted order, so flat offsets and sorted-map
+// iteration agree on which column is which.
+var SlabMetrics = func() []qos.MetricID {
+	ids := make([]qos.MetricID, 0, len(refScale))
+	for m := range refScale {
+		ids = append(ids, m)
+	}
+	return qos.SortIDs(ids)
+}()
+
+// PrefMetrics is the fixed metric axis of every consumer slab: the base
+// preference profile's metrics in sorted order (the order GenerateConsumers
+// draws weights in).
+var PrefMetrics = func() []qos.MetricID {
+	base := BasePreferences()
+	ids := make([]qos.MetricID, 0, len(base))
+	for m := range base {
+		ids = append(ids, m)
+	}
+	return qos.SortIDs(ids)
+}()
+
+// ServiceSlab is the service population as struct-of-arrays: row i holds
+// service dense index i (ServiceID numbering stays i+IDOffset+1, matching
+// GenerateServices). Truth and Advertised are row-major [N × len(SlabMetrics)]
+// in SlabMetrics column order.
+type ServiceSlab struct {
+	N          int
+	Truth      []float64
+	Advertised []float64
+	Tier       []uint8 // Tier values (Good/Medium/Bad)
+	Exaggerate []bool
+	Jitter     float64
+	Category   string
+
+	portfolio int
+	idOffset  int
+}
+
+// NumMetrics returns the slab's metric-column count.
+func (s *ServiceSlab) NumMetrics() int { return len(SlabMetrics) }
+
+// TruthAt returns the raw ground-truth value of service i on metric
+// column m.
+func (s *ServiceSlab) TruthAt(i, m int) float64 { return s.Truth[i*len(SlabMetrics)+m] }
+
+// AdvertisedAt returns the advertised value of service i on metric
+// column m.
+func (s *ServiceSlab) AdvertisedAt(i, m int) float64 { return s.Advertised[i*len(SlabMetrics)+m] }
+
+// GenerateServiceSlab builds the tiered service population in SoA form,
+// consuming rng exactly as GenerateServices does — the two calls with
+// equal seeds yield the same population (see Specs).
+func GenerateServiceSlab(rng *rand.Rand, opts ServiceOptions) *ServiceSlab {
+	opts.setDefaults()
+	nm := len(SlabMetrics)
+	s := &ServiceSlab{
+		N:          opts.N,
+		Truth:      make([]float64, opts.N*nm),
+		Advertised: make([]float64, opts.N*nm),
+		Tier:       make([]uint8, opts.N),
+		Exaggerate: make([]bool, opts.N),
+		Jitter:     opts.Jitter,
+		Category:   opts.Category,
+		portfolio:  opts.PortfolioSize,
+		idOffset:   opts.IDOffset,
+	}
+	nGood := int(math.Round(opts.GoodFrac * float64(opts.N)))
+	nBad := int(math.Round(opts.BadFrac * float64(opts.N)))
+	nExaggerate := int(math.Round(opts.ExaggerateFrac * float64(opts.N)))
+	for i := 0; i < opts.N; i++ {
+		tier := Medium
+		switch {
+		case i < nGood:
+			tier = Good
+		case i < nGood+nBad:
+			tier = Bad
+		}
+		truth := tierTruth(tier, rng)
+		advertised := truth
+		if nExaggerate > 0 && i >= opts.N-nExaggerate {
+			advertised = soa.Exaggerate(truth, opts.Exaggeration)
+			s.Exaggerate[i] = true
+		}
+		s.Tier[i] = uint8(tier)
+		for m, id := range SlabMetrics {
+			s.Truth[i*nm+m] = truth[id]
+			s.Advertised[i*nm+m] = advertised[id]
+		}
+	}
+	return s
+}
+
+// Spec materializes row i back into the map-based reference
+// representation, byte-equal to what GenerateServices builds for the same
+// draws.
+func (s *ServiceSlab) Spec(i int) ServiceSpec {
+	truth := make(qos.Vector, len(SlabMetrics))
+	advertised := make(qos.Vector, len(SlabMetrics))
+	for m, id := range SlabMetrics {
+		truth[id] = s.TruthAt(i, m)
+		advertised[id] = s.AdvertisedAt(i, m)
+	}
+	idx := s.idOffset + i + 1
+	provider := core.NewProviderID(s.idOffset + i/s.portfolio + 1)
+	return ServiceSpec{
+		Desc: soa.Description{
+			Service:    core.NewServiceID(idx),
+			Provider:   provider,
+			Name:       fmt.Sprintf("%s-%03d", s.Category, idx),
+			Category:   s.Category,
+			Operations: []soa.Operation{{Name: "Execute", Input: "request", Output: "response"}},
+			Advertised: advertised,
+			Endpoint:   fmt.Sprintf("sim://%s", core.NewServiceID(idx)),
+		},
+		Behavior:    soa.Behavior{True: truth, Jitter: s.Jitter},
+		Tier:        Tier(s.Tier[i]),
+		Exaggerated: s.Exaggerate[i],
+	}
+}
+
+// Specs materializes the whole slab.
+func (s *ServiceSlab) Specs() []ServiceSpec {
+	out := make([]ServiceSpec, 0, s.N)
+	for i := 0; i < s.N; i++ {
+		out = append(out, s.Spec(i))
+	}
+	return out
+}
+
+// ConsumerSlab is the consumer population as struct-of-arrays: consumer
+// dense index i (ConsumerID numbering stays i+1) holds its preference
+// weights in Weights[i*len(PrefMetrics) : (i+1)*len(PrefMetrics)], in
+// PrefMetrics column order.
+type ConsumerSlab struct {
+	N       int
+	Weights []float64
+}
+
+// GenerateConsumerSlab builds n consumers in SoA form, consuming rng
+// exactly as GenerateConsumers does: one Float64 per metric in sorted
+// metric order per consumer.
+func GenerateConsumerSlab(rng *rand.Rand, n int, heterogeneity float64) *ConsumerSlab {
+	heterogeneity = math.Max(0, math.Min(1, heterogeneity))
+	base := BasePreferences()
+	nm := len(PrefMetrics)
+	s := &ConsumerSlab{N: n, Weights: make([]float64, n*nm)}
+	for i := 0; i < n; i++ {
+		for m, metric := range PrefMetrics {
+			individual := rng.Float64() * 2
+			s.Weights[i*nm+m] = (1-heterogeneity)*base[metric] + heterogeneity*individual
+		}
+	}
+	return s
+}
+
+// WeightAt returns consumer i's weight on preference column m.
+func (s *ConsumerSlab) WeightAt(i, m int) float64 { return s.Weights[i*len(PrefMetrics)+m] }
+
+// Spec materializes consumer i back into the map-based reference
+// representation.
+func (s *ConsumerSlab) Spec(i int) ConsumerSpec {
+	prefs := make(qos.Preferences, len(PrefMetrics))
+	for m, metric := range PrefMetrics {
+		prefs[metric] = s.WeightAt(i, m)
+	}
+	return ConsumerSpec{ID: core.NewConsumerID(i + 1), Prefs: prefs}
+}
+
+// Specs materializes the whole slab.
+func (s *ConsumerSlab) Specs() []ConsumerSpec {
+	out := make([]ConsumerSpec, 0, s.N)
+	for i := 0; i < s.N; i++ {
+		out = append(out, s.Spec(i))
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package workload
+
+import (
+	"reflect"
+	"testing"
+
+	"wstrust/internal/qos"
+	"wstrust/internal/simclock"
+)
+
+// TestServiceSlabMatchesSpecs is the population half of the SoA-vs-map
+// differential: for the golden seeds, the slab generator consumes the RNG
+// identically to GenerateServices and materializes byte-equal specs.
+func TestServiceSlabMatchesSpecs(t *testing.T) {
+	opts := ServiceOptions{N: 137, ExaggerateFrac: 0.2, PortfolioSize: 3, IDOffset: 10}
+	for _, seed := range []int64{42, 7, 123} {
+		want := GenerateServices(simclock.Stream(seed, "services"), opts)
+		slab := GenerateServiceSlab(simclock.Stream(seed, "services"), opts)
+		got := slab.Specs()
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: slab specs differ from GenerateServices", seed)
+		}
+	}
+}
+
+// TestConsumerSlabMatchesSpecs is the consumer half of the differential.
+func TestConsumerSlabMatchesSpecs(t *testing.T) {
+	for _, seed := range []int64{42, 7, 123} {
+		for _, het := range []float64{0, 0.5, 1} {
+			want := GenerateConsumers(simclock.Stream(seed, "consumers"), 211, het)
+			slab := GenerateConsumerSlab(simclock.Stream(seed, "consumers"), 211, het)
+			got := slab.Specs()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("seed %d het %g: slab specs differ from GenerateConsumers", seed, het)
+			}
+		}
+	}
+}
+
+// TestSlabMetricOrders pins the column axes: sorted, and PrefMetrics a
+// subset of SlabMetrics — the flat offsets the scenario engine banks on.
+func TestSlabMetricOrders(t *testing.T) {
+	if got := qos.SortIDs(append([]qos.MetricID(nil), SlabMetrics...)); !reflect.DeepEqual(got, SlabMetrics) {
+		t.Fatalf("SlabMetrics not sorted: %v", SlabMetrics)
+	}
+	if got := qos.SortIDs(append([]qos.MetricID(nil), PrefMetrics...)); !reflect.DeepEqual(got, PrefMetrics) {
+		t.Fatalf("PrefMetrics not sorted: %v", PrefMetrics)
+	}
+	in := map[qos.MetricID]bool{}
+	for _, m := range SlabMetrics {
+		in[m] = true
+	}
+	for _, m := range PrefMetrics {
+		if !in[m] {
+			t.Fatalf("preference metric %s missing from SlabMetrics", m)
+		}
+	}
+}
+
+func TestSlabAccessors(t *testing.T) {
+	slab := GenerateServiceSlab(simclock.Stream(1, "services"), ServiceOptions{N: 8, ExaggerateFrac: 0.5})
+	for i := 0; i < slab.N; i++ {
+		spec := slab.Spec(i)
+		for m, id := range SlabMetrics {
+			if slab.TruthAt(i, m) != spec.Behavior.True[id] {
+				t.Fatalf("TruthAt(%d,%d) mismatch", i, m)
+			}
+			if slab.AdvertisedAt(i, m) != spec.Desc.Advertised[id] {
+				t.Fatalf("AdvertisedAt(%d,%d) mismatch", i, m)
+			}
+		}
+	}
+	cs := GenerateConsumerSlab(simclock.Stream(1, "consumers"), 5, 0.7)
+	for i := 0; i < cs.N; i++ {
+		spec := cs.Spec(i)
+		for m, id := range PrefMetrics {
+			if cs.WeightAt(i, m) != spec.Prefs[id] {
+				t.Fatalf("WeightAt(%d,%d) mismatch", i, m)
+			}
+		}
+	}
+}
