@@ -5,11 +5,12 @@
 
 GO ?= go
 
-.PHONY: all build vet lint lint-json test race cover fuzz-smoke serve-smoke bench bench-suite bench-json bench-incremental bench-scenario bench-diff scenario-golden loadtest loadtest-smoke ci
+.PHONY: all build vet lint lint-json test race cover fuzz-smoke chaos-smoke serve-smoke bench bench-suite bench-json bench-incremental bench-scenario bench-diff scenario-golden loadtest loadtest-smoke ci
 
 # Aggregate statement-coverage floor for the packages the fault layer,
-# the mechanism test harness, and the scenario engine are responsible for.
-COVER_PKGS = ./internal/trust/... ./internal/fault ./internal/p2p ./internal/scenario
+# the mechanism test harness, the scenario engine, and the replication
+# layer are responsible for.
+COVER_PKGS = ./internal/trust/... ./internal/fault ./internal/p2p ./internal/scenario ./internal/replica
 COVER_MIN  = 75.0
 
 all: ci
@@ -60,6 +61,15 @@ fuzz-smoke:
 	$(GO) test ./internal/soa -run FuzzUnmarshalWSDL -fuzz FuzzUnmarshalWSDL -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trust/eigentrust -run FuzzWarmStartResidual -fuzz FuzzWarmStartResidual -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/scenario -run FuzzScenarioParse -fuzz FuzzScenarioParse -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/registry -run FuzzWALRecover -fuzz FuzzWALRecover -fuzztime $(FUZZTIME)
+
+# Deterministic crash/corruption chaos suite under the race detector:
+# seeded primary kill mid-commit with promotion and fenced rejoin, seeded
+# partition-then-promote, and torn/bit-flipped WAL and snapshot images —
+# asserting every acked submit survives on the surviving majority and the
+# converged cluster exports byte-identical registries.
+chaos-smoke:
+	$(GO) test ./internal/chaos -race -count=1
 
 # End-to-end daemon smoke: boot wsxd on an ephemeral port with a fresh
 # data dir, submit one feedback, rank, drain, and assert a clean exit 0 —
@@ -105,13 +115,16 @@ bench-scenario:
 scenario-golden:
 	$(GO) test ./internal/scenario -run 'TestScenarioLibraryShape|TestScenarioGoldenDigests' -v
 
-# Regression diff. The legacy record comparison (PR 3 -> PR 6 hot paths)
-# stays advisory — the committed records come from a quieter reference
-# machine — but the PR 8 incremental hot paths gate blocking: the script
-# measures a >=2-run noise floor on the current machine first and widens
-# the 10% tolerance to max(0.10, 2 x floor), so only real slowdowns fail.
+# Regression diffs, all blocking. The whole-record PR 3 -> PR 6
+# comparison stays advisory (committed records from a quieter reference
+# machine, suite rows too costly to re-measure), but the legacy cf hot
+# paths and the PR 8 incremental hot paths both gate blocking: each
+# script measures a >=2-run noise floor on the current machine first and
+# widens the 10% tolerance to max(0.10, 2 x floor), so only real
+# slowdowns fail.
 bench-diff:
 	-$(GO) run ./cmd/wsxbench -diff BENCH_PR3.json BENCH_PR6.json
+	./scripts/bench_legacy_diff.sh
 	./scripts/bench_incremental_diff.sh
 
 # Open-loop load sweep: wsxload drives wsxd's submit+rank mix at

@@ -92,8 +92,10 @@ func hotSet(name string) ([]benchfmt.HotPath, error) {
 		return benchfmt.DefaultHotPaths, nil
 	case "incremental":
 		return benchfmt.IncrementalHotPaths, nil
+	case "legacy":
+		return benchfmt.LegacyHotPaths, nil
 	}
-	return nil, fmt.Errorf("unknown hot-path set %q (want default or incremental)", name)
+	return nil, fmt.Errorf("unknown hot-path set %q (want default, incremental, or legacy)", name)
 }
 
 // runNoise prints the largest fractional hot-path delta between two
@@ -184,8 +186,19 @@ func jobSet(name, benchtime string) ([]job, string, error) {
 			// fast while the record stays complete.
 			{pkg: "./internal/trust/eigentrust", bench: "^BenchmarkIncrementalSubmitScore$/^pop=(1000|10000)$", benchtime: "2000x"},
 		}, "wstrust incremental-trust gate run (transient; not a committed record)", nil
+	case "legacy-gate":
+		return []job{
+			// The blocking legacy gate's subset: the cf mechanism
+			// microbenchmarks from the committed PR 3 record, pinned to one
+			// proc to match that record's rows. Time-based benchtime keeps
+			// iteration counts high enough that the sub-microsecond paths
+			// (ItemMean, Submit) measure above timer noise. The suite
+			// wall-clock rows stay out — at ~10s/op they would triple the
+			// gate's cost for paths the scenario goldens already pin.
+			{pkg: "./internal/trust/cf", bench: "^(BenchmarkScorePearson|BenchmarkScoreCosine|BenchmarkScoreSelectionSweep|BenchmarkItemMean|BenchmarkSubmit)$", benchtime: "1s", cpu: "1"},
+		}, "wstrust legacy hot-path gate run (transient; not a committed record)", nil
 	}
-	return nil, "", fmt.Errorf("unknown job set %q (want default, incremental, incremental-gate, or scenario)", name)
+	return nil, "", fmt.Errorf("unknown job set %q (want default, incremental, incremental-gate, legacy-gate, or scenario)", name)
 }
 
 func run(out, benchtime, jobsName string, merge bool) error {

@@ -22,6 +22,16 @@
 //	                (real fixpoint stats under -mech eigentrust)
 //	POST /drain     graceful shutdown: stop intake, wait out in-flight
 //	                requests, snapshot + compact the WAL, then exit 0
+//	POST /promote   flip a follower to primary under a new fencing epoch
+//	GET  /replica/status    replication position (epoch, seq, marks)
+//	GET  /replica/snapshot  checksummed full-state transfer (bootstrap)
+//	GET  /wal/stream        chunked WAL tail for followers (?from=seq)
+//
+// With -follow URL the daemon boots as a read-only follower: it streams
+// the primary's WAL, serves /rank and /compute-with-stats from its own
+// (bounded-stale, Replica-Lag-stamped) views, rejects writes with 503,
+// and keeps serving stale reads if the primary goes dark. POST /promote
+// fences it into a new primary.
 //
 // SIGINT/SIGTERM trigger the same drain sequence as POST /drain.
 package main
@@ -60,6 +70,7 @@ func run() int {
 		timeout   = flag.Duration("timeout", 2*time.Second, "per-request deadline budget")
 		syncEvery = flag.Int("sync-every", 1, "fsync the WAL every N submits (1 = every record)")
 		snapEvery = flag.Int("snapshot-every", 4096, "snapshot + compact the WAL every N records (0 = only on drain)")
+		follow    = flag.String("follow", "", "boot as a read-only follower of the primary at this base URL (e.g. http://10.0.0.1:8080); promote with POST /promote")
 	)
 	flag.Parse()
 
@@ -82,6 +93,7 @@ func run() int {
 		Bulkhead: *bulkhead,
 		Timeout:  *timeout,
 		Breaker:  resilience.BreakerConfig{},
+		Follow:   *follow,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wsxd:", err)
@@ -93,8 +105,12 @@ func run() int {
 		fmt.Fprintln(os.Stderr, "wsxd:", err)
 		return 1
 	}
-	fmt.Printf("wsxd: listening on %s (%d services, %d recovered records)\n",
-		ln.Addr(), *services, store.Len())
+	role := "primary"
+	if *follow != "" {
+		role = "follower of " + *follow
+	}
+	fmt.Printf("wsxd: listening on %s (%d services, %d recovered records, %s)\n",
+		ln.Addr(), *services, store.Len(), role)
 
 	httpSrv := &http.Server{
 		Handler:           s.routes(),

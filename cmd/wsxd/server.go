@@ -14,11 +14,21 @@ import (
 	"wstrust/internal/core"
 	"wstrust/internal/qos"
 	"wstrust/internal/registry"
+	"wstrust/internal/replica"
 	"wstrust/internal/resilience"
 	"wstrust/internal/simclock"
 	"wstrust/internal/trust/beta"
 	"wstrust/internal/trust/eigentrust"
 	"wstrust/internal/workload"
+)
+
+// Replica roles. A server boots primary (serving writes and replicating
+// to any followers that connect) or follower (read-only, streaming the
+// primary's WAL); POST /promote flips a follower to primary with a
+// fencing epoch.
+const (
+	rolePrimary int32 = iota
+	roleFollower
 )
 
 // server wires the WAL-backed registry store, a Beta reputation
@@ -31,11 +41,19 @@ import (
 type server struct {
 	clock    simclock.Clock
 	store    *registry.Store
-	mech     core.Mechanism
-	engine   *core.Engine
 	prefs    qos.Preferences
 	catalog  []core.Candidate
 	category string
+	mechName string
+	seed     int64
+
+	// mechMu guards swaps of the mechanism pointer: a follower reseed
+	// (snapshot bootstrap) rebuilds the mechanism from the replicated
+	// store and replaces it wholesale. Handlers take the read side once
+	// per request via getMech.
+	mechMu sync.RWMutex
+	mech   core.Mechanism // guarded by mechMu
+	engine *core.Engine   // guarded by rankMu (only session building uses it)
 
 	shedder  *resilience.Shedder
 	bulkhead *resilience.Bulkhead
@@ -60,6 +78,20 @@ type server struct {
 	inflight  sync.WaitGroup
 	drainOnce sync.Once
 	drained   chan struct{}
+
+	// Replication state. source serves /wal/stream, /replica/* to
+	// followers of this node; drainStream severs open streams on drain
+	// (they are long polls and deliberately not inflight-tracked). In
+	// follower role fol tails the configured primary until /promote or
+	// drain stops it.
+	role        atomic.Int32 // rolePrimary or roleFollower
+	source      *replica.Source
+	drainStream chan struct{}
+	follow      string // primary base URL; "" in primary role
+	fol         *replica.Follower
+	folMu       sync.Mutex         // guards folCancel/folDone
+	folCancel   context.CancelFunc // guarded by folMu; nil once stopped
+	folDone     chan struct{}      // guarded by folMu; closed when Run returns
 }
 
 // serverConfig parameterizes construction; zero fields get defaults.
@@ -78,6 +110,13 @@ type serverConfig struct {
 	Bulkhead            int
 	Timeout             time.Duration
 	Breaker             resilience.BreakerConfig
+
+	// Follow, when set, boots the server in follower role: read-only,
+	// tailing the primary at this base URL. FollowSleep overrides the
+	// reconnect sleep (tests inject a fast one; default real sleep via
+	// simclock.SleepWall).
+	Follow      string
+	FollowSleep func(time.Duration)
 }
 
 // newServer builds the serving stack: demo catalog, mechanism warmed by
@@ -111,18 +150,9 @@ func newServer(cfg serverConfig) (*server, error) {
 		catalog[i] = sp.Desc.Candidate()
 	}
 
-	var mech core.Mechanism
-	switch cfg.Mech {
-	case "", "beta":
-		mech = beta.New()
-	case "eigentrust":
-		// Incremental mode: submits accumulate sparse deltas and scoring
-		// warm-starts from the previous fixpoint, so the steady /local-trust
-		// → /compute-with-stats loop costs a handful of residual-bounded
-		// iterations instead of a cold power iteration per refresh.
-		mech = eigentrust.New(eigentrust.WithEpsilon(1e-9))
-	default:
-		return nil, fmt.Errorf("wsxd: unknown mechanism %q (want beta or eigentrust)", cfg.Mech)
+	mech, err := newMechanism(cfg.Mech)
+	if err != nil {
+		return nil, err
 	}
 	if _, err := cfg.Store.Replay(mech); err != nil {
 		return nil, fmt.Errorf("wsxd: replay recovered feedback: %w", err)
@@ -136,18 +166,136 @@ func newServer(cfg serverConfig) (*server, error) {
 		prefs:    workload.BasePreferences(),
 		catalog:  catalog,
 		category: cfg.Category,
+		mechName: cfg.Mech,
+		seed:     cfg.Seed,
 		shedder: resilience.NewShedder(resilience.ShedderConfig{
 			Rate: cfg.ShedRate, Burst: cfg.ShedBurst,
 		}, cfg.Clock),
 		bulkhead: resilience.NewBulkhead(cfg.Bulkhead),
 		breaker: resilience.NewBreaker(cfg.Breaker, cfg.Clock,
 			simclock.Stream(cfg.Seed, "wsxd.breaker")),
-		timeout: cfg.Timeout,
-		drained: make(chan struct{}),
+		timeout:     cfg.Timeout,
+		drained:     make(chan struct{}),
+		drainStream: make(chan struct{}),
+		follow:      cfg.Follow,
 	}
 	s.session = s.engine.NewRankSession(s.catalog)
 	s.rankSnap.Store(s.computeRankSnapshot("")) // never nil: /rank always has something to serve
+	s.source = &replica.Source{Store: s.store, Drain: s.drainStream}
+	if cfg.Follow != "" {
+		s.role.Store(roleFollower)
+		fol, err := replica.New(replica.Config{
+			Primary:  cfg.Follow,
+			Store:    s.store,
+			Clock:    cfg.Clock,
+			Sleep:    cfg.FollowSleep,
+			Seed:     cfg.Seed,
+			OnApply:  s.onReplicated,
+			OnReseed: s.reseedMechanism,
+			Logf:     func(format string, args ...any) { fmt.Printf("wsxd: "+format+"\n", args...) },
+		})
+		if err != nil {
+			return nil, fmt.Errorf("wsxd: follower: %w", err)
+		}
+		s.fol = fol
+		s.startFollower()
+	}
 	return s, nil
+}
+
+// newMechanism builds the reputation mechanism by name: "beta" (default)
+// or "eigentrust" (incremental, warm-started — the one that reports real
+// convergence stats on /compute-with-stats).
+func newMechanism(name string) (core.Mechanism, error) {
+	switch name {
+	case "", "beta":
+		return beta.New(), nil
+	case "eigentrust":
+		// Incremental mode: submits accumulate sparse deltas and scoring
+		// warm-starts from the previous fixpoint, so the steady /local-trust
+		// → /compute-with-stats loop costs a handful of residual-bounded
+		// iterations instead of a cold power iteration per refresh.
+		return eigentrust.New(eigentrust.WithEpsilon(1e-9)), nil
+	default:
+		return nil, fmt.Errorf("wsxd: unknown mechanism %q (want beta or eigentrust)", name)
+	}
+}
+
+// getMech reads the current mechanism pointer (swapped by reseedMechanism
+// after a follower bootstrap).
+func (s *server) getMech() core.Mechanism {
+	s.mechMu.RLock()
+	defer s.mechMu.RUnlock()
+	return s.mech
+}
+
+// isFollower reports whether the server is in follower role.
+func (s *server) isFollower() bool { return s.role.Load() == roleFollower }
+
+// onReplicated feeds a batch of replicated records into the mechanism and
+// marks the rank snapshot stale — the follower-side mirror of what
+// handleSubmit does after a local write.
+func (s *server) onReplicated(fbs []core.Feedback) {
+	mech := s.getMech()
+	for i := range fbs {
+		if err := mech.Submit(fbs[i]); err != nil {
+			// The store accepted the record (it is durable and replicated);
+			// a mechanism rejection is surfaced but cannot be refused.
+			fmt.Printf("wsxd: replicated record rejected by mechanism: %v\n", err)
+		}
+	}
+	s.rankVer.Add(1)
+}
+
+// reseedMechanism rebuilds the mechanism, engine and rank session from
+// the store after a snapshot bootstrap replaced the whole local state.
+func (s *server) reseedMechanism() {
+	mech, err := newMechanism(s.mechName)
+	if err != nil {
+		fmt.Printf("wsxd: reseed: %v\n", err)
+		return
+	}
+	if _, err := s.store.Replay(mech); err != nil {
+		fmt.Printf("wsxd: reseed replay: %v\n", err)
+		return
+	}
+	s.mechMu.Lock()
+	s.mech = mech
+	s.mechMu.Unlock()
+	s.rankMu.Lock()
+	s.engine = core.NewEngine(mech, simclock.Stream(s.seed, "wsxd.engine"))
+	s.session = s.engine.NewRankSession(s.catalog)
+	s.rankMu.Unlock()
+	s.rankVer.Add(1)
+}
+
+// startFollower launches the replication loop goroutine.
+func (s *server) startFollower() {
+	s.folMu.Lock()
+	defer s.folMu.Unlock()
+	ctx, cancel := context.WithCancel(context.Background())
+	s.folCancel = cancel
+	done := make(chan struct{})
+	s.folDone = done
+	go func() {
+		defer close(done)
+		s.fol.Run(ctx)
+	}()
+}
+
+// stopFollower cancels the replication loop and waits for it to finish —
+// any in-flight batch apply completes durably first, so a later restart
+// resumes from the acked cursor. Idempotent.
+func (s *server) stopFollower() {
+	s.folMu.Lock()
+	cancel, done := s.folCancel, s.folDone
+	s.folCancel = nil
+	s.folMu.Unlock()
+	if cancel == nil {
+		return
+	}
+	cancel()
+	<-done
 }
 
 // rankSnapshot is one published ranking, immutable after publish: entries
@@ -231,7 +379,64 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /rank", s.guard(resilience.Normal, s.handleRank))
 	mux.HandleFunc("GET /compute-with-stats", s.guard(resilience.Normal, s.handleComputeStats))
 	mux.HandleFunc("POST /drain", s.handleDrain)
+	mux.HandleFunc("POST /promote", s.handlePromote)
+	// Replication endpoints (status, snapshot transfer, WAL stream). The
+	// stream is a long poll severed by drain, deliberately outside the
+	// inflight-tracking guard — drain would otherwise wait on it forever.
+	s.source.Register(mux)
 	return mux
+}
+
+// handlePromote flips a follower to primary: stop tailing the old
+// primary, open a new fencing epoch in the durable mark history, start
+// accepting writes. Idempotent — promoting a primary reports its current
+// epoch without opening a new one (folMu serializes racing promotions;
+// only the caller that wins the role flip runs store.Promote).
+func (s *server) handlePromote(w http.ResponseWriter, r *http.Request) {
+	if !s.role.CompareAndSwap(roleFollower, rolePrimary) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"promoted": false, "role": "primary", "epoch": s.store.Epoch(),
+		})
+		return
+	}
+	s.stopFollower()
+	epoch, err := s.store.Promote()
+	if err != nil {
+		s.role.Store(roleFollower)
+		httpError(w, http.StatusInternalServerError, "promote: "+err.Error())
+		return
+	}
+	fmt.Printf("wsxd: promoted to primary at epoch %d (seq %d)\n", epoch, s.store.LastSeq())
+	writeJSON(w, http.StatusOK, map[string]any{
+		"promoted": true, "role": "primary", "epoch": epoch, "records": s.store.Len(),
+	})
+}
+
+// rejectFollowerWrite refuses a write in follower role, pointing the
+// client at the primary.
+func (s *server) rejectFollowerWrite(w http.ResponseWriter) bool {
+	if !s.isFollower() {
+		return false
+	}
+	w.Header().Set("X-Replica-Primary", s.follow)
+	httpError(w, http.StatusServiceUnavailable, "read-only replica: writes go to the primary")
+	return true
+}
+
+// setReplicaHeaders stamps read responses with the follower's staleness
+// bound: Replica-Lag is how many records this node trails the primary's
+// last known position, and Replica-Stale: true marks degraded service
+// (never contacted, or the stream is down and the lag figure may lag
+// reality). Primary-role responses carry neither.
+func (s *server) setReplicaHeaders(w http.ResponseWriter) {
+	if !s.isFollower() {
+		return
+	}
+	lag, contacted := s.fol.Lag()
+	w.Header().Set("Replica-Lag", strconv.FormatUint(lag, 10))
+	if !contacted || !s.fol.Streaming() {
+		w.Header().Set("Replica-Stale", "true")
+	}
 }
 
 // enter registers one in-flight request unless the server is draining.
@@ -281,6 +486,13 @@ func (s *server) beginDrain() error {
 		s.stateMu.Lock()
 		s.draining = true
 		s.stateMu.Unlock()
+		// Stop replication first: the follower loop finishes its in-flight
+		// batch apply durably before Run returns (so a restarted follower
+		// resumes from the acked cursor), and closing drainStream severs
+		// every stream this node is serving to its own followers — they
+		// reconnect elsewhere and resume from their acked cursors.
+		s.stopFollower()
+		close(s.drainStream)
 		s.inflight.Wait()
 		if s.store.Durable() {
 			snapErr = s.store.Snapshot()
@@ -299,8 +511,13 @@ func (s *server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "draining")
 		return
 	}
+	role := "primary"
+	if s.isFollower() {
+		role = "follower"
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
 		"status": "ready", "records": s.store.Len(), "services": len(s.catalog),
+		"role": role, "epoch": s.store.Epoch(),
 	})
 }
 
@@ -315,6 +532,9 @@ type submitRequest struct {
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	var req submitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -351,7 +571,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "registry submit: "+err.Error())
 		return
 	}
-	if err := s.mech.Submit(fb); err != nil {
+	if err := s.getMech().Submit(fb); err != nil {
 		// The store accepted what the mechanism rejected: surface it, the
 		// durable log remains the source of truth.
 		httpError(w, http.StatusInternalServerError, "mechanism submit: "+err.Error())
@@ -377,6 +597,9 @@ const maxLocalTrustBatch = 4096
 // incremental state. The breaker guards the durable write exactly as
 // /submit's does; validation errors never count as breaker failures.
 func (s *server) handleLocalTrust(w http.ResponseWriter, r *http.Request) {
+	if s.rejectFollowerWrite(w) {
+		return
+	}
 	var req localTrustRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 8<<20))
 	dec.DisallowUnknownFields()
@@ -422,8 +645,9 @@ func (s *server) handleLocalTrust(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusInternalServerError, "registry submit batch: "+err.Error())
 		return
 	}
+	mech := s.getMech()
 	for i := range fbs {
-		if err := s.mech.Submit(fbs[i]); err != nil {
+		if err := mech.Submit(fbs[i]); err != nil {
 			// The store accepted what the mechanism rejected: surface it,
 			// the durable log remains the source of truth.
 			httpError(w, http.StatusInternalServerError,
@@ -483,6 +707,7 @@ func (s *server) handleRank(w http.ResponseWriter, r *http.Request) {
 	if n < len(out) {
 		out = out[:n:n]
 	}
+	s.setReplicaHeaders(w)
 	writeJSON(w, http.StatusOK, map[string]any{"consumer": consumer, "ranked": out})
 }
 
@@ -519,11 +744,12 @@ func (s *server) handleComputeStats(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	cr, hasStats := s.mech.(core.ConvergenceReporter)
+	mech := s.getMech()
+	cr, hasStats := mech.(core.ConvergenceReporter)
 	var stats any
 	scores := make([]computeEntry, len(s.catalog))
 	for i, c := range s.catalog {
-		tv, ok := s.mech.Score(core.Query{
+		tv, ok := mech.Score(core.Query{
 			Perspective: core.ConsumerID(consumer),
 			Subject:     c.Service,
 			Context:     core.Context(s.category),
@@ -541,8 +767,9 @@ func (s *server) handleComputeStats(w http.ResponseWriter, r *http.Request) {
 			stats = cr.LastConvergence()
 		}
 	}
+	s.setReplicaHeaders(w)
 	writeJSON(w, http.StatusOK, map[string]any{
-		"mechanism": s.mech.Name(), "scores": scores, "stats": stats,
+		"mechanism": mech.Name(), "scores": scores, "stats": stats,
 	})
 }
 

@@ -154,6 +154,20 @@ var DefaultHotPaths = []HotPath{
 	{Name: "SuiteParallel", Metric: "ns/op"},
 }
 
+// LegacyHotPaths are the PR 3 record paths that gate blocking in CI
+// (scripts/bench_legacy_diff.sh): the cf mechanism microbenchmarks, cheap
+// enough to re-measure per run so the gate can compare the committed
+// BENCH_PR3.json against the current machine with a measured noise floor.
+// The suite wall-clock rows in that record stay advisory — they cost
+// ~10s/op and their absence from a gate run simply skips them in Diff.
+var LegacyHotPaths = []HotPath{
+	{Name: "ScorePearson", Metric: "ns/op"},
+	{Name: "ScoreCosine", Metric: "ns/op"},
+	{Name: "ScoreSelectionSweep", Metric: "ns/op"},
+	{Name: "ItemMean", Metric: "ns/op"},
+	{Name: "Submit", Metric: "ns/op"},
+}
+
 // IncrementalHotPaths are the PR 8 streaming-update paths: the warm-start
 // submit+score unit of work across the population sweep. These gate
 // blocking in CI (scripts/bench_incremental_diff.sh), with the tolerance

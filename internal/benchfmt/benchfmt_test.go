@@ -38,6 +38,31 @@ func TestDiffFlagsOnlyHotPathRegressions(t *testing.T) {
 	}
 }
 
+func TestLegacyHotPathsGateCfOnly(t *testing.T) {
+	old := Document{Benchmarks: []Result{
+		bench("./internal/trust/cf", "ScoreSelectionSweep", 1, 100000),
+		bench("./internal/trust/cf", "Submit", 1, 500),
+		bench(".", "SuiteSequential", 1, 8e9),
+	}}
+	new := Document{Benchmarks: []Result{
+		bench("./internal/trust/cf", "ScoreSelectionSweep", 1, 130000), // +30% → flagged
+		bench("./internal/trust/cf", "Submit", 1, 510),                 // +2% → fine
+		bench(".", "SuiteSequential", 1, 12e9),                         // not a legacy path
+	}}
+	regs := Diff(old, new, LegacyHotPaths, 0.10)
+	if len(regs) != 1 || regs[0].What != "./internal/trust/cf/ScoreSelectionSweep-1 ns/op" {
+		t.Fatalf("regressions = %+v, want exactly the selection sweep", regs)
+	}
+	// A gate run carries only the cf subset; the record's suite rows must
+	// be skipped, not treated as regressions.
+	gateRun := Document{Benchmarks: []Result{
+		bench("./internal/trust/cf", "Submit", 1, 505),
+	}}
+	if regs := Diff(old, gateRun, LegacyHotPaths, 0.10); len(regs) != 0 {
+		t.Fatalf("partial gate run flagged %+v", regs)
+	}
+}
+
 func TestDiffLoadTestP99(t *testing.T) {
 	mk := func(submitP99, rankP99 float64) LoadTest {
 		return LoadTest{Label: "mix", GOMAXPROCS: 4, TargetRPS: 2000,

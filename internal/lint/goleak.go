@@ -26,7 +26,8 @@ var GoLeak = &Analyzer{
 	Doc:  "goroutines in the serving path must be tied to a tracked shutdown path (WaitGroup, done channel, or context)",
 	Applies: func(path string) bool {
 		switch path {
-		case "wstrust/cmd/wsxd", "wstrust/internal/registry", "wstrust/internal/resilience":
+		case "wstrust/cmd/wsxd", "wstrust/internal/registry", "wstrust/internal/resilience",
+			"wstrust/internal/replica", "wstrust/internal/chaos":
 			return true
 		}
 		return false

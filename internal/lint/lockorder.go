@@ -38,7 +38,8 @@ var LockOrder = &Analyzer{
 	Doc:  "consistent cross-package mutex acquisition order; no blocking calls (fsync, channel ops, net I/O, naked Cond.Wait) under a held mutex",
 	Applies: func(path string) bool {
 		switch path {
-		case "wstrust/internal/registry", "wstrust/internal/resilience", "wstrust/cmd/wsxd":
+		case "wstrust/internal/registry", "wstrust/internal/resilience", "wstrust/cmd/wsxd",
+			"wstrust/internal/replica", "wstrust/internal/chaos":
 			return true
 		}
 		return false

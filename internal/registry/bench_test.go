@@ -48,7 +48,7 @@ func (u *unshardedStore) submit(fb core.Feedback) error {
 		if err != nil {
 			return err
 		}
-		frame := appendFrame(nil, u.seq, crc32.ChecksumIEEE(payload), payload)
+		frame := appendFrame(nil, 0, u.seq, crc32.ChecksumIEEE(payload), payload)
 		if _, err := u.f.Write(frame); err != nil {
 			return err
 		}

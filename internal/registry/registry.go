@@ -55,6 +55,16 @@ type Store struct {
 	state  sync.RWMutex
 	wal    *walWriter // guarded by state; non-nil on stores built by Open
 	closed bool       // guarded by state; Close on a durable store sets it
+
+	// Replication state (see replication.go). epoch is the current fencing
+	// epoch; marks is the durable promotion history behind it. commitCh is
+	// the channel-close broadcast Updates hands out, replaced on every
+	// commit.
+	epoch    atomic.Uint64
+	replMu   sync.Mutex    // guards marks
+	marks    []EpochMark   // guarded by replMu
+	commitMu sync.Mutex    // guards commitCh
+	commitCh chan struct{} // guarded by commitMu
 }
 
 // shard is one lock stripe of the store: an append-only segment of
@@ -95,7 +105,7 @@ func shardFor(id core.ServiceID) int {
 // NewStore returns an empty in-memory registry. For a crash-consistent,
 // WAL-backed registry use Open.
 func NewStore() *Store {
-	s := &Store{}
+	s := &Store{commitCh: make(chan struct{})}
 	for i := range s.shards {
 		s.shards[i].init()
 	}
@@ -133,7 +143,7 @@ func (s *Store) Submit(fb core.Feedback) error {
 			s.state.RUnlock()
 			return fmt.Errorf("registry: encode for wal: %w", err)
 		}
-		seq, err = s.wal.commit(&s.seq, payload)
+		seq, err = s.wal.commit(&s.seq, s.epoch.Load(), payload)
 		if err != nil {
 			s.state.RUnlock()
 			return err
@@ -150,6 +160,7 @@ func (s *Store) Submit(fb core.Feedback) error {
 	s.version.Add(1)
 	compact := s.wal != nil && s.wal.shouldCompact()
 	s.state.RUnlock()
+	s.notifyCommit()
 	if compact {
 		if err := s.compact(); err != nil {
 			// The record itself is durable in the WAL; a failed compaction
@@ -195,7 +206,7 @@ func (s *Store) SubmitBatch(fbs []core.Feedback) error {
 			}
 			payloads[i] = p
 		}
-		first, err := s.wal.commitBatch(&s.seq, payloads)
+		first, err := s.wal.commitBatch(&s.seq, s.epoch.Load(), payloads)
 		if err != nil {
 			s.state.RUnlock()
 			return err
@@ -215,6 +226,7 @@ func (s *Store) SubmitBatch(fbs []core.Feedback) error {
 	s.version.Add(1)
 	compact := s.wal != nil && s.wal.shouldCompact()
 	s.state.RUnlock()
+	s.notifyCommit()
 	if compact {
 		if err := s.compact(); err != nil {
 			return fmt.Errorf("registry: auto-compaction: %w", err)
@@ -348,6 +360,7 @@ func (s *Store) Reset() {
 	s.count.Store(0)
 	s.gen.Add(1)
 	s.version.Add(1)
+	s.notifyCommit()
 }
 
 // clip caps the slice at its length so a caller's append cannot write into

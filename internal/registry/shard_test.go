@@ -186,7 +186,7 @@ func TestGroupCommitBatchesFsyncs(t *testing.T) {
 	}
 	last := uint64(0)
 	for i, line := range lines {
-		seq, _, err := parseFrame(line)
+		_, seq, _, err := parseFrame(line)
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}

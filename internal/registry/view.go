@@ -28,7 +28,11 @@ type View struct {
 	shardLens [shardCount]int  // records consumed per shard
 
 	log        []core.Feedback // all records, sequence (= submission) order
-	byService  map[core.ServiceID][]core.Feedback
+	seqs       []uint64        // seqs[i] is log[i]'s sequence number; may have
+	// gaps when a racing writer's shard apply lands after the build —
+	// replication (FramesSince, WriteSnapshotTo) must never assume
+	// position i holds sequence base+i+1
+	byService map[core.ServiceID][]core.Feedback
 	byConsumer map[core.ConsumerID][]core.Feedback
 	byPair     map[pairKey][]core.Feedback
 	matrix     map[core.ConsumerID]map[core.ServiceID]float64
@@ -117,6 +121,7 @@ func (s *Store) buildView(prev *View) *View {
 		// refresher appends, and readers of published views are bounded
 		// by their own slice lengths (accessors clip capacity).
 		log:        prev.log,
+		seqs:       prev.seqs,
 		byService:  maps.Clone(prev.byService),
 		byConsumer: maps.Clone(prev.byConsumer),
 		byPair:     maps.Clone(prev.byPair),
@@ -127,6 +132,7 @@ func (s *Store) buildView(prev *View) *View {
 	for _, r := range delta {
 		fb := r.fb
 		nv.log = append(nv.log, fb)
+		nv.seqs = append(nv.seqs, r.seq)
 		if _, ok := nv.byService[fb.Service]; !ok {
 			newService = true
 		}
@@ -182,9 +188,11 @@ func (s *Store) rebuildView(version, gen uint64, lens [shardCount]int) *View {
 		nv.maxSeq = all[len(all)-1].seq
 	}
 	nv.log = make([]core.Feedback, 0, len(all))
+	nv.seqs = make([]uint64, 0, len(all))
 	for _, r := range all {
 		fb := r.fb
 		nv.log = append(nv.log, fb)
+		nv.seqs = append(nv.seqs, r.seq)
 		nv.byService[fb.Service] = append(nv.byService[fb.Service], fb)
 		nv.byConsumer[fb.Consumer] = append(nv.byConsumer[fb.Consumer], fb)
 		k := pairKey{fb.Consumer, fb.Service}

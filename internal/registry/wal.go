@@ -9,16 +9,27 @@ package registry
 // On-disk layout, inside one directory:
 //
 //	wal.wsx       one frame per Submit since the last compaction:
-//	              "w1 <seq> <crc32-hex8> <json>\n"
+//	              "w1 <seq> <crc32-hex8> <json>\n"           (epoch 0)
+//	              "w2 <epoch> <seq> <crc32-hex8> <json>\n"   (epoch > 0)
 //	snapshot.wsx  the full log at the last compaction:
-//	              "s1 <count> <lastSeq>\n" followed by <count> frames
+//	              "s2 <count> <lastSeq> <crc32-hex8> <bodyLen>\n"
+//	              followed by <count> frames (the <bodyLen> bytes the
+//	              CRC covers); the legacy "s1 <count> <lastSeq>" header
+//	              without a body checksum is still accepted on read
+//	epoch.wsx     the fencing-epoch history (see replication.go):
+//	              "e1 <epoch> <startSeq>\n" per promotion
 //
 // Frames carry a monotonically increasing sequence number, so a crash
 // between "snapshot renamed" and "WAL truncated" is harmless: replay
 // skips WAL frames the snapshot already covers. The snapshot is written
 // to a temp file, fsynced and renamed, so it is never observed half
 // written; the WAL may end in a torn frame, which recovery truncates
-// away with a warning instead of failing the store.
+// away with a warning instead of failing the store. A snapshot whose
+// header or body checksum fails to verify (a real disk fault — the
+// atomic write rules out torn snapshots) no longer fails recovery
+// outright: Open falls back to WAL-only replay and reports the corrupt
+// snapshot as a Recovery warning, so a node with a damaged snapshot
+// still serves its WAL suffix instead of refusing to boot.
 //
 // Group commit (PR 6): concurrent Submits enqueue encoded frames under a
 // short queue lock; the first enqueuer becomes the flush leader and writes
@@ -27,11 +38,16 @@ package registry
 // previously serialized every Submit. Sequence numbers are assigned under
 // the queue lock, so the file's frame order is always seq-ascending and a
 // crash still leaves a clean prefix plus at most one torn frame.
+//
+// Fencing epochs (PR 10): every frame is stamped with the epoch of the
+// primary that wrote it. Epoch 0 frames keep the PR 6 "w1" format
+// byte-for-byte; a promotion bumps the epoch and subsequent frames use
+// the "w2" format carrying it, so a replica can reject frames a fenced
+// old primary wrote after losing leadership (see replication.go).
 
 import (
 	"bufio"
 	"bytes"
-	"encoding/json"
 	"errors"
 	"fmt"
 	"hash/crc32"
@@ -49,8 +65,10 @@ import (
 const (
 	walName      = "wal.wsx"
 	snapshotName = "snapshot.wsx"
-	framePrefix  = "w1"
-	snapPrefix   = "s1"
+	framePrefix  = "w1" // epoch-0 frame (legacy format, still written)
+	framePrefixE = "w2" // epoch-stamped frame
+	snapPrefix   = "s1" // legacy snapshot header, read-only
+	snapPrefixV2 = "s2" // checksummed snapshot header
 )
 
 // WALOptions tune the durability/throughput trade of a WAL-backed store.
@@ -80,6 +98,13 @@ type Recovery struct {
 	// TornBytes is how many trailing bytes were truncated away.
 	Torn      bool
 	TornBytes int64
+	// SnapshotCorrupt reports that snapshot.wsx existed but failed its
+	// header or checksum verification; recovery fell back to WAL-only
+	// replay and SnapshotWarning carries the reason. Records written
+	// before the last compaction are lost in this mode — the warning is
+	// the operator's cue to re-seed the node from a replica.
+	SnapshotCorrupt bool
+	SnapshotWarning string
 }
 
 // Records is the total number of feedback entries recovered.
@@ -91,6 +116,9 @@ func (r Recovery) String() string {
 		r.Records(), r.SnapshotRecords, r.WALRecords, r.SkippedRecords)
 	if r.Torn {
 		s += fmt.Sprintf("; truncated torn final record (%d bytes)", r.TornBytes)
+	}
+	if r.SnapshotCorrupt {
+		s += fmt.Sprintf("; SNAPSHOT CORRUPT, fell back to wal-only replay (%s)", r.SnapshotWarning)
 	}
 	return s
 }
@@ -120,13 +148,14 @@ type walWriter struct {
 	broken        error     // guarded by mu: sticky first write/fsync failure
 }
 
-// commit assigns the next sequence number, enqueues one frame, and returns
-// once that frame has been written to the WAL file (and fsynced, when the
-// SyncEvery policy calls for it). The first committer to find the queue
-// idle becomes the leader and performs one write (+ one fsync) for every
-// frame queued meanwhile; later committers merely wait for their frame's
-// acknowledgement. Sequence numbers are taken from seqSrc under the queue
-// lock so the file's frame order is seq-ascending.
+// commit assigns the next sequence number, enqueues one frame stamped with
+// the writer's fencing epoch, and returns once that frame has been written
+// to the WAL file (and fsynced, when the SyncEvery policy calls for it).
+// The first committer to find the queue idle becomes the leader and
+// performs one write (+ one fsync) for every frame queued meanwhile; later
+// committers merely wait for their frame's acknowledgement. Sequence
+// numbers are taken from seqSrc under the queue lock so the file's frame
+// order is seq-ascending.
 //
 // Any write or fsync failure marks the whole WAL broken: bytes of a torn
 // batch may already be on disk, so retrying in place could interleave
@@ -135,7 +164,7 @@ type walWriter struct {
 //
 //lint:hotpath commit is on every Submit; only the seq assignment and the
 // frame append may run under the queue mutex.
-func (w *walWriter) commit(seqSrc *atomic.Uint64, payload []byte) (uint64, error) {
+func (w *walWriter) commit(seqSrc *atomic.Uint64, epoch uint64, payload []byte) (uint64, error) {
 	// The checksum covers only the payload, so it can be computed before
 	// taking the queue lock; only the sequence number needs the lock.
 	crc := crc32.ChecksumIEEE(payload)
@@ -146,7 +175,7 @@ func (w *walWriter) commit(seqSrc *atomic.Uint64, payload []byte) (uint64, error
 		return 0, err
 	}
 	seq := seqSrc.Add(1)
-	w.pending = appendFrame(w.pending, seq, crc, payload)
+	w.pending = appendFrame(w.pending, epoch, seq, crc, payload)
 	w.pendingFrames++
 	w.pendingTop = seq
 	if w.flushing {
@@ -181,7 +210,7 @@ func (w *walWriter) commit(seqSrc *atomic.Uint64, payload []byte) (uint64, error
 //
 //lint:hotpath commitBatch carries every bulk /local-trust merge; only the
 // seq assignments and frame appends may run under the queue mutex.
-func (w *walWriter) commitBatch(seqSrc *atomic.Uint64, payloads [][]byte) (uint64, error) {
+func (w *walWriter) commitBatch(seqSrc *atomic.Uint64, epoch uint64, payloads [][]byte) (uint64, error) {
 	if len(payloads) == 0 {
 		return 0, errors.New("registry: empty wal batch")
 	}
@@ -204,7 +233,7 @@ func (w *walWriter) commitBatch(seqSrc *atomic.Uint64, payloads [][]byte) (uint6
 			first = seq
 		}
 		last = seq
-		w.pending = appendFrame(w.pending, seq, crcs[i], p)
+		w.pending = appendFrame(w.pending, epoch, seq, crcs[i], p)
 	}
 	w.pendingFrames += len(payloads)
 	w.pendingTop = last
@@ -225,6 +254,57 @@ func (w *walWriter) commitBatch(seqSrc *atomic.Uint64, payloads [][]byte) (uint6
 		return 0, err
 	}
 	return first, nil
+}
+
+// commitReplicated appends frames that were assigned their sequence
+// numbers and epochs by another node — the follower side of WAL shipping
+// (Store.ApplyReplicated). The frames must be contiguous and extend the
+// store's sequence exactly; seqSrc is advanced to the last frame under the
+// queue lock, so the on-disk bytes of a replica's WAL match the primary's
+// frame for frame (only the group-commit batching differs). The flush
+// protocol and failure semantics are commit's.
+func (w *walWriter) commitReplicated(seqSrc *atomic.Uint64, frames []Frame) error {
+	if len(frames) == 0 {
+		return nil
+	}
+	crcs := make([]uint32, len(frames))
+	for i := range frames {
+		crcs[i] = crc32.ChecksumIEEE(frames[i].Payload)
+	}
+	w.mu.Lock()
+	if w.broken != nil {
+		err := w.broken
+		w.mu.Unlock()
+		return err
+	}
+	if got, want := frames[0].Seq, seqSrc.Load()+1; got != want {
+		w.mu.Unlock()
+		return fmt.Errorf("registry: %w: replicated frame seq %d, want %d", ErrSeqGap, got, want)
+	}
+	for i := range frames {
+		w.pending = appendFrame(w.pending, frames[i].Epoch, frames[i].Seq, crcs[i], frames[i].Payload)
+	}
+	last := frames[len(frames)-1].Seq
+	seqSrc.Store(last)
+	w.pendingFrames += len(frames)
+	w.pendingTop = last
+	if w.flushing {
+		for w.acked < last && w.broken == nil {
+			w.flushed.Wait()
+		}
+	} else {
+		w.flushing = true
+		w.lead()
+		w.flushing = false
+		w.flushed.Broadcast()
+	}
+	ok := w.acked >= last
+	err := w.broken
+	w.mu.Unlock()
+	if !ok {
+		return err
+	}
+	return nil
 }
 
 // lead drains the commit queue: repeatedly swap out the pending buffer,
@@ -312,9 +392,11 @@ func (w *walWriter) resetAfterCompact() {
 // Open builds (or recovers) a durable Store rooted at dir. It replays
 // snapshot.wsx then wal.wsx, verifying checksums; a torn final WAL record
 // — the state a crash mid-append leaves — is truncated away and reported
-// in Recovery rather than failing the store. Subsequent Submits append to
-// the WAL before touching memory, so anything acknowledged is durable up
-// to the fsync batching window.
+// in Recovery rather than failing the store, and a snapshot that fails its
+// checksum is skipped (WAL-only replay) with a Recovery warning rather
+// than refusing recovery. Subsequent Submits append to the WAL before
+// touching memory, so anything acknowledged is durable up to the fsync
+// batching window.
 //
 //lint:guarded Open constructs the store; it is not shared until returned
 func Open(dir string, opts WALOptions) (*Store, Recovery, error) {
@@ -324,11 +406,29 @@ func Open(dir string, opts WALOptions) (*Store, Recovery, error) {
 	}
 	s := NewStore()
 
-	lastSeq, snapN, err := s.loadSnapshot(filepath.Join(dir, snapshotName))
+	marks, err := loadMarks(filepath.Join(dir, epochName))
 	if err != nil {
 		return nil, rec, err
 	}
-	rec.SnapshotRecords = snapN
+	s.installMarksLocked(marks)
+
+	snapFrames, lastSeq, corrupt, err := readSnapshot(filepath.Join(dir, snapshotName))
+	if err != nil {
+		return nil, rec, err
+	}
+	if corrupt != nil {
+		// Fall back to WAL-only replay: the snapshot's records are gone,
+		// but the WAL suffix still restores everything since the last
+		// compaction instead of failing recovery outright.
+		rec.SnapshotCorrupt = true
+		rec.SnapshotWarning = corrupt.Error()
+		lastSeq = 0
+	} else {
+		for _, fr := range snapFrames {
+			s.applyRecovered(fr.seq, fr.fb)
+		}
+		rec.SnapshotRecords = len(snapFrames)
+	}
 	if lastSeq > s.seq.Load() {
 		s.seq.Store(lastSeq)
 	}
@@ -354,44 +454,83 @@ func Open(dir string, opts WALOptions) (*Store, Recovery, error) {
 	return s, rec, nil
 }
 
-// loadSnapshot restores the compacted log, returning the sequence number
-// of its last frame. A missing snapshot is a fresh store. Unlike the WAL,
-// the snapshot is written atomically (temp + rename), so any corruption
-// here is a real fault and fails recovery loudly.
-func (s *Store) loadSnapshot(path string) (lastSeq uint64, n int, err error) {
+// snapFrame is one parsed snapshot record, held until the whole snapshot
+// has verified so a corrupt snapshot never half-applies.
+type snapFrame struct {
+	seq uint64
+	fb  core.Feedback
+}
+
+// readSnapshot parses and verifies the compacted log. A missing snapshot
+// is a fresh store (all zero returns). I/O failures return err; any
+// structural or checksum failure returns corrupt instead — the caller
+// falls back to WAL-only replay. Records are collected and only handed
+// back once the whole file verified, so a corrupt snapshot contributes
+// nothing rather than a half-applied prefix.
+func readSnapshot(path string) (frames []snapFrame, lastSeq uint64, corrupt, err error) {
 	data, err := os.ReadFile(path)
 	if errors.Is(err, fs.ErrNotExist) {
-		return 0, 0, nil
+		return nil, 0, nil, nil
 	}
 	if err != nil {
-		return 0, 0, fmt.Errorf("registry: read snapshot: %w", err)
+		return nil, 0, nil, fmt.Errorf("registry: read snapshot: %w", err)
 	}
-	line, rest, ok := bytes.Cut(data, []byte{'\n'})
+	return parseSnapshotDoc(data, path)
+}
+
+// parseSnapshotDoc verifies and decodes a snapshot document (from disk or
+// a replica transfer). Structural/checksum problems come back as corrupt,
+// never half-applied records; label names the source in error messages.
+func parseSnapshotDoc(data []byte, label string) (frames []snapFrame, lastSeq uint64, corrupt, err error) {
+	path := label
+	line, body, ok := bytes.Cut(data, []byte{'\n'})
 	if !ok {
-		return 0, 0, fmt.Errorf("registry: snapshot %s: missing header", path)
+		return nil, 0, fmt.Errorf("snapshot %s: missing header", path), nil
 	}
 	fields := strings.Fields(string(line))
-	if len(fields) != 3 || fields[0] != snapPrefix {
-		return 0, 0, fmt.Errorf("registry: snapshot %s: bad header %q", path, line)
+	var count int
+	var last uint64
+	switch {
+	case len(fields) == 5 && fields[0] == snapPrefixV2:
+		c, err1 := strconv.Atoi(fields[1])
+		l, err2 := strconv.ParseUint(fields[2], 10, 64)
+		wantCRC, err3 := strconv.ParseUint(fields[3], 16, 32)
+		bodyLen, err4 := strconv.ParseInt(fields[4], 10, 64)
+		if err1 != nil || err2 != nil || err3 != nil || err4 != nil || c < 0 || bodyLen < 0 {
+			return nil, 0, fmt.Errorf("snapshot %s: bad header %q", path, line), nil
+		}
+		if int64(len(body)) != bodyLen {
+			return nil, 0, fmt.Errorf("snapshot %s: body is %d bytes, header says %d", path, len(body), bodyLen), nil
+		}
+		if got := crc32.ChecksumIEEE(body); got != uint32(wantCRC) {
+			return nil, 0, fmt.Errorf("snapshot %s: body checksum mismatch (%08x != %08x)", path, got, uint32(wantCRC)), nil
+		}
+		count, last = c, l
+	case len(fields) == 3 && fields[0] == snapPrefix:
+		// Legacy header: no body checksum; per-frame CRCs still verify.
+		c, err1 := strconv.Atoi(fields[1])
+		l, err2 := strconv.ParseUint(fields[2], 10, 64)
+		if err1 != nil || err2 != nil || c < 0 {
+			return nil, 0, fmt.Errorf("snapshot %s: bad header %q", path, line), nil
+		}
+		count, last = c, l
+	default:
+		return nil, 0, fmt.Errorf("snapshot %s: bad header %q", path, line), nil
 	}
-	count, err1 := strconv.Atoi(fields[1])
-	last, err2 := strconv.ParseUint(fields[2], 10, 64)
-	if err1 != nil || err2 != nil || count < 0 {
-		return 0, 0, fmt.Errorf("registry: snapshot %s: bad header %q", path, line)
-	}
+	rest := body
 	for i := 0; i < count; i++ {
 		line, next, ok := bytes.Cut(rest, []byte{'\n'})
 		if !ok {
-			return 0, 0, fmt.Errorf("registry: snapshot %s: %d of %d records, then truncated", path, i, count)
+			return nil, 0, fmt.Errorf("snapshot %s: %d of %d records, then truncated", path, i, count), nil
 		}
 		rest = next
-		seq, fb, err := parseFrame(line)
+		_, seq, fb, err := parseFrame(line)
 		if err != nil {
-			return 0, 0, fmt.Errorf("registry: snapshot %s record %d: %w", path, i, err)
+			return nil, 0, fmt.Errorf("snapshot %s record %d: %w", path, i, err), nil
 		}
-		s.applyRecovered(seq, fb)
+		frames = append(frames, snapFrame{seq: seq, fb: fb})
 	}
-	return last, count, nil
+	return frames, last, nil, nil
 }
 
 // replayWAL applies every intact frame with seq > snapLastSeq, then
@@ -411,7 +550,7 @@ func (s *Store) replayWAL(path string, snapLastSeq uint64, rec *Recovery) error 
 		if !ok {
 			break // no newline: a frame torn mid-write
 		}
-		seq, fb, err := parseFrame(line)
+		_, seq, fb, err := parseFrame(line)
 		if err != nil {
 			break // short or checksum-failed frame: torn tail starts here
 		}
@@ -434,16 +573,24 @@ func (s *Store) replayWAL(path string, snapLastSeq uint64, rec *Recovery) error 
 	return nil
 }
 
-// appendFrame renders one WAL frame — prefix, sequence number, CRC-32 of
-// the payload as fixed-width hex, payload, newline — appending into dst.
-// It replaced a fmt.Sprintf-based encoder that allocated a fresh []byte
-// per frame while commit held the queue mutex; appending straight into
-// the pending buffer with strconv keeps the critical section to the
-// bytes themselves.
+// appendFrame renders one WAL frame — prefix, optional epoch, sequence
+// number, CRC-32 of the payload as fixed-width hex, payload, newline —
+// appending into dst. Epoch-0 frames keep the legacy "w1" layout
+// byte-for-byte; frames written after a promotion carry their epoch in
+// the "w2" layout. It replaced a fmt.Sprintf-based encoder that allocated
+// a fresh []byte per frame while commit held the queue mutex; appending
+// straight into the pending buffer with strconv keeps the critical
+// section to the bytes themselves.
 //
 //lint:hotpath runs under walWriter.mu on every Submit
-func appendFrame(dst []byte, seq uint64, crc uint32, payload []byte) []byte {
-	dst = append(dst, framePrefix...)
+func appendFrame(dst []byte, epoch, seq uint64, crc uint32, payload []byte) []byte {
+	if epoch == 0 {
+		dst = append(dst, framePrefix...)
+	} else {
+		dst = append(dst, framePrefixE...)
+		dst = append(dst, ' ')
+		dst = strconv.AppendUint(dst, epoch, 10)
+	}
 	dst = append(dst, ' ')
 	dst = strconv.AppendUint(dst, seq, 10)
 	dst = append(dst, ' ')
@@ -461,28 +608,16 @@ func appendFrame(dst []byte, seq uint64, crc uint32, payload []byte) []byte {
 
 // parseFrame decodes and checksum-verifies one frame line (without its
 // trailing newline) and unmarshals the feedback payload.
-func parseFrame(line []byte) (seq uint64, fb core.Feedback, err error) {
-	parts := strings.SplitN(string(line), " ", 4)
-	if len(parts) != 4 || parts[0] != framePrefix {
-		return 0, fb, errors.New("registry: malformed frame")
-	}
-	seq, err = strconv.ParseUint(parts[1], 10, 64)
+func parseFrame(line []byte) (epoch, seq uint64, fb core.Feedback, err error) {
+	f, err := ParseWire(line)
 	if err != nil {
-		return 0, fb, fmt.Errorf("registry: frame seq: %w", err)
+		return 0, 0, fb, err
 	}
-	wantCRC, err := strconv.ParseUint(parts[2], 16, 32)
+	fb, err = f.Feedback()
 	if err != nil {
-		return 0, fb, fmt.Errorf("registry: frame crc: %w", err)
+		return 0, 0, fb, err
 	}
-	payload := []byte(parts[3])
-	if got := crc32.ChecksumIEEE(payload); got != uint32(wantCRC) {
-		return 0, fb, fmt.Errorf("registry: frame %d checksum mismatch (%08x != %08x)", seq, got, wantCRC)
-	}
-	var rec feedbackRecord
-	if err := json.Unmarshal(payload, &rec); err != nil {
-		return 0, fb, fmt.Errorf("registry: frame %d payload: %w", seq, err)
-	}
-	return seq, rec.toFeedback(), nil
+	return f.Epoch, f.Seq, fb, nil
 }
 
 // Durable reports whether the store is WAL-backed (built by Open, not
@@ -528,6 +663,30 @@ func (s *Store) compact() error {
 	return s.snapshotLocked()
 }
 
+// buildSnapshotDoc renders the full snapshot document — checksummed s2
+// header plus one frame per record — for the given log. Snapshot frames
+// re-number densely from lastSeq-len+1..lastSeq (the identity mapping in
+// practice, since sequence numbers are contiguous); each frame carries the
+// epoch the marks assign its sequence number, so a replica seeded from
+// this document reconstructs a byte-identical history.
+func buildSnapshotDoc(log []core.Feedback, lastSeq uint64, marks []EpochMark) ([]byte, error) {
+	var body []byte
+	base := lastSeq - uint64(len(log))
+	var frame []byte
+	for i, fb := range log {
+		payload, err := marshalRecord(fb)
+		if err != nil {
+			return nil, err
+		}
+		seq := base + uint64(i) + 1
+		frame = appendFrame(frame[:0], epochAt(marks, seq), seq, crc32.ChecksumIEEE(payload), payload)
+		body = append(body, frame...)
+	}
+	header := fmt.Sprintf("%s %d %d %08x %d\n",
+		snapPrefixV2, len(log), lastSeq, crc32.ChecksumIEEE(body), len(body))
+	return append([]byte(header), body...), nil
+}
+
 // snapshotLocked writes snapshot.wsx.tmp, fsyncs, renames it over
 // snapshot.wsx, fsyncs the directory, then truncates the WAL. A crash at
 // any point leaves a recoverable pair: before the rename the old
@@ -541,31 +700,33 @@ func (s *Store) snapshotLocked() error {
 		return err
 	}
 	w := s.wal
-	log := s.currentView().log
-	tmp := filepath.Join(w.dir, snapshotName+".tmp")
-	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	doc, err := buildSnapshotDoc(s.currentView().log, s.seq.Load(), s.Marks())
 	if err != nil {
 		return fmt.Errorf("registry: snapshot: %w", err)
 	}
+	if err := writeFileAtomic(w.dir, snapshotName, doc); err != nil {
+		return fmt.Errorf("registry: snapshot: %w", err)
+	}
+	// The snapshot is durable; the WAL's frames are now redundant.
+	if err := w.f.Truncate(0); err != nil {
+		return fmt.Errorf("registry: wal truncate after snapshot: %w", err)
+	}
+	w.resetAfterCompact()
+	return nil
+}
+
+// writeFileAtomic lands data at dir/name via the temp + fsync + rename +
+// dir-fsync dance, so the file is never observed half written.
+func writeFileAtomic(dir, name string, data []byte) error {
+	tmp := filepath.Join(dir, name+".tmp")
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_WRONLY|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
 	bw := bufio.NewWriter(f)
-	lastSeq := s.seq.Load()
 	werr := func() error {
-		if _, err := fmt.Fprintf(bw, "%s %d %d\n", snapPrefix, len(log), lastSeq); err != nil {
+		if _, err := bw.Write(data); err != nil {
 			return err
-		}
-		// Snapshot frames re-number densely from lastSeq-len+1..lastSeq;
-		// only the final sequence number matters for replay skipping.
-		base := lastSeq - uint64(len(log))
-		var frame []byte
-		for i, fb := range log {
-			payload, err := marshalRecord(fb)
-			if err != nil {
-				return err
-			}
-			frame = appendFrame(frame[:0], base+uint64(i)+1, crc32.ChecksumIEEE(payload), payload)
-			if _, err := bw.Write(frame); err != nil {
-				return err
-			}
 		}
 		if err := bw.Flush(); err != nil {
 			return err
@@ -574,23 +735,15 @@ func (s *Store) snapshotLocked() error {
 	}()
 	cerr := f.Close()
 	if werr != nil {
-		return fmt.Errorf("registry: snapshot: %w", werr)
+		return werr
 	}
 	if cerr != nil {
-		return fmt.Errorf("registry: snapshot: %w", cerr)
+		return cerr
 	}
-	if err := os.Rename(tmp, filepath.Join(w.dir, snapshotName)); err != nil {
-		return fmt.Errorf("registry: snapshot rename: %w", err)
-	}
-	if err := fsyncDir(w.dir); err != nil {
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
 		return err
 	}
-	// The snapshot is durable; the WAL's frames are now redundant.
-	if err := w.f.Truncate(0); err != nil {
-		return fmt.Errorf("registry: wal truncate after snapshot: %w", err)
-	}
-	w.resetAfterCompact()
-	return nil
+	return fsyncDir(dir)
 }
 
 // Close fsyncs and closes the WAL. The store stays readable; further

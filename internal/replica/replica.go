@@ -1,0 +1,50 @@
+// Package replica turns the single-node registry into a primary/follower
+// replication pair over HTTP — the availability tier the survey's central
+// registry needs once one dead node must not take the serving tier down.
+//
+// The design is asynchronous WAL shipping, pulled by the follower:
+//
+//   - The primary mounts a Source (source.go): GET /wal/stream?from=<seq>
+//     streams committed WAL frames in their wire format over a chunked
+//     response, resuming from any acknowledged sequence number; a
+//     follower that is empty or too far behind bootstraps first from
+//     GET /replica/snapshot, an atomic checksummed transfer of the full
+//     compacted state; GET /replica/status reports the primary's epoch,
+//     sequence horizon and promotion history.
+//
+//   - The follower (follower.go) applies shipped frames through
+//     registry.ApplyReplicated — the same durable group-commit path local
+//     Submits take — so its on-disk WAL is byte-identical to the
+//     primary's, frame for frame. Reads are served from the follower's
+//     own copy-on-write views the whole time; when the primary is
+//     unreachable the follower keeps serving its last-applied state
+//     (bounded staleness, reported by Lag) and reconnects under
+//     fault.Policy backoff gated by a resilience.Breaker.
+//
+// Failover is fencing-epoch based. Promoting a follower
+// (registry.Promote, driven by wsxd POST /promote) opens a new epoch in
+// its durable mark history; every frame is stamped with the epoch that
+// wrote it. A deposed primary that rejoins as a follower of the new one
+// is detected as diverged — its mark history or its log disagrees with
+// the new primary's — and must wipe (registry.ResetReplica) and re-seed
+// from a snapshot; conversely a follower refuses to sync from a source
+// whose epoch is behind its own, so a fenced old primary can never drag
+// a promoted node backwards. The chaos harness (internal/chaos) drives
+// kill/corrupt/partition/rejoin schedules against these invariants.
+package replica
+
+import "wstrust/internal/registry"
+
+// Status is the wire form of GET /replica/status: everything a follower
+// needs to decide whether it can stream (same history, cursor within the
+// horizon) or must bootstrap.
+type Status struct {
+	// Epoch is the source's current fencing epoch.
+	Epoch uint64 `json:"epoch"`
+	// LastSeq is the source's highest committed sequence number.
+	LastSeq uint64 `json:"lastSeq"`
+	// Records is the source's live record count.
+	Records int `json:"records"`
+	// Marks is the source's full promotion history.
+	Marks []registry.EpochMark `json:"marks,omitempty"`
+}

@@ -1,0 +1,29 @@
+#!/bin/sh
+# bench_legacy_diff.sh — blocking regression gate for the legacy (PR 3)
+# record hot paths: the cf mechanism microbenchmarks. The committed
+# BENCH_PR3.json was recorded on a reference machine, so a raw diff
+# against the current runner would gate on hardware, not code. Like the
+# incremental gate, this one measures its own noise floor first: two
+# back-to-back legacy-gate runs on the current tree, whose largest
+# hot-path delta is machine noise by construction. The committed record
+# is then diffed against the fresh run with tolerance max(0.10, 2 x
+# floor) — strict on quiet machines, honest on loud ones. Run via
+# `make bench-diff` or directly.
+set -eu
+
+record="BENCH_PR3.json"
+[ -f "$record" ] || { echo "bench-legacy-diff: no committed $record"; exit 1; }
+
+workdir=$(mktemp -d)
+trap 'rm -rf "$workdir"' EXIT
+
+echo "bench-legacy-diff: run 1/2 (noise floor)"
+go run ./cmd/wsxbench -jobs legacy-gate -out "$workdir/run1.json"
+echo "bench-legacy-diff: run 2/2 (noise floor)"
+go run ./cmd/wsxbench -jobs legacy-gate -out "$workdir/run2.json"
+
+floor=$(go run ./cmd/wsxbench -noise -hot legacy "$workdir/run1.json" "$workdir/run2.json")
+tol=$(awk -v f="$floor" 'BEGIN { t = 2 * f; if (t < 0.10) t = 0.10; printf "%.4f", t }')
+echo "bench-legacy-diff: noise floor $floor -> tolerance $tol"
+
+go run ./cmd/wsxbench -diff -hot legacy -tolerance "$tol" "$record" "$workdir/run1.json"
